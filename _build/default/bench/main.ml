@@ -1,0 +1,329 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sections 6-7).  See DESIGN.md section 4 for the
+   experiment index and EXPERIMENTS.md for recorded results.
+
+   Usage:
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe f6 ct mem size lnt optfuzz matrix widen bechamel
+                                         -- run selected experiments *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+
+let sep title =
+  Printf.printf "\n==========================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==========================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* F6: Figure 6 -- run-time change on the SPEC kernels, two machines   *)
+(* ------------------------------------------------------------------ *)
+
+let comparisons =
+  lazy
+    (List.map
+       (fun (b : Ub_core.Spec_suite.bench) ->
+         ( b,
+           Ub_core.Driver.compare_pipelines ~name:b.Ub_core.Spec_suite.name ~entry:b.entry
+             ~args:[] b.source ))
+       Ub_core.Spec_suite.all)
+
+let f6 () =
+  sep "F6 | Figure 6: run-time change (%), baseline -> freeze prototype";
+  Printf.printf "%-12s %-5s %12s %12s   (positive = prototype faster)\n" "benchmark" "group"
+    "machine1" "machine2";
+  List.iter
+    (fun ((b : Ub_core.Spec_suite.bench), (c : Ub_core.Driver.comparison)) ->
+      Printf.printf "%-12s %-5s %+11.2f%% %+11.2f%%\n" c.Ub_core.Driver.name
+        (match b.group with `Cint -> "CINT" | `Cfp -> "CFP" | `Micro -> "micro")
+        c.runtime_delta_m1_pct c.runtime_delta_m2_pct)
+    (Lazy.force comparisons);
+  let deltas =
+    List.concat_map
+      (fun (_, (c : Ub_core.Driver.comparison)) ->
+        [ c.runtime_delta_m1_pct; c.runtime_delta_m2_pct ])
+      (Lazy.force comparisons)
+  in
+  Printf.printf "range: %+.2f%% .. %+.2f%%   (paper: -1.6%% .. +1.6%%, one +6/8%% outlier)\n"
+    (List.fold_left min infinity deltas)
+    (List.fold_left max neg_infinity deltas)
+
+(* ------------------------------------------------------------------ *)
+(* T-CT: compile time                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let median_compile_time pipeline src =
+  let times =
+    List.init 5 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Ub_core.Driver.compile ~pipeline src);
+        Unix.gettimeofday () -. t0)
+  in
+  Util.median times
+
+let compile_time () =
+  sep "T-CT | compile time change (%), median of 5 (paper: ~1%, nestedloop +19%)";
+  Printf.printf "%-12s %12s %12s %9s\n" "benchmark" "base (ms)" "proto (ms)" "delta";
+  List.iter
+    (fun (b : Ub_core.Spec_suite.bench) ->
+      let tb = median_compile_time Ub_core.Driver.Baseline b.Ub_core.Spec_suite.source in
+      let tp = median_compile_time Ub_core.Driver.Prototype b.source in
+      Printf.printf "%-12s %12.3f %12.3f %+8.1f%%\n" b.name (tb *. 1000.0) (tp *. 1000.0)
+        (Util.percent_change ~base:tb ~now:tp))
+    Ub_core.Spec_suite.all
+
+(* ------------------------------------------------------------------ *)
+(* T-MEM: peak memory during compilation                               *)
+(* ------------------------------------------------------------------ *)
+
+let memory () =
+  sep "T-MEM | compiler peak allocation change (%) (paper: <= +2%)";
+  Printf.printf "%-12s %14s %14s %9s\n" "benchmark" "base (words)" "proto (words)" "delta";
+  List.iter
+    (fun (b : Ub_core.Spec_suite.bench) ->
+      let mb =
+        (Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Baseline b.Ub_core.Spec_suite.source)
+          .Ub_core.Driver.metrics.Ub_core.Driver.peak_heap_words
+      in
+      let mp =
+        (Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Prototype b.source)
+          .Ub_core.Driver.metrics.Ub_core.Driver.peak_heap_words
+      in
+      Printf.printf "%-12s %14.0f %14.0f %+8.2f%%\n" b.name mb mp
+        (Util.percent_change ~base:mb ~now:mp))
+    Ub_core.Spec_suite.all
+
+(* ------------------------------------------------------------------ *)
+(* T-SIZE: object code size and freeze counts                          *)
+(* ------------------------------------------------------------------ *)
+
+let size () =
+  sep "T-SIZE | object size and freeze counts (paper: size 0.5%; freeze\n       0.04-0.06% of IR overall, gcc highest with 0.29%)";
+  Printf.printf "%-12s %10s %10s %8s %8s %10s\n" "benchmark" "base (B)" "proto (B)" "delta"
+    "freezes" "% of IR";
+  List.iter
+    (fun ((_ : Ub_core.Spec_suite.bench), (c : Ub_core.Driver.comparison)) ->
+      Printf.printf "%-12s %10d %10d %+7.2f%% %8d %9.3f%%\n" c.Ub_core.Driver.name
+        c.baseline.Ub_core.Driver.metrics.Ub_core.Driver.obj_bytes
+        c.prototype.Ub_core.Driver.metrics.Ub_core.Driver.obj_bytes c.size_delta_pct
+        c.freeze_count c.freeze_fraction_pct)
+    (Lazy.force comparisons);
+  let total_insns =
+    Util.sum_int
+      (List.map
+         (fun (_, (c : Ub_core.Driver.comparison)) ->
+           c.prototype.Ub_core.Driver.metrics.Ub_core.Driver.ir_insns)
+         (Lazy.force comparisons))
+  in
+  let total_freeze =
+    Util.sum_int
+      (List.map (fun (_, (c : Ub_core.Driver.comparison)) -> c.Ub_core.Driver.freeze_count)
+         (Lazy.force comparisons))
+  in
+  Printf.printf "suite total: %d freeze / %d IR instructions = %.3f%%\n" total_freeze
+    total_insns
+    (float_of_int total_freeze /. float_of_int total_insns *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* T-LNT: fraction of the corpus whose IR / asm changed                *)
+(* ------------------------------------------------------------------ *)
+
+let lnt () =
+  sep "T-LNT | corpus diff fractions (paper: 26% IR changed; 82% of those\n       changed asm; 21% overall)";
+  let corpus = Ub_fuzz.Gen.random_corpus ~seed:2017 ~size:120 in
+  let total = List.length corpus in
+  let ir_changed = ref 0 in
+  let asm_changed = ref 0 in
+  List.iter
+    (fun fn ->
+      let base = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.legacy fn in
+      let proto = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.prototype fn in
+      if Printer.func_to_string base <> Printer.func_to_string proto then begin
+        incr ir_changed;
+        let ab = (Ub_backend.Compile.compile_func base).Ub_backend.Compile.asm in
+        let ap = (Ub_backend.Compile.compile_func proto).Ub_backend.Compile.asm in
+        if ab <> ap then incr asm_changed
+      end)
+    corpus;
+  let pct a b = 100.0 *. float_of_int a /. float_of_int b in
+  Printf.printf "corpus: %d functions\n" total;
+  Printf.printf "different optimized IR : %d (%.0f%%)\n" !ir_changed (pct !ir_changed total);
+  if !ir_changed > 0 then
+    Printf.printf "of those, different asm: %d (%.0f%%)  -- %.0f%% overall\n" !asm_changed
+      (pct !asm_changed !ir_changed) (pct !asm_changed total)
+
+(* ------------------------------------------------------------------ *)
+(* T-OPTFUZZ: Section 6 validation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let optfuzz () =
+  sep "T-OPTFUZZ | opt-fuzz + checker validation (Section 6: all i2\n          3-instruction functions vs InstCombine/GVN/Reassoc/SCCP)";
+  let run_validation name cfg mode params limit =
+    let total = ref 0 and changed = ref 0 and unsound = ref 0 and unknown = ref 0 in
+    let _, truncated =
+      Ub_fuzz.Gen.enumerate ~limit params (fun fn ->
+          incr total;
+          let fn' = Ub_opt.Pass.run_pipeline cfg Ub_opt.Pipeline.fuzz_passes fn in
+          if fn' <> fn then begin
+            incr changed;
+            match Ub_refine.Checker.check mode ~src:fn ~tgt:fn' with
+            | Ub_refine.Checker.Counterexample _ -> incr unsound
+            | Ub_refine.Checker.Unknown _ -> incr unknown
+            | Ub_refine.Checker.Refines -> ()
+          end)
+    in
+    Printf.printf "%-30s: %5d functions%s, %5d optimized, %3d UNSOUND, %d unknown\n" name
+      !total
+      (if truncated then " (truncated)" else "")
+      !changed !unsound !unknown
+  in
+  let base_params = { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } in
+  run_validation "prototype / proposed (2 ins)" Ub_opt.Pass.prototype Mode.proposed base_params
+    4_000;
+  run_validation "prototype / proposed (3 ins)" Ub_opt.Pass.prototype Mode.proposed
+    { base_params with Ub_fuzz.Gen.n_insns = 3 } 4_000;
+  let undef_params = { base_params with Ub_fuzz.Gen.include_undef = true } in
+  run_validation "LEGACY / old-simplifycfg" Ub_opt.Pass.legacy Mode.old_simplifycfg undef_params
+    4_000;
+  print_endline "(the legacy pipeline's unsound rewrites are the Section 3 bugs;";
+  print_endline " the prototype must report zero)"
+
+(* ------------------------------------------------------------------ *)
+(* T-MATRIX: the Section 3 soundness matrix                            *)
+(* ------------------------------------------------------------------ *)
+
+let matrix () =
+  sep "T-MATRIX | transformation x semantics soundness matrix (Section 3)";
+  let results = Ub_refine.Matrix.run_all () in
+  let mode_names = List.map (fun m -> m.Mode.name) Mode.all in
+  Printf.printf "%-26s" "transformation";
+  List.iter (fun m -> Printf.printf " %-14s" m) mode_names;
+  print_newline ();
+  List.iter
+    (fun ((e : Ub_refine.Matrix.entry), cells) ->
+      Printf.printf "%-26s" e.Ub_refine.Matrix.id;
+      List.iter
+        (fun (c : Ub_refine.Matrix.cell) ->
+          let s =
+            match c.Ub_refine.Matrix.verdict with
+            | Ub_refine.Checker.Refines -> "sound"
+            | Ub_refine.Checker.Counterexample _ -> "UNSOUND"
+            | Ub_refine.Checker.Unknown _ -> "?"
+          in
+          let mark = match c.Ub_refine.Matrix.agrees with Some false -> "!!" | _ -> "" in
+          Printf.printf " %-14s" (s ^ mark))
+        cells;
+      print_newline ())
+    results;
+  let mism =
+    List.concat_map
+      (fun (_, cs) -> List.filter (fun c -> c.Ub_refine.Matrix.agrees = Some false) cs)
+      results
+  in
+  Printf.printf "\ndisagreements with the paper's expectations: %d\n" (List.length mism)
+
+(* ------------------------------------------------------------------ *)
+(* T-WIDEN: Figure 3                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let widen () =
+  sep "T-WIDEN | induction-variable widening (Figure 3; paper: up to 39%)";
+  let src =
+    Parser.parse_func_string
+      {|define i64 @store_loop(i32 %n, i64 %acc) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %a = phi i64 [ %acc, %entry ], [ %a1, %body ]
+  %c = icmp sle i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i32 %i to i64
+  %a1 = add i64 %a, %iext
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret i64 %a
+}|}
+  in
+  let widened =
+    Ub_opt.Dce.pass.Ub_opt.Pass.run Ub_opt.Pass.prototype
+      (Ub_opt.Indvar_widen.pass.Ub_opt.Pass.run Ub_opt.Pass.prototype src)
+  in
+  let cycles p fn =
+    let c = Ub_backend.Compile.compile_func fn in
+    let r = Interp.run fn [ Value.of_int ~width:32 500; Value.of_int ~width:64 0 ] in
+    Ub_backend.Compile.simulate_cycles p c ~profile:r.Interp.block_counts
+  in
+  List.iter
+    (fun p ->
+      let before = cycles p src and after = cycles p widened in
+      Printf.printf "%-22s: %8.0f -> %8.0f cycles  (%.1f%% faster)\n"
+        p.Ub_backend.Target.prof_name before after
+        ((before -. after) /. before *. 100.0))
+    Ub_backend.Target.profiles
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per measured table         *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  sep "BECHAMEL | micro-benchmarks of the measurement paths themselves";
+  let open Bechamel in
+  let find n = (List.find (fun b -> b.Ub_core.Spec_suite.name = n) Ub_core.Spec_suite.all).Ub_core.Spec_suite.source in
+  let gcc_src = find "gcc" in
+  let queens_src = find "queens" in
+  let tests =
+    [ Test.make ~name:"T-CT:compile-gcc-baseline"
+        (Staged.stage (fun () ->
+             ignore (Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Baseline gcc_src)));
+      Test.make ~name:"T-CT:compile-gcc-prototype"
+        (Staged.stage (fun () ->
+             ignore (Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Prototype gcc_src)));
+      Test.make ~name:"F6:simulate-queens"
+        (Staged.stage
+           (let cp = Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Prototype queens_src in
+            fun () -> ignore (Ub_core.Driver.simulate cp ~entry:"main" ~args:[])));
+      Test.make ~name:"T-OPTFUZZ:checker-query"
+        (Staged.stage
+           (let src =
+              Parser.parse_func_string
+                "define i2 @f(i2 %x) {\ne:\n  %y = mul i2 %x, 2\n  ret i2 %y\n}"
+            in
+            let tgt =
+              Parser.parse_func_string
+                "define i2 @f(i2 %x) {\ne:\n  %y = add i2 %x, %x\n  ret i2 %y\n}"
+            in
+            fun () -> ignore (Ub_refine.Checker.check Mode.proposed ~src ~tgt)));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+      let results = Benchmark.all cfg instances t in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Printf.printf "%-30s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-30s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ ("f6", f6); ("ct", compile_time); ("mem", memory); ("size", size); ("lnt", lnt);
+    ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run = if requested = [] then all else List.filter (fun (n, _) -> List.mem n requested) all in
+  print_endline "Taming Undefined Behavior in LLVM -- evaluation harness";
+  print_endline "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
+  List.iter (fun (_, f) -> f ()) to_run

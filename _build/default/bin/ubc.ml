@@ -1,0 +1,126 @@
+(* ubc: the command-line driver.
+
+     ubc compile [-pipeline legacy|prototype] [-emit ir|asm] FILE.c|FILE.ll
+     ubc run     [-mode MODE] FILE.c|FILE.ll [-entry main]
+     ubc check   [-mode MODE] SRC.ll TGT.ll        (refinement checking)
+     ubc modes                                      (list semantics modes)   *)
+
+open Cmdliner
+open Ub_ir
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let is_minic path = Filename.check_suffix path ".c"
+
+let load_module ~pipeline path : Func.module_ =
+  if is_minic path then
+    Ub_minic.Lower.compile
+      ~cfg:
+        (match pipeline with
+        | Ub_core.Driver.Baseline -> Ub_minic.Lower.clang_legacy
+        | Ub_core.Driver.Prototype -> Ub_minic.Lower.clang_fixed)
+      (read_file path)
+  else Parser.parse_module (read_file path)
+
+let mode_conv =
+  let parse s =
+    match Ub_sem.Mode.find s with
+    | Some m -> Ok m
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown mode %s (try: %s)" s
+                     (String.concat ", " (List.map (fun m -> m.Ub_sem.Mode.name) Ub_sem.Mode.all))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" m.Ub_sem.Mode.name)
+
+let pipeline_conv =
+  let parse = function
+    | "legacy" | "baseline" -> Ok Ub_core.Driver.Baseline
+    | "prototype" | "freeze" -> Ok Ub_core.Driver.Prototype
+    | s -> Error (`Msg ("unknown pipeline " ^ s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p ->
+        Format.fprintf ppf "%s"
+          (match p with Ub_core.Driver.Baseline -> "legacy" | _ -> "prototype") )
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let mode_arg =
+  Arg.(value & opt mode_conv Ub_sem.Mode.proposed & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Semantics mode (see 'ubc modes').")
+let pipeline_arg =
+  Arg.(value & opt pipeline_conv Ub_core.Driver.Prototype
+         & info [ "pipeline" ] ~docv:"P" ~doc:"legacy or prototype.")
+
+let compile_cmd =
+  let emit =
+    Arg.(value & opt (enum [ ("ir", `Ir); ("asm", `Asm) ]) `Ir
+           & info [ "emit" ] ~doc:"Output kind: ir or asm.")
+  in
+  let run pipeline emit file =
+    let cfg =
+      match pipeline with
+      | Ub_core.Driver.Baseline -> Ub_opt.Pass.legacy
+      | Ub_core.Driver.Prototype -> Ub_opt.Pass.prototype
+    in
+    let m = load_module ~pipeline file in
+    let m = Ub_opt.Pipeline.run_o2 cfg m in
+    (match emit with
+    | `Ir -> print_string (Printer.module_to_string m)
+    | `Asm ->
+      List.iter
+        (fun (_, c) -> print_string c.Ub_backend.Compile.asm)
+        (Ub_backend.Compile.compile_module m));
+    0
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile Mini-C or IR through the -O2 pipeline.")
+    Term.(const run $ pipeline_arg $ emit $ file_arg)
+
+let run_cmd =
+  let entry =
+    Arg.(value & opt string "main" & info [ "entry" ] ~docv:"F" ~doc:"Entry function.")
+  in
+  let run mode pipeline entry file =
+    let m = load_module ~pipeline file in
+    let fn = Func.find_func_exn m entry in
+    let r = Ub_sem.Interp.run ~mode ~module_:m ~fuel:10_000_000 fn [] in
+    Printf.printf "%s\n" (Ub_sem.Interp.outcome_to_string r.Ub_sem.Interp.outcome);
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a program under a semantics mode.")
+    Term.(const run $ mode_arg $ pipeline_arg $ entry $ file_arg)
+
+let check_cmd =
+  let tgt_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT") in
+  let run mode src tgt =
+    let load p =
+      let m = Parser.parse_module (read_file p) in
+      List.hd m.Func.funcs
+    in
+    match Ub_refine.Checker.check mode ~src:(load src) ~tgt:(load tgt) with
+    | Ub_refine.Checker.Refines ->
+      print_endline "refines";
+      0
+    | v ->
+      print_endline (Ub_refine.Checker.verdict_to_string v);
+      1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Does TGT refine SRC under the given semantics mode?")
+    Term.(const run $ mode_arg $ file_arg $ tgt_arg)
+
+let modes_cmd =
+  let run () =
+    List.iter (fun m -> print_endline (Ub_sem.Mode.describe m)) Ub_sem.Mode.all;
+    0
+  in
+  Cmd.v (Cmd.info "modes" ~doc:"List the available semantics modes.") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "ubc" ~doc:"The taming-undefined-behavior compiler driver." in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; check_cmd; modes_cmd ]))

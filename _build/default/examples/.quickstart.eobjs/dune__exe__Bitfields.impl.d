@@ -1,0 +1,1 @@
+examples/bitfields.ml: Func Interp List Mode Printer Printf Ub_ir Ub_minic Ub_sem

@@ -1,0 +1,1 @@
+examples/miscompile.ml: Checker Func Mode Parser Printf Ub_ir Ub_opt Ub_refine Ub_sem Value

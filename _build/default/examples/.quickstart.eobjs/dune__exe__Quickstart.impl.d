@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Instr Interp Mode Parser Printer Printf Types Ub_backend Ub_ir Ub_opt Ub_refine Ub_sem Ub_support Value

@@ -1,0 +1,1 @@
+examples/translation_validation.ml: Constant_fold Dce Gvn Instcombine List Mode Parser Pass Printer Printf Sccp Ub_ir Ub_opt Ub_refine Ub_sem

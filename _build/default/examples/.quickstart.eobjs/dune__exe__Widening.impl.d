@@ -1,0 +1,1 @@
+examples/widening.ml: Interp Mode Parser Printer Printf Ub_backend Ub_ir Ub_opt Ub_refine Ub_sem Value

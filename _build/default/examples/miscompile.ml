@@ -1,0 +1,136 @@
+(* Reproduce the Section 3.3 end-to-end miscompilation: loop unswitching
+   (assuming branch-on-poison is a nondeterministic choice) composed with
+   GVN (assuming branch-on-poison is UB) — each defensible alone, their
+   composition wrong under ANY single semantics.  The freeze fix repairs
+   it.
+
+   Run with:  dune exec examples/miscompile.exe *)
+
+open Ub_ir
+open Ub_sem
+open Ub_refine
+
+let src =
+  Parser.parse_func_string
+    {|define i2 @f(i1 %c, i1 %c2) {
+e:
+  br i1 %c, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %u
+t:
+  ret i2 1
+u:
+  ret i2 2
+exit:
+  ret i2 0
+}|}
+
+let unswitched =
+  Parser.parse_func_string
+    {|define i2 @f(i1 %c, i1 %c2) {
+e:
+  br i1 %c2, label %vt, label %vf
+vt:
+  br i1 %c, label %t, label %exit
+vf:
+  br i1 %c, label %u, label %exit
+t:
+  ret i2 1
+u:
+  ret i2 2
+exit:
+  ret i2 0
+}|}
+
+let unswitched_frozen =
+  Parser.parse_func_string
+    {|define i2 @f(i1 %c, i1 %c2) {
+e:
+  %fc2 = freeze i1 %c2
+  br i1 %fc2, label %vt, label %vf
+vt:
+  br i1 %c, label %t, label %exit
+vf:
+  br i1 %c, label %u, label %exit
+t:
+  ret i2 1
+u:
+  ret i2 2
+exit:
+  ret i2 0
+}|}
+
+let check name mode src tgt =
+  Printf.printf "  %-26s under %-15s: %s\n" name mode.Mode.name
+    (Checker.verdict_to_string (Checker.check mode ~src ~tgt))
+
+let () =
+  print_endline "Loop unswitching hoists the inner branch out of the (possibly";
+  print_endline "zero-trip) loop.  Is that a refinement?\n";
+  check "raw unswitching" Mode.old_unswitch src unswitched;
+  check "raw unswitching" Mode.old_gvn src unswitched;
+  check "raw unswitching" Mode.proposed src unswitched;
+  print_endline "";
+  print_endline "GVN's predicate propagation (foo(w) => foo(y) under t==y):\n";
+  let gvn_src =
+    Parser.parse_func_string
+      {|define void @g(i2 %x, i2 %y) {
+e:
+  %t = add i2 %x, 1
+  %cmp = icmp eq i2 %t, %y
+  br i1 %cmp, label %then, label %out
+then:
+  %w = add i2 %x, 1
+  call void @foo(i2 %w)
+  br label %out
+out:
+  ret void
+}|}
+  in
+  let gvn_tgt = Ub_opt.Gvn.pass.Ub_opt.Pass.run Ub_opt.Pass.prototype gvn_src in
+  check "GVN substitution" Mode.old_unswitch gvn_src gvn_tgt;
+  check "GVN substitution" Mode.proposed gvn_src gvn_tgt;
+  print_endline "";
+  print_endline "No old semantics accepts both:  branch-on-poison must be";
+  print_endline "nondeterministic for unswitching but UB for GVN.  Section 5.1's";
+  print_endline "freeze fix makes unswitching a refinement even when branching on";
+  print_endline "poison is UB:\n";
+  check "FROZEN unswitching" Mode.proposed src unswitched_frozen;
+  print_endline "";
+  (* and the pass implements exactly that *)
+  let loop_src =
+    Parser.parse_func_string
+      {|define void @h(i8 %n, i1 %c2) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %latch ]
+  %c = icmp slt i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e2
+t:
+  call void @foo(i8 %i)
+  br label %latch
+e2:
+  call void @bar(i8 %i)
+  br label %latch
+latch:
+  %i1 = add nsw i8 %i, 1
+  br label %head
+exit:
+  ret void
+}|}
+  in
+  let proto = Ub_opt.Loop_unswitch.pass.Ub_opt.Pass.run Ub_opt.Pass.prototype loop_src in
+  Printf.printf "the prototype loop-unswitch pass emits %d freeze instruction(s)\n"
+    (Func.num_freeze proto);
+  let inputs =
+    [ [ Value.of_int ~width:8 0; Value.Scalar Value.Poison ];
+      [ Value.of_int ~width:8 2; Value.Scalar Value.Poison ];
+      [ Value.of_int ~width:8 2; Value.bool true ];
+    ]
+  in
+  match Checker.check ~inputs Mode.proposed ~src:loop_src ~tgt:proto with
+  | Checker.Refines -> print_endline "and the unswitched loop refines the original.  QED."
+  | v -> Printf.printf "unexpected: %s\n" (Checker.verdict_to_string v)

@@ -1,0 +1,52 @@
+(* Quickstart: build IR with the builder API, print it, interpret it
+   under two semantics, optimize it, and compile it to assembly.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Ub_ir
+open Ub_sem
+
+let () =
+  (* 1. Build the Section 2.4 example: a+b > a, with nsw *)
+  let b = Builder.create ~name:"example" ~args:[ ("a", Types.i32); ("b", Types.i32) ]
+      ~ret_ty:(Types.Int 1) () in
+  Builder.start_block b "entry";
+  let add = Builder.add ~attrs:Instr.nsw_only b Types.i32 (Instr.Var "a") (Instr.Var "b") in
+  let cmp = Builder.icmp b Instr.Sgt Types.i32 add (Instr.Var "a") in
+  Builder.ret b (Types.Int 1) cmp;
+  let fn = Builder.finish_validated b in
+  Printf.printf "=== the IR ===\n%s\n" (Printer.func_to_string fn);
+
+  (* 2. Interpret: overflow makes the comparison poison *)
+  let run args mode =
+    Interp.outcome_to_string (Interp.run ~mode fn args).Interp.outcome
+  in
+  let vi i = Value.of_int ~width:32 i in
+  Printf.printf "example(3, 4)        = %s\n" (run [ vi 3; vi 4 ] Mode.proposed);
+  Printf.printf "example(INT_MAX, 1)  = %s   (nsw overflow -> poison)\n"
+    (run [ Value.of_bitvec (Ub_support.Bitvec.max_signed 32); vi 1 ] Mode.proposed);
+
+  (* 3. Optimize: InstCombine knows a+b>a <=> b>0 under poison semantics *)
+  let opt = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.prototype fn in
+  Printf.printf "\n=== after -O2 (prototype pipeline) ===\n%s\n" (Printer.func_to_string opt);
+
+  (* 4. Validate the whole pipeline with the refinement checker (at a
+     narrower width so the SAT query stays trivial) *)
+  let narrow =
+    Parser.parse_func_string
+      {|define i1 @f(i8 %a, i8 %b) {
+e:
+  %add = add nsw i8 %a, %b
+  %cmp = icmp sgt i8 %add, %a
+  ret i1 %cmp
+}|}
+  in
+  let narrow_opt = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.prototype narrow in
+  Printf.printf "checker: optimized refines original? %s\n"
+    (Ub_refine.Checker.verdict_to_string
+       (Ub_refine.Checker.check Mode.proposed ~src:narrow ~tgt:narrow_opt));
+
+  (* 5. Compile to machine code *)
+  let compiled = Ub_backend.Compile.compile_func opt in
+  Printf.printf "\n=== assembly (%d bytes) ===\n%s" compiled.Ub_backend.Compile.obj_size
+    compiled.Ub_backend.Compile.asm

@@ -1,0 +1,57 @@
+(* Translation validation in the style of the paper's Section 6: run the
+   optimizer pass by pass on a function and check each step with the
+   refinement checker, under both the legacy and the prototype
+   configurations.
+
+   Run with:  dune exec examples/translation_validation.exe *)
+
+open Ub_ir
+open Ub_sem
+open Ub_opt
+
+let src =
+  Parser.parse_func_string
+    {|define i2 @f(i1 %c, i2 %x) {
+e:
+  %sel = select i1 %c, i1 true, i1 %c
+  %m = mul i2 %x, 2
+  %z = add i2 %m, 0
+  br i1 %sel, label %t, label %u
+t:
+  ret i2 %z
+u:
+  ret i2 3
+}|}
+
+let validate_pipeline name cfg mode =
+  Printf.printf "=== %s pipeline, checked under %s ===\n" name mode.Mode.name;
+  let steps = [ Instcombine.pass; Constant_fold.pass; Gvn.pass; Sccp.pass; Dce.pass ] in
+  let _ =
+    List.fold_left
+      (fun cur (p : Pass.t) ->
+        let next = p.Pass.run cfg cur in
+        if next = cur then begin
+          Printf.printf "  %-14s (no change)\n" p.Pass.name;
+          next
+        end
+        else begin
+          let verdict = Ub_refine.Checker.check mode ~src:cur ~tgt:next in
+          Printf.printf "  %-14s %s\n" p.Pass.name
+            (Ub_refine.Checker.verdict_to_string verdict);
+          next
+        end)
+      src steps
+  in
+  print_endline ""
+
+let () =
+  print_string (Printer.func_to_string src);
+  print_endline "";
+  (* the prototype is sound under the proposed semantics *)
+  validate_pipeline "prototype" Pass.prototype Mode.proposed;
+  (* the legacy pipeline contains Section 3.4's select->or rewrite, which
+     the checker catches under the proposed semantics *)
+  validate_pipeline "legacy" Pass.legacy Mode.proposed;
+  print_endline "The legacy InstCombine step is exactly the select->arithmetic";
+  print_endline "rewrite of Section 3.4 — sound only in the Select_arith reading,";
+  print_endline "caught by the checker under the proposed semantics."

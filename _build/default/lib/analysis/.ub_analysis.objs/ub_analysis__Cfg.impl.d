@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Func Hashtbl Instr List Ub_ir

@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Cfg Func Hashtbl Instr List Ub_ir

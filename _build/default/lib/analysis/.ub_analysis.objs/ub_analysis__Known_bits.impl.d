@@ -1,0 +1,1 @@
+lib/analysis/known_bits.ml: Bitvec Constant Func Hashtbl Instr List Types Ub_ir Ub_support

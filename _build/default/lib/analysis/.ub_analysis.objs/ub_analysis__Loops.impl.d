@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dom Func Hashtbl Instr List Ub_ir

@@ -1,0 +1,1 @@
+lib/analysis/scev.ml: Func Instr List Loops Types Ub_ir

@@ -1,0 +1,77 @@
+(* Control-flow-graph utilities: successor/predecessor maps, reverse
+   postorder, and reachability. *)
+
+open Ub_ir
+
+type t = {
+  fn : Func.t;
+  succs : (Instr.label, Instr.label list) Hashtbl.t;
+  preds : (Instr.label, Instr.label list) Hashtbl.t;
+  rpo : Instr.label list; (* reverse postorder over reachable blocks *)
+  index : (Instr.label, int) Hashtbl.t; (* rpo index *)
+}
+
+let build (fn : Func.t) : t =
+  let succs = Hashtbl.create 16 in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      Hashtbl.replace succs b.label (Instr.successors b.term);
+      if not (Hashtbl.mem preds b.label) then Hashtbl.replace preds b.label [])
+    fn.blocks;
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun s ->
+          let cur = match Hashtbl.find_opt preds s with Some l -> l | None -> [] in
+          Hashtbl.replace preds s (cur @ [ b.label ]))
+        (Instr.successors b.term))
+    fn.blocks;
+  (* postorder DFS from entry *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (match Hashtbl.find_opt succs l with Some s -> s | None -> []);
+      post := l :: !post
+    end
+  in
+  dfs (Func.entry fn).label;
+  let rpo = !post in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  { fn; succs; preds; rpo; index }
+
+let successors t l = match Hashtbl.find_opt t.succs l with Some s -> s | None -> []
+let predecessors t l = match Hashtbl.find_opt t.preds l with Some p -> p | None -> []
+let is_reachable t l = Hashtbl.mem t.index l
+let reachable_blocks t = t.rpo
+
+(* Does the CFG contain a cycle (over reachable blocks)? *)
+let has_cycle t =
+  List.exists
+    (fun l ->
+      List.exists
+        (fun s ->
+          match (Hashtbl.find_opt t.index l, Hashtbl.find_opt t.index s) with
+          | Some il, Some is_ -> is_ <= il
+          | _ -> false)
+        (successors t l))
+    t.rpo
+  && begin
+    (* rpo-index back edge is necessary but not sufficient for a cycle in
+       irreducible graphs; do a real check via DFS colors *)
+    let color = Hashtbl.create 16 in
+    let rec visit l =
+      match Hashtbl.find_opt color l with
+      | Some `Black -> false
+      | Some `Gray -> true
+      | None ->
+        Hashtbl.replace color l `Gray;
+        let r = List.exists visit (successors t l) in
+        Hashtbl.replace color l `Black;
+        r
+    in
+    visit (List.hd t.rpo)
+  end

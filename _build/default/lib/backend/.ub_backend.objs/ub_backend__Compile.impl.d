@@ -1,0 +1,1 @@
+lib/backend/compile.ml: Cost Emit Func Isel List Mir Regalloc Target Ub_ir

@@ -1,0 +1,1 @@
+lib/backend/cost.ml: List Mir Target Ub_support Util

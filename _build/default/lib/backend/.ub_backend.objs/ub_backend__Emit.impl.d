@@ -1,0 +1,1 @@
+lib/backend/emit.ml: Buffer Int64 List Mir Printf Target Ub_support Util

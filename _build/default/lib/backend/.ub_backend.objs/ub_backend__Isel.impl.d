@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Array Bitvec Constant Func Instr Int64 List Mir Option Printf Types Ub_ir Ub_support

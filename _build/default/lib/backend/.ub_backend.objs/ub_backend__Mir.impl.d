@@ -1,0 +1,1 @@
+lib/backend/mir.ml: List Option Ub_ir

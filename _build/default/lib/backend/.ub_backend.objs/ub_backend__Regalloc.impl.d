@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Hashtbl List Mir Target

@@ -1,0 +1,1 @@
+lib/backend/target.ml: Array

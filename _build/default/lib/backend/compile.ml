@@ -1,0 +1,24 @@
+(* The end of the pipeline: IR function -> allocated MIR, plus the
+   measurements the evaluation needs (object size, simulated cycles). *)
+
+open Ub_ir
+
+type compiled = {
+  mir : Mir.func;
+  asm : string;
+  obj_size : int; (* bytes *)
+}
+
+let compile_func (fn : Func.t) : compiled =
+  let mir = Isel.lower_func fn in
+  let mir = Regalloc.run mir ~nargs:(List.length fn.Func.args) in
+  { mir; asm = Emit.func_str mir; obj_size = Emit.func_size mir }
+
+let compile_module (m : Func.module_) : (string * compiled) list =
+  List.map (fun (f : Func.t) -> (f.Func.name, compile_func f)) m.Func.funcs
+
+(* Simulated running time: profile the IR (block execution counts), then
+   price the compiled blocks.  [fn] must be the same function the MIR was
+   compiled from. *)
+let simulate_cycles (p : Target.profile) (c : compiled) ~(profile : (string * int) list) : float =
+  Cost.simulate p c.mir profile

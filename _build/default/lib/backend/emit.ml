@@ -1,0 +1,134 @@
+(* Assembly emission and object-code size accounting.
+
+   Sizes approximate x86-64 encodings: a REX prefix byte is charged when
+   any operand register is one of r8..r15, immediates are charged at
+   1/4/8 bytes, memory operands with displacement get their disp bytes,
+   and r13-based addressing pays the mandatory disp8 (the encoding quirk
+   behind the LEA penalty). *)
+
+open Ub_support
+
+let needs_rex (r : Mir.reg) =
+  match r with
+  | Mir.Preg i -> i >= 5 && Target.name_of i <> "rbx" (* r8..r15 *)
+  | Mir.Vreg _ -> false
+
+let reg_name = function
+  | Mir.Preg i -> "%" ^ Target.name_of i
+  | Mir.Vreg v -> Printf.sprintf "%%v%d" v
+
+let operand_str = function
+  | Mir.Reg r -> reg_name r
+  | Mir.Imm i -> Printf.sprintf "$%Ld" i
+
+let addr_str (a : Mir.addr) =
+  let idx =
+    match a.Mir.index with
+    | Some i -> Printf.sprintf ",%s,%d" (reg_name i) a.Mir.scale
+    | None -> ""
+  in
+  Printf.sprintf "%d(%s%s)" a.Mir.disp (reg_name a.Mir.base) idx
+
+let imm_bytes (i : int64) =
+  if Int64.compare i (-128L) >= 0 && Int64.compare i 127L <= 0 then 1
+  else if Int64.compare i (-2147483648L) >= 0 && Int64.compare i 2147483647L <= 0 then 4
+  else 8
+
+let disp_bytes (a : Mir.addr) =
+  let forced_disp8 =
+    (* rbp/r13 base encodings require a displacement byte even for 0 *)
+    match a.Mir.base with
+    | Mir.Preg i when i = Target.r13 -> true
+    | _ -> false
+  in
+  if a.Mir.disp = 0 && not forced_disp8 then 0
+  else if a.Mir.disp >= -128 && a.Mir.disp <= 127 then 1
+  else 4
+
+let rex_of_regs rs = if List.exists needs_rex rs then 1 else 0
+
+let inst_size (i : Mir.inst) : int =
+  match i with
+  | Mir.Mov (w, d, Mir.Imm imm) ->
+    let base = if w = Mir.W64 && imm_bytes imm = 8 then 10 else 1 + 4 in
+    base + rex_of_regs [ d ]
+  | Mir.Mov (_, d, Mir.Reg s) -> 2 + rex_of_regs [ d; s ]
+  | Mir.Bin (_, _, d, Mir.Imm imm) -> 2 + imm_bytes imm + rex_of_regs [ d ]
+  | Mir.Bin (_, _, d, Mir.Reg s) -> 2 + rex_of_regs [ d; s ]
+  | Mir.Neg (_, r) | Mir.Not (_, r) -> 2 + rex_of_regs [ r ]
+  | Mir.Div { lhs; rhs; _ } -> 2 + 2 + 1 + rex_of_regs [ lhs; rhs ] (* mov+cqo/xor+div *)
+  | Mir.Cmp (_, a, Mir.Imm imm) -> 2 + imm_bytes imm + rex_of_regs [ a ]
+  | Mir.Cmp (_, a, Mir.Reg b) -> 2 + rex_of_regs [ a; b ]
+  | Mir.Test (_, a, b) -> 2 + rex_of_regs [ a; b ]
+  | Mir.Setcc (_, d) -> 3 + rex_of_regs [ d ]
+  | Mir.Cmov (_, _, d, s) -> 3 + rex_of_regs [ d; s ]
+  | Mir.Movsx { dst; src; _ } -> 3 + rex_of_regs [ dst; src ]
+  | Mir.Movzx { dst; src; _ } -> 3 + rex_of_regs [ dst; src ]
+  | Mir.Lea { dst; addr } ->
+    2 + disp_bytes addr
+    + (match addr.Mir.index with Some _ -> 1 (* SIB *) | None -> 0)
+    + rex_of_regs (dst :: Mir.regs_of_addr addr)
+  | Mir.Load (_, d, a) -> 2 + disp_bytes a + rex_of_regs (d :: Mir.regs_of_addr a)
+  | Mir.Store (_, a, Mir.Reg s) -> 2 + disp_bytes a + rex_of_regs (s :: Mir.regs_of_addr a)
+  | Mir.Store (_, a, Mir.Imm imm) -> 2 + disp_bytes a + imm_bytes imm + rex_of_regs (Mir.regs_of_addr a)
+  | Mir.Copy (_, d, s) -> 2 + rex_of_regs [ d; s ]
+  | Mir.Undef_def _ -> 0 (* no code: the register is simply not initialized *)
+  | Mir.Call _ -> 5
+  | Mir.Push r | Mir.Pop r -> 1 + rex_of_regs [ r ]
+  | Mir.Jmp _ -> 2
+  | Mir.Jcc _ -> 2
+  | Mir.Ret _ -> 1
+  | Mir.Spill_store (_, r) | Mir.Spill_load (_, r) -> 4 + rex_of_regs [ r ]
+
+let func_size (f : Mir.func) : int =
+  List.fold_left
+    (fun acc (b : Mir.block) -> acc + Util.sum_int (List.map inst_size b.Mir.insts))
+    0 f.Mir.blocks
+
+let inst_str (i : Mir.inst) : string =
+  let w_suffix = function Mir.W8 -> "b" | Mir.W16 -> "w" | Mir.W32 -> "l" | Mir.W64 -> "q" in
+  match i with
+  | Mir.Mov (w, d, s) -> Printf.sprintf "mov%s %s, %s" (w_suffix w) (operand_str s) (reg_name d)
+  | Mir.Bin (k, w, d, s) ->
+    let op =
+      match k with
+      | Mir.BAdd -> "add" | Mir.BSub -> "sub" | Mir.BImul -> "imul"
+      | Mir.BAnd -> "and" | Mir.BOr -> "or" | Mir.BXor -> "xor"
+      | Mir.BShl -> "shl" | Mir.BShr -> "shr" | Mir.BSar -> "sar"
+    in
+    Printf.sprintf "%s%s %s, %s" op (w_suffix w) (operand_str s) (reg_name d)
+  | Mir.Neg (w, r) -> Printf.sprintf "neg%s %s" (w_suffix w) (reg_name r)
+  | Mir.Not (w, r) -> Printf.sprintf "not%s %s" (w_suffix w) (reg_name r)
+  | Mir.Div { signed; width; lhs; rhs; _ } ->
+    Printf.sprintf "%s%s %s ; lhs=%s" (if signed then "idiv" else "div") (w_suffix width)
+      (reg_name rhs) (reg_name lhs)
+  | Mir.Cmp (w, a, b) -> Printf.sprintf "cmp%s %s, %s" (w_suffix w) (operand_str b) (reg_name a)
+  | Mir.Test (w, a, b) -> Printf.sprintf "test%s %s, %s" (w_suffix w) (reg_name b) (reg_name a)
+  | Mir.Setcc (c, d) -> Printf.sprintf "set%s %s" (Mir.cond_name c) (reg_name d)
+  | Mir.Cmov (c, w, d, s) ->
+    Printf.sprintf "cmov%s%s %s, %s" (Mir.cond_name c) (w_suffix w) (reg_name s) (reg_name d)
+  | Mir.Movsx { dst; src; _ } -> Printf.sprintf "movsx %s, %s" (reg_name src) (reg_name dst)
+  | Mir.Movzx { dst; src; _ } -> Printf.sprintf "movzx %s, %s" (reg_name src) (reg_name dst)
+  | Mir.Lea { dst; addr } -> Printf.sprintf "lea %s, %s" (addr_str addr) (reg_name dst)
+  | Mir.Load (w, d, a) -> Printf.sprintf "mov%s %s, %s" (w_suffix w) (addr_str a) (reg_name d)
+  | Mir.Store (w, a, s) -> Printf.sprintf "mov%s %s, %s" (w_suffix w) (operand_str s) (addr_str a)
+  | Mir.Copy (w, d, s) -> Printf.sprintf "mov%s %s, %s ; freeze/phi" (w_suffix w) (reg_name s) (reg_name d)
+  | Mir.Undef_def r -> Printf.sprintf "; %s = undef (pinned)" (reg_name r)
+  | Mir.Call (n, _, _) -> Printf.sprintf "call %s" n
+  | Mir.Push r -> Printf.sprintf "push %s" (reg_name r)
+  | Mir.Pop r -> Printf.sprintf "pop %s" (reg_name r)
+  | Mir.Jmp l -> Printf.sprintf "jmp .%s" l
+  | Mir.Jcc (c, l) -> Printf.sprintf "j%s .%s" (Mir.cond_name c) l
+  | Mir.Ret _ -> "ret"
+  | Mir.Spill_store (s, r) -> Printf.sprintf "movq %s, %d(%%rsp)" (reg_name r) (8 * s)
+  | Mir.Spill_load (s, r) -> Printf.sprintf "movq %d(%%rsp), %s" (8 * s) (reg_name r)
+
+let func_str (f : Mir.func) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s:\n" f.Mir.mname);
+  List.iter
+    (fun (b : Mir.block) ->
+      Buffer.add_string buf (Printf.sprintf ".%s:\n" b.Mir.mlabel);
+      List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "\t%s\n" (inst_str i))) b.Mir.insts)
+    f.Mir.blocks;
+  Buffer.contents buf

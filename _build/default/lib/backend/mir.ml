@@ -1,0 +1,168 @@
+(* Machine IR: an x86-64-flavoured two-address instruction set over
+   virtual (then physical) registers.  This is the landing zone of the
+   Section 6 lowering story:
+
+     LLVM IR --(isel)--> MIR(vregs) --(regalloc)--> MIR(phys) --(emit)--> asm
+
+   freeze lowers to [Copy] ("taking a copy from an undef register
+   effectively freezes undefinedness"); poison/undef constants lower to
+   [Undef_def] — the prototype's "pinned undef register", which consumes
+   a register for its live range (the paper lists reusing EBP/ESP or a
+   zero register as future work). *)
+
+type reg =
+  | Vreg of int (* virtual, pre-allocation *)
+  | Preg of int (* physical, post-allocation: index into Target.regs *)
+
+type operand =
+  | Reg of reg
+  | Imm of int64
+
+type cond = CEq | CNe | CUgt | CUge | CUlt | CUle | CSgt | CSge | CSlt | CSle
+
+type width = W8 | W16 | W32 | W64
+
+type binkind = BAdd | BSub | BImul | BAnd | BOr | BXor | BShl | BShr | BSar
+
+type addr = {
+  base : reg;
+  index : reg option;
+  scale : int; (* 1, 2, 4, 8 *)
+  disp : int;
+}
+
+type inst =
+  | Mov of width * reg * operand
+  | Bin of binkind * width * reg * operand (* dst op= src *)
+  | Neg of width * reg
+  | Not of width * reg
+  | Div of { signed : bool; width : width; dst_quot : reg; dst_rem : reg; lhs : reg; rhs : reg }
+  | Cmp of width * reg * operand (* sets flags *)
+  | Test of width * reg * reg
+  | Setcc of cond * reg
+  | Cmov of cond * width * reg * reg
+  | Movsx of { dst : reg; src : reg; from_w : width; to_w : width }
+  | Movzx of { dst : reg; src : reg; from_w : width; to_w : width }
+  | Lea of { dst : reg; addr : addr }
+  | Load of width * reg * addr
+  | Store of width * addr * operand
+  | Copy of width * reg * reg (* freeze / phi-elimination copies *)
+  | Undef_def of reg (* pinned undef register definition (poison lowering) *)
+  | Call of string * reg list * reg option (* callee, args (by position), result *)
+  | Push of reg
+  | Pop of reg
+  | Jmp of string
+  | Jcc of cond * string
+  | Ret of reg option
+  | Spill_store of int * reg (* stack slot := reg (regalloc-inserted) *)
+  | Spill_load of int * reg (* reg := stack slot *)
+
+type block = { mlabel : string; mutable insts : inst list }
+
+type func = {
+  mname : string;
+  mutable blocks : block list;
+  mutable nvregs : int;
+  mutable nslots : int; (* spill slots *)
+}
+
+let cond_of_pred (p : Ub_ir.Instr.icmp_pred) : cond =
+  match p with
+  | Ub_ir.Instr.Eq -> CEq
+  | Ub_ir.Instr.Ne -> CNe
+  | Ub_ir.Instr.Ugt -> CUgt
+  | Ub_ir.Instr.Uge -> CUge
+  | Ub_ir.Instr.Ult -> CUlt
+  | Ub_ir.Instr.Ule -> CUle
+  | Ub_ir.Instr.Sgt -> CSgt
+  | Ub_ir.Instr.Sge -> CSge
+  | Ub_ir.Instr.Slt -> CSlt
+  | Ub_ir.Instr.Sle -> CSle
+
+let width_of_bits b : width =
+  if b <= 8 then W8 else if b <= 16 then W16 else if b <= 32 then W32 else W64
+
+let cond_name = function
+  | CEq -> "e" | CNe -> "ne"
+  | CUgt -> "a" | CUge -> "ae" | CUlt -> "b" | CUle -> "be"
+  | CSgt -> "g" | CSge -> "ge" | CSlt -> "l" | CSle -> "le"
+
+(* Registers read and written by an instruction (for liveness). *)
+let regs_of_operand = function Reg r -> [ r ] | Imm _ -> []
+let regs_of_addr a = (a.base :: (match a.index with Some i -> [ i ] | None -> []))
+
+let uses = function
+  | Mov (_, _, src) -> regs_of_operand src
+  | Bin (_, _, dst, src) -> dst :: regs_of_operand src
+  | Neg (_, r) | Not (_, r) -> [ r ]
+  | Div { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Cmp (_, a, b) -> a :: regs_of_operand b
+  | Test (_, a, b) -> [ a; b ]
+  | Setcc _ -> []
+  | Cmov (_, _, dst, src) -> [ dst; src ]
+  | Movsx { src; _ } | Movzx { src; _ } -> [ src ]
+  | Lea { addr; _ } -> regs_of_addr addr
+  | Load (_, _, addr) -> regs_of_addr addr
+  | Store (_, addr, src) -> regs_of_addr addr @ regs_of_operand src
+  | Copy (_, _, src) -> [ src ]
+  | Undef_def _ -> []
+  | Call (_, args, _) -> args
+  | Push r -> [ r ]
+  | Pop _ -> []
+  | Jmp _ -> []
+  | Jcc _ -> []
+  | Ret (Some r) -> [ r ]
+  | Ret None -> []
+  | Spill_store (_, r) -> [ r ]
+  | Spill_load _ -> []
+
+let defs = function
+  | Mov (_, d, _) -> [ d ]
+  | Bin (_, _, d, _) -> [ d ]
+  | Neg (_, r) | Not (_, r) -> [ r ]
+  | Div { dst_quot; dst_rem; _ } -> [ dst_quot; dst_rem ]
+  | Cmp _ | Test _ -> []
+  | Setcc (_, d) -> [ d ]
+  | Cmov (_, _, d, _) -> [ d ]
+  | Movsx { dst; _ } | Movzx { dst; _ } -> [ dst ]
+  | Lea { dst; _ } -> [ dst ]
+  | Load (_, d, _) -> [ d ]
+  | Store _ -> []
+  | Copy (_, d, _) -> [ d ]
+  | Undef_def d -> [ d ]
+  | Call (_, _, Some d) -> [ d ]
+  | Call (_, _, None) -> []
+  | Push _ -> []
+  | Pop d -> [ d ]
+  | Jmp _ | Jcc _ | Ret _ -> []
+  | Spill_store _ -> []
+  | Spill_load (_, d) -> [ d ]
+
+let map_regs f inst =
+  let fo = function Reg r -> Reg (f r) | Imm _ as i -> i in
+  let fa a = { a with base = f a.base; index = Option.map f a.index } in
+  match inst with
+  | Mov (w, d, s) -> Mov (w, f d, fo s)
+  | Bin (k, w, d, s) -> Bin (k, w, f d, fo s)
+  | Neg (w, r) -> Neg (w, f r)
+  | Not (w, r) -> Not (w, f r)
+  | Div d ->
+    Div { d with dst_quot = f d.dst_quot; dst_rem = f d.dst_rem; lhs = f d.lhs; rhs = f d.rhs }
+  | Cmp (w, a, b) -> Cmp (w, f a, fo b)
+  | Test (w, a, b) -> Test (w, f a, f b)
+  | Setcc (c, d) -> Setcc (c, f d)
+  | Cmov (c, w, d, s) -> Cmov (c, w, f d, f s)
+  | Movsx m -> Movsx { m with dst = f m.dst; src = f m.src }
+  | Movzx m -> Movzx { m with dst = f m.dst; src = f m.src }
+  | Lea l -> Lea { dst = f l.dst; addr = fa l.addr }
+  | Load (w, d, a) -> Load (w, f d, fa a)
+  | Store (w, a, s) -> Store (w, fa a, fo s)
+  | Copy (w, d, s) -> Copy (w, f d, f s)
+  | Undef_def d -> Undef_def (f d)
+  | Call (n, args, r) -> Call (n, List.map f args, Option.map f r)
+  | Push r -> Push (f r)
+  | Pop r -> Pop (f r)
+  | (Jmp _ | Jcc _) as i -> i
+  | Ret r -> Ret (Option.map f r)
+  | Spill_store (s, r) -> Spill_store (s, f r)
+  | Spill_load (s, r) -> Spill_load (s, f r)

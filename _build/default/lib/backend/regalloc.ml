@@ -1,0 +1,202 @@
+(* Linear-scan register allocation with block-level liveness, interval
+   construction, furthest-end spilling, and reload-around-use spill code.
+
+   The paper's Queens anomaly lives here: adding one freeze (one COPY,
+   one extra interval) shifts which physical register later intervals
+   receive — in particular whether a hot loop's LEA base lands on r13
+   (slow on the modelled machines) or r14. *)
+
+type interval = { vreg : int; start : int; stop : int; mutable preg : int option; mutable slot : int option }
+
+(* block-level liveness over virtual registers *)
+let liveness (f : Mir.func) : (string, (int, unit) Hashtbl.t) Hashtbl.t =
+  let live_in : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let live_out : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Mir.block) ->
+      Hashtbl.replace live_in b.Mir.mlabel (Hashtbl.create 8);
+      Hashtbl.replace live_out b.Mir.mlabel (Hashtbl.create 8))
+    f.Mir.blocks;
+  let succs_of (b : Mir.block) =
+    List.concat_map
+      (function Mir.Jmp l -> [ l ] | Mir.Jcc (_, l) -> [ l ] | _ -> [])
+      b.Mir.insts
+  in
+  let vregs_of rs = List.filter_map (function Mir.Vreg v -> Some v | Mir.Preg _ -> None) rs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Mir.block) ->
+        let out = Hashtbl.find live_out b.Mir.mlabel in
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt live_in s with
+            | Some inset ->
+              Hashtbl.iter
+                (fun v () ->
+                  if not (Hashtbl.mem out v) then begin
+                    Hashtbl.replace out v ();
+                    changed := true
+                  end)
+                inset
+            | None -> ())
+          (succs_of b);
+        (* in = (out - defs) + uses, backwards *)
+        let cur = Hashtbl.copy out in
+        List.iter
+          (fun i ->
+            List.iter (Hashtbl.remove cur) (vregs_of (Mir.defs i));
+            List.iter (fun v -> Hashtbl.replace cur v ()) (vregs_of (Mir.uses i)))
+          (List.rev b.Mir.insts);
+        let inset = Hashtbl.find live_in b.Mir.mlabel in
+        Hashtbl.iter
+          (fun v () ->
+            if not (Hashtbl.mem inset v) then begin
+              Hashtbl.replace inset v ();
+              changed := true
+            end)
+          cur)
+      (List.rev f.Mir.blocks)
+  done;
+  live_out
+
+(* Build intervals over the linearized function. *)
+let intervals (f : Mir.func) (args : int list) : interval list =
+  let live_out = liveness f in
+  let tbl : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch v pos =
+    match Hashtbl.find_opt tbl v with
+    | Some iv ->
+      if pos < iv.start then Hashtbl.replace tbl v { iv with start = pos }
+      else if pos > iv.stop then Hashtbl.replace tbl v { iv with stop = pos }
+    | None -> Hashtbl.replace tbl v { vreg = v; start = pos; stop = pos; preg = None; slot = None }
+  in
+  List.iter (fun a -> touch a 0) args;
+  let pos = ref 0 in
+  List.iter
+    (fun (b : Mir.block) ->
+      let block_start = !pos in
+      List.iter
+        (fun i ->
+          incr pos;
+          let vregs rs = List.filter_map (function Mir.Vreg v -> Some v | _ -> None) rs in
+          List.iter (fun v -> touch v !pos) (vregs (Mir.uses i));
+          List.iter (fun v -> touch v !pos) (vregs (Mir.defs i)))
+        b.Mir.insts;
+      (* vregs live out of this block extend to the block end; vregs live
+         around a loop extend from block start *)
+      let out = Hashtbl.find live_out b.Mir.mlabel in
+      Hashtbl.iter
+        (fun v () ->
+          touch v !pos;
+          touch v block_start)
+        out)
+    f.Mir.blocks;
+  Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg))
+
+let allocate (f : Mir.func) ~(nargs : int) : Mir.func =
+  let args = List.init nargs (fun i -> i) in
+  let ivs = intervals f args in
+  (* linear scan *)
+  let active : interval list ref = ref [] in
+  let free : bool array = Array.make Target.num_regs true in
+  let assign iv =
+    (* expire old intervals and recompute the free set *)
+    active := List.filter (fun a -> a.stop >= iv.start) !active;
+    Array.fill free 0 Target.num_regs true;
+    List.iter (fun a -> match a.preg with Some p -> free.(p) <- false | None -> ()) !active;
+    let rec first_free i = if i >= Target.num_regs then None else if free.(i) then Some i else first_free (i + 1) in
+    match first_free 0 with
+    | Some p ->
+      iv.preg <- Some p;
+      active := iv :: !active
+    | None ->
+      (* spill the active interval with the furthest end *)
+      let victim =
+        List.fold_left (fun acc a -> if a.stop > acc.stop then a else acc) iv !active
+      in
+      if victim == iv then begin
+        iv.slot <- Some f.Mir.nslots;
+        f.Mir.nslots <- f.Mir.nslots + 1
+      end
+      else begin
+        iv.preg <- victim.preg;
+        victim.preg <- None;
+        victim.slot <- Some f.Mir.nslots;
+        f.Mir.nslots <- f.Mir.nslots + 1;
+        active := iv :: !active
+      end
+  in
+  List.iter assign ivs;
+  let preg_of = Hashtbl.create 64 in
+  let slot_of = Hashtbl.create 8 in
+  List.iter
+    (fun iv ->
+      match (iv.preg, iv.slot) with
+      | Some p, _ -> Hashtbl.replace preg_of iv.vreg p
+      | None, Some s -> Hashtbl.replace slot_of iv.vreg s
+      | None, None -> Hashtbl.replace preg_of iv.vreg 0 (* dead vreg: anything *))
+    ivs;
+  (* Rewrite: spilled vregs reload into / store from scratch registers
+     around each use/def.  Two scratch registers (the last two physical
+     registers) cover instructions with two spilled operands; instructions
+     with three register operands never have all three spilled at our
+     sizes (asserted). *)
+  let scratch0 = Target.num_regs - 1 and scratch1 = Target.num_regs - 2 in
+  let blocks =
+    List.map
+      (fun (b : Mir.block) ->
+        let insts =
+          List.concat_map
+            (fun i ->
+              let spilled rs =
+                List.sort_uniq compare
+                  (List.filter_map
+                     (function Mir.Vreg v when Hashtbl.mem slot_of v -> Some v | _ -> None)
+                     rs)
+              in
+              let spilled_uses = spilled (Mir.uses i) in
+              let spilled_defs = spilled (Mir.defs i) in
+              let all_spilled = List.sort_uniq compare (spilled_uses @ spilled_defs) in
+              if all_spilled = [] then begin
+                let subst = function
+                  | Mir.Vreg v -> Mir.Preg (match Hashtbl.find_opt preg_of v with Some p -> p | None -> scratch0)
+                  | r -> r
+                in
+                [ Mir.map_regs subst i ]
+              end
+              else begin
+                assert (List.length all_spilled <= 2);
+                let scratch_of =
+                  List.mapi (fun k v -> (v, if k = 0 then scratch0 else scratch1)) all_spilled
+                in
+                let subst = function
+                  | Mir.Vreg v -> (
+                    match List.assoc_opt v scratch_of with
+                    | Some s -> Mir.Preg s
+                    | None ->
+                      Mir.Preg (match Hashtbl.find_opt preg_of v with Some p -> p | None -> scratch0))
+                  | r -> r
+                in
+                let loads =
+                  List.map
+                    (fun v -> Mir.Spill_load (Hashtbl.find slot_of v, Mir.Preg (List.assoc v scratch_of)))
+                    spilled_uses
+                in
+                let stores =
+                  List.map
+                    (fun v -> Mir.Spill_store (Hashtbl.find slot_of v, Mir.Preg (List.assoc v scratch_of)))
+                    spilled_defs
+                in
+                loads @ [ Mir.map_regs subst i ] @ stores
+              end)
+            b.Mir.insts
+        in
+        { b with Mir.insts })
+      f.Mir.blocks
+  in
+  { f with Mir.blocks }
+
+let run (f : Mir.func) ~nargs = allocate f ~nargs

@@ -1,0 +1,76 @@
+(* The target register file and machine profiles.
+
+   Fourteen allocatable x86-64 GPRs (RSP and RBP are reserved).  The two
+   machine profiles stand in for the paper's Machine 1 (Core i7-870,
+   Nehalem) and Machine 2 (Core i5-6600, Skylake); they share the
+   structure and differ in a handful of latencies — most notably the LEA
+   penalty for r13-based addressing (Intel Optimization Reference Manual
+   §3.5.1.3, the cause of the paper's "Stanford Queens" anomaly). *)
+
+let reg_names =
+  [| "rax"; "rcx"; "rdx"; "rsi"; "rdi"; "r8"; "r9"; "r10"; "r11"; "rbx"; "r12"; "r13"; "r14"; "r15" |]
+
+let num_regs = Array.length reg_names
+
+let name_of i = reg_names.(i)
+
+(* indices of registers with special roles *)
+let rax = 0
+let rdx = 2
+let r13 = 11
+
+type profile = {
+  prof_name : string;
+  lat_alu : float; (* add/sub/logic *)
+  lat_imul : float;
+  lat_div : float;
+  lat_load : float;
+  lat_store : float;
+  lat_lea : float;
+  lea_slow_base_penalty : float; (* extra for base in {r13} *)
+  lat_branch : float;
+  lat_fused_cmp_branch : float; (* macro-fused cmp+jcc *)
+  lat_cmov : float;
+  lat_movsx : float;
+  lat_call : float;
+  lat_copy : float; (* register-to-register move *)
+}
+
+(* Machine 1: Nehalem-class. *)
+let machine1 =
+  { prof_name = "machine1 (i7-870)";
+    lat_alu = 1.0;
+    lat_imul = 3.0;
+    lat_div = 22.0;
+    lat_load = 4.0;
+    lat_store = 1.0;
+    lat_lea = 1.0;
+    lea_slow_base_penalty = 2.0;
+    lat_branch = 2.0;
+    lat_fused_cmp_branch = 1.0;
+    lat_cmov = 2.0;
+    lat_movsx = 1.0;
+    lat_call = 4.0;
+    lat_copy = 1.0;
+  }
+
+(* Machine 2: Skylake-class — faster divider and multiplier, zero-latency
+   reg-reg moves (rename), but a slightly larger relative LEA penalty. *)
+let machine2 =
+  { prof_name = "machine2 (i5-6600)";
+    lat_alu = 1.0;
+    lat_imul = 3.0;
+    lat_div = 18.0;
+    lat_load = 4.0;
+    lat_store = 1.0;
+    lat_lea = 1.0;
+    lea_slow_base_penalty = 3.0;
+    lat_branch = 1.5;
+    lat_fused_cmp_branch = 1.0;
+    lat_cmov = 1.0;
+    lat_movsx = 1.0;
+    lat_call = 3.0;
+    lat_copy = 0.5;
+  }
+
+let profiles = [ machine1; machine2 ]

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Func Gc List Ub_backend Ub_ir Ub_minic Ub_opt Ub_sem Ub_support Unix Util

@@ -1,0 +1,1 @@
+lib/core/spec_suite.ml:

@@ -1,0 +1,559 @@
+(* The benchmark suite: Mini-C kernels standing in for SPEC CPU 2006
+   (the paper's Figure 6 names), plus the two anomaly benchmarks the
+   paper calls out by name — "Stanford Queens" (register-allocation /
+   LEA effect) and "Shootout nestedloop" (jump-threading compile-time
+   effect) — and a bit-field-heavy "gcc" kernel that dominates the
+   freeze-count statistics exactly as gcc does in §7.2.
+
+   Each kernel is small enough to interpret in milliseconds but has a
+   loop structure that exercises the passes (LICM, unswitching, GVN,
+   widening, inlining, CGP).  CFP benchmarks are fixed-point versions of
+   the corresponding numeric kernels (our IR is integer-only). *)
+
+type bench = {
+  name : string;
+  group : [ `Cint | `Cfp | `Micro ];
+  source : string;
+  entry : string; (* entry function, no arguments *)
+}
+
+let b name group source = { name; group; source; entry = "main" }
+
+(* -------------------- CINT ----------------------------------------- *)
+
+let perlbench =
+  b "perlbench" `Cint
+    {|
+int hash_step(int h, int c) { return ((h & 65535) * 33 + c) & 1048575; }
+int main() {
+  int data[64];
+  for (int i = 0; i < 64; i = i + 1) { data[i] = (i * 37 + 11) % 256; }
+  int h = 5381;
+  for (int r = 0; r < 40; r = r + 1) {
+    for (int i = 0; i < 64; i = i + 1) { h = hash_step(h, data[i]); }
+    h = h ^ (h >> 7);
+  }
+  return h & 65535;
+}
+|}
+
+let bzip2 =
+  b "bzip2" `Cint
+    {|
+int main() {
+  int buf[128];
+  int x = 12345;
+  for (int i = 0; i < 128; i = i + 1) {
+    x = ((x & 8191) * 1103 + 12345) % 65536;
+    buf[i] = (x >> 8) & 7;
+  }
+  /* run-length encode */
+  int runs = 0;
+  int total = 0;
+  for (int r = 0; r < 30; r = r + 1) {
+    int prev = 0 - 1;
+    int len = 0;
+    for (int i = 0; i < 128; i = i + 1) {
+      if (buf[i] == prev) { len = len + 1; }
+      else { runs = runs + 1; total = total + len * len; prev = buf[i]; len = 1; }
+    }
+  }
+  return runs + total;
+}
+|}
+
+(* gcc: the bit-field-heavy benchmark (3,993 freezes / 0.29% in §7.2). *)
+let gcc =
+  b "gcc" `Cint
+    {|
+struct rtx {
+  int code : 8;
+  int mode : 5;
+  int jump : 1;
+  int call : 1;
+  int unchanging : 1;
+  int volatil : 1;
+  int in_struct : 1;
+  int used : 1;
+  int integrated : 1;
+  int frame_related : 1;
+};
+int classify(int c) {
+  if (c % 3 == 0) return 1;
+  if (c % 5 == 0) return 2;
+  return 0;
+}
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 60; i = i + 1) {
+    struct rtx r;
+    r.code = i & 255;
+    r.mode = i & 31;
+    r.jump = i & 1;
+    r.call = (i >> 1) & 1;
+    r.unchanging = (i >> 2) & 1;
+    r.volatil = (i >> 3) & 1;
+    r.in_struct = (i >> 4) & 1;
+    r.used = classify(i);
+    r.integrated = 0;
+    r.frame_related = (i >> 5) & 1;
+    if (r.jump && !r.call) { r.mode = (r.mode + 7) & 31; }
+    acc = acc + r.code + r.mode * 3 + r.jump + r.used * 5 + r.frame_related;
+  }
+  return acc;
+}
+|}
+
+let mcf =
+  b "mcf" `Cint
+    {|
+int main() {
+  int cost[48];
+  int flow[48];
+  for (int i = 0; i < 48; i = i + 1) { cost[i] = (i * 17) % 31 + 1; flow[i] = 0; }
+  int best = 1000000;
+  for (int iter = 0; iter < 25; iter = iter + 1) {
+    int sum = 0;
+    for (int i = 0; i < 48; i = i + 1) {
+      int c = cost[i] + flow[i] / 2;
+      best = c < best ? c : best;
+      flow[i] = flow[i] + (c & 3);
+      sum = sum + c;
+    }
+    best = best + sum / 48;
+  }
+  return best;
+}
+|}
+
+let gobmk =
+  b "gobmk" `Cint
+    {|
+int main() {
+  int board[81];
+  for (int i = 0; i < 81; i = i + 1) { board[i] = (i * 7 + 3) % 3; }
+  int score = 0;
+  for (int pass = 0; pass < 20; pass = pass + 1) {
+    for (int r = 1; r < 8; r = r + 1) {
+      for (int c = 1; c < 8; c = c + 1) {
+        int p = r * 9 + c;
+        int n = board[p - 1] + board[p + 1] + board[p - 9] + board[p + 9];
+        if (board[p] == 1 && n > 2) { score = score + 1; }
+        else if (board[p] == 2 && n < 2) { score = score - 1; }
+      }
+    }
+  }
+  return score;
+}
+|}
+
+let hmmer =
+  b "hmmer" `Cint
+    {|
+int max2(int a, int b) { if (a > b) return a; return b; }
+int main() {
+  int vit[32];
+  int trans[32];
+  for (int i = 0; i < 32; i = i + 1) { vit[i] = 0; trans[i] = (i * 13) % 17; }
+  for (int t = 0; t < 60; t = t + 1) {
+    int glocal = t & 1;
+    for (int i = 1; i < 32; i = i + 1) {
+      int stay = vit[i] + trans[i];
+      int move = vit[i - 1] + trans[i - 1] * 2;
+      if (glocal) { vit[i] = max2(stay, move) - 1; }
+      else { vit[i] = max2(stay, move + 1) - 2; }
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 32; i = i + 1) { s = s + vit[i]; }
+  return s;
+}
+|}
+
+let sjeng =
+  b "sjeng" `Cint
+    {|
+int popcount16(int x) {
+  int n = 0;
+  for (int i = 0; i < 16; i = i + 1) { n = n + ((x >> i) & 1); }
+  return n;
+}
+int main() {
+  int score = 0;
+  int pieces = 43690; /* 0xAAAA */
+  for (int d = 0; d < 120; d = d + 1) {
+    int moves = (pieces << 1) ^ (pieces >> 2);
+    moves = moves & 65535;
+    score = score + popcount16(moves) - popcount16(pieces & moves);
+    pieces = ((pieces & 8191) * 5 + d) & 65535;
+  }
+  return score;
+}
+|}
+
+let libquantum =
+  b "libquantum" `Cint
+    {|
+int main() {
+  int reg[64];
+  for (int i = 0; i < 64; i = i + 1) { reg[i] = i; }
+  for (int g = 0; g < 50; g = g + 1) {
+    int target = g % 6;
+    int phase = g & 1;
+    for (int i = 0; i < 64; i = i + 1) {
+      if (phase) { reg[i] = reg[i] ^ (1 << target); }
+      else { reg[i] = reg[i] + (1 << target); reg[i] = reg[i] & 1023; }
+      if ((reg[i] >> target) & 1) { reg[i] = reg[i] + 1; }
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 64; i = i + 1) { s = s ^ reg[i]; }
+  return s;
+}
+|}
+
+let h264ref =
+  b "h264ref" `Cint
+    {|
+int iabs(int x) { if (x < 0) return 0 - x; return x; }
+int main() {
+  int cur[64];
+  int ref[64];
+  for (int i = 0; i < 64; i = i + 1) {
+    cur[i] = (i * 31 + 7) % 256;
+    ref[i] = (i * 29 + 3) % 256;
+  }
+  int best = 1000000;
+  for (int dx = 0; dx < 30; dx = dx + 1) {
+    int sad = 0;
+    for (int i = 0; i < 56; i = i + 1) { sad = sad + iabs(cur[i] - ref[(i + dx) % 64]); }
+    if (sad < best) { best = sad; }
+  }
+  return best;
+}
+|}
+
+let omnetpp =
+  b "omnetpp" `Cint
+    {|
+int main() {
+  int heap[32];
+  int n = 0;
+  int clock = 0;
+  int seed = 7;
+  for (int ev = 0; ev < 200; ev = ev + 1) {
+    seed = ((seed & 4095) * 1103 + 12345) % 32768;
+    if (n < 31) {
+      /* push */
+      heap[n] = seed % 1000;
+      int i = n;
+      n = n + 1;
+      while (i > 0 && heap[(i - 1) / 2] > heap[i]) {
+        int t = heap[i];
+        heap[i] = heap[(i - 1) / 2];
+        heap[(i - 1) / 2] = t;
+        i = (i - 1) / 2;
+      }
+    } else {
+      /* pop-ish: consume the min *;*/
+      clock = clock + heap[0];
+      heap[0] = seed % 1000;
+      n = 16;
+    }
+  }
+  return clock + n;
+}
+|}
+
+let astar =
+  b "astar" `Cint
+    {|
+int main() {
+  int dist[64];
+  for (int i = 0; i < 64; i = i + 1) { dist[i] = 9999; }
+  dist[0] = 0;
+  for (int round = 0; round < 30; round = round + 1) {
+    for (int i = 0; i < 64; i = i + 1) {
+      int r = i / 8;
+      int c = i % 8;
+      int d = dist[i];
+      int w = ((i * 13) % 7) + 1;
+      if (c > 0 && dist[i - 1] + w < d) { d = dist[i - 1] + w; }
+      if (c < 7 && dist[i + 1] + w < d) { d = dist[i + 1] + w; }
+      if (r > 0 && dist[i - 8] + w < d) { d = dist[i - 8] + w; }
+      if (r < 7 && dist[i + 8] + w < d) { d = dist[i + 8] + w; }
+      dist[i] = d;
+    }
+  }
+  return dist[63];
+}
+|}
+
+let xalancbmk =
+  b "xalancbmk" `Cint
+    {|
+int lookup(int c) {
+  int t = c & 15;
+  if (t < 4) return t * 3;
+  if (t < 8) return t - 2;
+  if (t < 12) return t ^ 5;
+  return t + 7;
+}
+int main() {
+  int out = 0;
+  int state = 1;
+  int strict = lookup(3) & 1;
+  for (int i = 0; i < 400; i = i + 1) {
+    int c = (i * 61 + 17) % 97;
+    int cls = lookup(c);
+    if (strict) { cls = cls & 7; }
+    if (state == 1) { if (cls > 8) { state = 2; } out = out + cls; }
+    else if (state == 2) { if (cls < 3) { state = 3; } out = out + cls * 2; }
+    else { state = 1; out = out - 1; }
+  }
+  return out + state;
+}
+|}
+
+(* -------------------- CFP (fixed-point stand-ins) ------------------- *)
+
+let milc =
+  b "milc" `Cfp
+    {|
+int main() {
+  int lat[64];
+  for (int i = 0; i < 64; i = i + 1) { lat[i] = (i * 11 + 5) % 128; }
+  for (int sweep = 0; sweep < 25; sweep = sweep + 1) {
+    for (int i = 0; i < 64; i = i + 1) {
+      int up = lat[(i + 1) % 64];
+      int dn = lat[(i + 63) % 64];
+      lat[i] = (lat[i] * 3 + up * 2 + dn * 2) / 7;
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 64; i = i + 1) { s = s + lat[i]; }
+  return s;
+}
+|}
+
+let namd =
+  b "namd" `Cfp
+    {|
+int main() {
+  int fx[32];
+  int px[32];
+  for (int i = 0; i < 32; i = i + 1) { px[i] = i * 16; fx[i] = 0; }
+  for (int step = 0; step < 30; step = step + 1) {
+    for (int i = 0; i < 32; i = i + 1) {
+      for (int j = i + 1; j < 32; j = j + 1) {
+        int d = px[j] - px[i];
+        if (d < 64 && d > -64) {
+          int f = (64 - d) / 4;
+          fx[i] = fx[i] - f;
+          fx[j] = fx[j] + f;
+        }
+      }
+    }
+    for (int i = 0; i < 32; i = i + 1) { px[i] = px[i] + fx[i] / 16; }
+  }
+  int s = 0;
+  for (int i = 0; i < 32; i = i + 1) { s = s + px[i]; }
+  return s;
+}
+|}
+
+let dealii =
+  b "dealII" `Cfp
+    {|
+int main() {
+  int u[81];
+  for (int i = 0; i < 81; i = i + 1) { u[i] = ((i % 9) * (i / 9)) % 17; }
+  for (int it = 0; it < 25; it = it + 1) {
+    for (int r = 1; r < 8; r = r + 1) {
+      for (int c = 1; c < 8; c = c + 1) {
+        int p = r * 9 + c;
+        u[p] = (u[p - 1] + u[p + 1] + u[p - 9] + u[p + 9] + u[p] * 4) / 8;
+      }
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 81; i = i + 1) { s = s + u[i]; }
+  return s;
+}
+|}
+
+let soplex =
+  b "soplex" `Cfp
+    {|
+int main() {
+  int tab[48];
+  for (int i = 0; i < 48; i = i + 1) { tab[i] = (i * 23 + 9) % 101 - 50; }
+  int obj = 0;
+  for (int it = 0; it < 40; it = it + 1) {
+    int piv = 0;
+    int best = 0;
+    for (int i = 0; i < 48; i = i + 1) {
+      if (tab[i] < best) { best = tab[i]; piv = i; }
+    }
+    if (best == 0) { obj = obj + 1; }
+    tab[piv] = 0 - tab[piv] / 2;
+    obj = obj + best;
+  }
+  return obj;
+}
+|}
+
+let povray =
+  b "povray" `Cfp
+    {|
+int isqrt(int x) {
+  int r = 0;
+  while ((r + 1) * (r + 1) <= x) { r = r + 1; }
+  return r;
+}
+int main() {
+  int hits = 0;
+  for (int py = 0; py < 16; py = py + 1) {
+    for (int px = 0; px < 16; px = px + 1) {
+      int dx = px - 8;
+      int dy = py - 8;
+      int d2 = dx * dx + dy * dy;
+      if (d2 < 49) { hits = hits + 16 - isqrt(d2 * 4); }
+    }
+  }
+  return hits;
+}
+|}
+
+let lbm =
+  b "lbm" `Cfp
+    {|
+int main() {
+  int f0[40];
+  int f1[40];
+  for (int i = 0; i < 40; i = i + 1) { f0[i] = 100 + (i * 7) % 13; f1[i] = 0; }
+  for (int t = 0; t < 40; t = t + 1) {
+    int even = t & 1;
+    for (int i = 1; i < 39; i = i + 1) {
+      if (even) { f1[i] = (f0[i - 1] * 3 + f0[i] * 10 + f0[i + 1] * 3) / 16; }
+      else { f1[i] = (f0[i - 1] * 5 + f0[i] * 6 + f0[i + 1] * 5) / 16; }
+    }
+    for (int i = 1; i < 39; i = i + 1) { f0[i] = f1[i]; }
+  }
+  int s = 0;
+  for (int i = 0; i < 40; i = i + 1) { s = s + f0[i]; }
+  return s;
+}
+|}
+
+let sphinx3 =
+  b "sphinx3" `Cfp
+    {|
+int main() {
+  int feat[32];
+  int model[32];
+  for (int i = 0; i < 32; i = i + 1) { feat[i] = (i * 19) % 23; model[i] = (i * 7) % 29; }
+  int best = -1000000;
+  for (int fr = 0; fr < 60; fr = fr + 1) {
+    int score = 0;
+    for (int i = 0; i < 32; i = i + 1) {
+      int d = feat[i] - model[(i + fr) % 32];
+      score = score - d * d;
+    }
+    best = score > best ? score : best;
+    feat[fr % 32] = (feat[fr % 32] + fr) % 31;
+  }
+  return best;
+}
+|}
+
+(* -------------------- the two named anomalies ----------------------- *)
+
+(* Stanford Queens: array-heavy backtracking with many simultaneously
+   live values, making the register allocation (and hence which register
+   serves as the hot LEA base) sensitive to a single extra interval. *)
+let queens =
+  b "queens" `Micro
+    {|
+struct opts {
+  int verbose : 1;
+  int limit : 12;
+};
+int main() {
+  struct opts o;
+  o.verbose = 0;
+  o.limit = 200;
+  int rowsafe[9];
+  int diag1[17];
+  int diag2[17];
+  int pos[9];
+  int count = 0;
+  for (int i = 0; i < 9; i = i + 1) { rowsafe[i] = 1; pos[i] = 0; }
+  for (int i = 0; i < 17; i = i + 1) { diag1[i] = 1; diag2[i] = 1; }
+  int col = 0;
+  int trial = 0;
+  while (col >= 0 && count < o.limit) {
+    trial = trial + 1;
+    if (trial > 4000) { count = count + 1000; col = -1; }
+    else {
+      int row = pos[col];
+      int placed = 0;
+      while (row < 8 && placed == 0) {
+        if (rowsafe[row] && diag1[row + col] && diag2[row - col + 8]) {
+          rowsafe[row] = 0;
+          diag1[row + col] = 0;
+          diag2[row - col + 8] = 0;
+          pos[col] = row + 1;
+          placed = 1;
+          if (col == 7) {
+            count = count + 1;
+            rowsafe[row] = 1;
+            diag1[row + col] = 0 + 1;
+            diag2[row - col + 8] = 1;
+          } else {
+            col = col + 1;
+            pos[col] = 0;
+          }
+        } else {
+          row = row + 1;
+        }
+      }
+      if (placed == 0) {
+        pos[col] = 0;
+        col = col - 1;
+        if (col >= 0) {
+          int prow = pos[col] - 1;
+          rowsafe[prow] = 1;
+          diag1[prow + col] = 1;
+          diag2[prow - col + 8] = 1;
+        }
+      }
+    }
+  }
+  return count;
+}
+|}
+
+(* Shootout nestedloop: the jump-threading compile-time anomaly. *)
+let nestedloop =
+  b "nestedloop" `Micro
+    {|
+int main() {
+  int n = 9;
+  int x = 0;
+  for (int a = 0; a < n; a = a + 1) {
+    int odd = a & 1;
+    for (int c = 0; c < n; c = c + 1)
+      for (int d = 0; d < n; d = d + 1)
+        for (int e = 0; e < n; e = e + 1) {
+          if (odd) { x = x + 1; } else { x = x + 2; }
+        }
+  }
+  return x - 6561;
+}
+|}
+
+let cint = [ perlbench; bzip2; gcc; mcf; gobmk; hmmer; sjeng; libquantum; h264ref; omnetpp; astar; xalancbmk ]
+let cfp = [ milc; namd; dealii; soplex; povray; lbm; sphinx3 ]
+let micro = [ queens; nestedloop ]
+let all = cint @ cfp @ micro

@@ -1,0 +1,1 @@
+lib/fuzz/gen.ml: Builder Constant Func Instr List Printf Prng Types Ub_ir Ub_support

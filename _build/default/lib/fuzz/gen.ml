@@ -1,0 +1,245 @@
+(* opt-fuzz: exhaustive enumeration of small IR functions (Section 6,
+   "Testing the prototype": "all LLVM functions with three instructions
+   over 2-bit integer arithmetic"), plus a seeded random generator for
+   the LNT-scale corpus of Section 7.
+
+   The exhaustive space is parameterized by the opcode set, bit width,
+   instruction count and constant pool, because the full cross product is
+   astronomically large; the defaults match what the validation bench can
+   afford while still covering every opcode/attribute combination that
+   matters for the semantics. *)
+
+open Ub_support
+open Ub_ir
+open Instr
+
+type opcode =
+  | Obin of binop * attrs
+  | Oicmp of icmp_pred
+  | Oselect
+  | Ofreeze
+
+let default_ops =
+  [ Obin (Add, no_attrs);
+    Obin (Add, nsw_only);
+    Obin (Sub, no_attrs);
+    Obin (Mul, no_attrs);
+    Obin (And, no_attrs);
+    Obin (Or, no_attrs);
+    Obin (Xor, no_attrs);
+    Obin (Shl, no_attrs);
+    Obin (UDiv, no_attrs);
+    Oicmp Eq;
+    Oicmp Slt;
+    Oselect;
+    Ofreeze;
+  ]
+
+type params = {
+  width : int; (* the integer width (2 in the paper) *)
+  n_insns : int; (* instructions per function (3 in the paper) *)
+  n_args : int;
+  ops : opcode list;
+  consts : int list; (* constant pool *)
+  include_undef : bool; (* old modes: undef appears as an operand *)
+  include_poison : bool;
+}
+
+let default_params =
+  { width = 2;
+    n_insns = 3;
+    n_args = 2;
+    ops = default_ops;
+    consts = [ 0; 1 ];
+    include_undef = false;
+    include_poison = true;
+  }
+
+(* All operands available at instruction index [k] (0-based): arguments,
+   results %v0..%v(k-1) of integer type, constants, undef/poison. *)
+let operand_universe (p : params) (k : int) ~(bool_defs : int list) ~(want_bool : bool) :
+    operand list =
+  let ty = Types.Int (if want_bool then 1 else p.width) in
+  let vars =
+    if want_bool then List.map (fun i -> Var (Printf.sprintf "v%d" i)) bool_defs
+    else
+      List.init k (fun i -> i)
+      |> List.filter_map (fun i ->
+             if List.mem i bool_defs then None else Some (Var (Printf.sprintf "v%d" i)))
+  in
+  let args =
+    if want_bool then []
+    else List.init p.n_args (fun i -> Var (Printf.sprintf "a%d" i))
+  in
+  let consts =
+    if want_bool then [ Const (Constant.bool true); Const (Constant.bool false) ]
+    else List.map (fun c -> Const (Constant.of_int ~width:p.width c)) p.consts
+  in
+  let extra =
+    (if p.include_undef then [ Const (Constant.Undef ty) ] else [])
+    @ if p.include_poison then [ Const (Constant.Poison ty) ] else []
+  in
+  args @ vars @ consts @ extra
+
+(* Build the function from a list of (opcode, operand choice indices). *)
+let build (p : params) (choices : (opcode * operand list) list) : Func.t =
+  let ity = Types.Int p.width in
+  let insns =
+    List.mapi
+      (fun k (op, operands) ->
+        let def = Some (Printf.sprintf "v%d" k) in
+        match (op, operands) with
+        | Obin (bop, attrs), [ a; b ] -> { Instr.def; ins = Binop (bop, attrs, ity, a, b) }
+        | Oicmp pred, [ a; b ] -> { Instr.def; ins = Icmp (pred, ity, a, b) }
+        | Oselect, [ c; a; b ] -> { Instr.def; ins = Select (c, ity, a, b) }
+        | Ofreeze, [ a ] -> { Instr.def; ins = Freeze (ity, a) }
+        | _ -> invalid_arg "Gen.build: arity mismatch")
+      choices
+  in
+  (* return the last width-typed def; if the last def is an icmp (i1),
+     return that with i1 *)
+  let last = p.n_insns - 1 in
+  let last_is_bool =
+    match List.nth choices last with Oicmp _, _ -> true | _ -> false
+  in
+  let ret_ty = if last_is_bool then Types.Int 1 else ity in
+  { Func.name = "f";
+    args = List.init p.n_args (fun i -> (Printf.sprintf "a%d" i, ity));
+    ret_ty = Some ret_ty;
+    blocks =
+      [ { Func.label = "entry";
+          insns;
+          term = Ret (ret_ty, Var (Printf.sprintf "v%d" last));
+        }
+      ];
+  }
+
+(* Exhaustively enumerate; calls [f] on each function; returns the count.
+   [limit] truncates the enumeration (the bench reports when it did). *)
+let enumerate ?(limit = max_int) (p : params) (f : Func.t -> unit) : int * bool =
+  let count = ref 0 in
+  let truncated = ref false in
+  (* bool_defs: indices whose result is i1 (icmp results) *)
+  let rec go k (acc : (opcode * operand list) list) (bool_defs : int list) =
+    if !count >= limit then truncated := true
+    else if k = p.n_insns then begin
+      incr count;
+      f (build p (List.rev acc))
+    end
+    else
+      List.iter
+        (fun op ->
+          if !count < limit then begin
+            let slots =
+              match op with
+              | Obin _ | Oicmp _ ->
+                [ operand_universe p k ~bool_defs ~want_bool:false;
+                  operand_universe p k ~bool_defs ~want_bool:false;
+                ]
+              | Oselect ->
+                [ operand_universe p k ~bool_defs ~want_bool:true;
+                  operand_universe p k ~bool_defs ~want_bool:false;
+                  operand_universe p k ~bool_defs ~want_bool:false;
+                ]
+              | Ofreeze -> [ operand_universe p k ~bool_defs ~want_bool:false ]
+            in
+            let bool_defs' = match op with Oicmp _ -> k :: bool_defs | _ -> bool_defs in
+            let rec pick chosen = function
+              | [] -> go (k + 1) ((op, List.rev chosen) :: acc) bool_defs'
+              | slot :: rest ->
+                List.iter (fun o -> if !count < limit then pick (o :: chosen) rest) slot
+            in
+            pick [] slots
+          end)
+        p.ops
+  in
+  go 0 [] [];
+  (!count, !truncated)
+
+(* ------------------------------------------------------------------ *)
+(* Random corpus (the LNT stand-in)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A random function: straight-line arithmetic regions, optional single
+   counted loop, i32 types, occasional freeze-worthy idioms (select with
+   constant arm, bit tests). *)
+let random_func (rng : Prng.t) ~(name : string) : Func.t =
+  let width = 32 in
+  let ity = Types.Int width in
+  let b = Builder.create ~name ~args:[ ("a", ity); ("b", ity); ("c", ity) ] ~ret_ty:ity () in
+  Builder.start_block b "entry";
+  let pool = ref [ Instr.Var "a"; Instr.Var "b"; Instr.Var "c" ] in
+  let rand_op () =
+    if Prng.chance rng ~num:1 ~den:5 then Builder.const_i ~width (Prng.int rng 64)
+    else Prng.choose_list rng !pool
+  in
+  let emit_arith n =
+    for _ = 1 to n do
+      let x = rand_op () and y = rand_op () in
+      let v =
+        match Prng.int rng 10 with
+        | 0 -> Builder.add ~attrs:Instr.nsw_only b ity x y
+        | 1 -> Builder.sub b ity x y
+        | 2 -> Builder.mul b ity x y
+        | 3 -> Builder.and_ b ity x y
+        | 4 -> Builder.or_ b ity x y
+        | 5 -> Builder.xor b ity x y
+        | 6 -> Builder.shl b ity x (Builder.const_i ~width (Prng.int rng 31))
+        | 7 -> Builder.lshr b ity x (Builder.const_i ~width (Prng.int rng 31))
+        | 8 ->
+          let c = Builder.icmp b Instr.Slt ity x y in
+          Builder.select b c ity x y
+        | _ ->
+          let c = Builder.icmp b Instr.Eq ity x (Builder.const_i ~width 0) in
+          Builder.select b c ity (Builder.const_i ~width 1) y
+      in
+      pool := v :: !pool
+    done
+  in
+  emit_arith (3 + Prng.int rng 8);
+  (* boolean-select idioms (select c, true, d / select c, d, false): these
+     are where the legacy and freeze pipelines genuinely diverge
+     (Section 3.4), so a realistic corpus needs them *)
+  if Prng.chance rng ~num:2 ~den:5 then begin
+    let x = Prng.choose_list rng !pool and y = Prng.choose_list rng !pool in
+    let c1 = Builder.icmp b Instr.Slt ity x y in
+    let c2 = Builder.icmp b Instr.Ne ity y (Builder.const_i ~width 0) in
+    let s =
+      if Prng.bool rng then Builder.select b c1 (Types.Int 1) (Builder.const_bool true) c2
+      else Builder.select b c1 (Types.Int 1) c2 (Builder.const_bool false)
+    in
+    pool := Builder.zext b ~from:(Types.Int 1) ~to_:ity s :: !pool
+  end;
+  if Prng.bool rng then begin
+    (* a counted loop accumulating into one value *)
+    let acc0 = Prng.choose_list rng !pool in
+    let trip = 1 + Prng.int rng 15 in
+    Builder.br b "loop.h";
+    Builder.start_block b "loop.h";
+    let i = Builder.phi b ity [ (Builder.const_i ~width 0, "entry") ] in
+    let acc = Builder.phi b ity [ (acc0, "entry") ] in
+    let c = Builder.icmp b Instr.Slt ity i (Builder.const_i ~width trip) in
+    Builder.cond_br b c "loop.b" "loop.x";
+    Builder.start_block b "loop.b";
+    let acc1 =
+      if Prng.bool rng then Builder.add ~attrs:Instr.nsw_only b ity acc i
+      else Builder.xor b ity acc (Builder.shl b ity i (Builder.const_i ~width 1))
+    in
+    let i1 = Builder.add ~attrs:Instr.nsw_only b ity i (Builder.const_i ~width 1) in
+    Builder.br b "loop.h";
+    (* patch the phis *)
+    (match (i, acc) with
+    | Instr.Var iv, Instr.Var accv ->
+      Builder.patch_phi b "loop.h" iv (i1, "loop.b");
+      Builder.patch_phi b "loop.h" accv (acc1, "loop.b")
+    | _ -> assert false);
+    Builder.start_block b "loop.x";
+    pool := acc :: !pool
+  end;
+  emit_arith (1 + Prng.int rng 4);
+  Builder.ret b ity (Prng.choose_list rng !pool);
+  Builder.finish b
+
+let random_corpus ~seed ~size : Func.t list =
+  let rng = Prng.create ~seed in
+  List.init size (fun i -> random_func rng ~name:(Printf.sprintf "lnt_%04d" i))

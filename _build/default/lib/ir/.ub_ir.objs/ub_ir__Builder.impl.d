@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Constant Func Instr List Printf Types Validate

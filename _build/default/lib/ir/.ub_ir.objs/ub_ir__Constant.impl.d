@@ -1,0 +1,1 @@
+lib/ir/constant.ml: Bitvec Fmt List Types Ub_support

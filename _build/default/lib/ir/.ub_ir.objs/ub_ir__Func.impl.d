@@ -1,0 +1,1 @@
+lib/ir/func.ml: Hashtbl Instr List Printf Types

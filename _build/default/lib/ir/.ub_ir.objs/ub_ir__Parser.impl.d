@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Bitvec Constant Func Instr List Option Printf String Types Ub_support

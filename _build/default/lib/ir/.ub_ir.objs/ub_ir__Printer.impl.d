@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Constant Fmt Func Instr List Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Constant Func Hashtbl Instr List Printer Printf Types

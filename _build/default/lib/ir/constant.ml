@@ -1,0 +1,67 @@
+(* IR-level constants.  [Undef] and [Poison] are constants syntactically
+   (they can appear anywhere an operand can); their *meaning* is given by
+   the semantics library, and whether [Undef] is even allowed depends on
+   the semantics mode (the proposed semantics of Section 4 removes it). *)
+
+open Ub_support
+
+type t =
+  | Int of Bitvec.t (* type is Int (width) *)
+  | Null of Types.t (* the null pointer of a given pointer type *)
+  | Vec of Types.t * t list (* vector type and per-element constants *)
+  | Undef of Types.t
+  | Poison of Types.t
+
+let ty = function
+  | Int bv -> Types.Int (Bitvec.width bv)
+  | Null t -> t
+  | Vec (t, _) -> t
+  | Undef t -> t
+  | Poison t -> t
+
+let of_int ~width i = Int (Bitvec.of_int ~width i)
+let bool b = of_int ~width:1 (if b then 1 else 0)
+let zero ty_ =
+  match ty_ with
+  | Types.Int w -> Int (Bitvec.zero w)
+  | Types.Ptr _ -> Null ty_
+  | Types.Vec (n, elt) ->
+    let z =
+      match elt with
+      | Types.Int w -> Int (Bitvec.zero w)
+      | Types.Ptr _ -> Null elt
+      | Types.Vec _ -> invalid_arg "Constant.zero: nested vector"
+    in
+    Vec (ty_, List.init n (fun _ -> z))
+
+let rec contains_undef = function
+  | Undef _ -> true
+  | Vec (_, cs) -> List.exists contains_undef cs
+  | Int _ | Null _ | Poison _ -> false
+
+let rec contains_poison = function
+  | Poison _ -> true
+  | Vec (_, cs) -> List.exists contains_poison cs
+  | Int _ | Null _ | Undef _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> Bitvec.equal x y
+  | Null t1, Null t2 -> Types.equal t1 t2
+  | Vec (t1, xs), Vec (t2, ys) ->
+    Types.equal t1 t2 && (try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | Undef t1, Undef t2 -> Types.equal t1 t2
+  | Poison t1, Poison t2 -> Types.equal t1 t2
+  | (Int _ | Null _ | Vec _ | Undef _ | Poison _), _ -> false
+
+let rec pp ppf = function
+  | Int bv -> Fmt.pf ppf "%s" (Bitvec.to_string bv)
+  | Null _ -> Fmt.pf ppf "null"
+  | Vec (_, cs) ->
+    Fmt.pf ppf "<%a>"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf c -> Fmt.pf ppf "%a %a" Types.pp (ty c) pp c))
+      cs
+  | Undef _ -> Fmt.pf ppf "undef"
+  | Poison _ -> Fmt.pf ppf "poison"
+
+let to_string c = Fmt.str "%a" pp c

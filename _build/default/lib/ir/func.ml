@@ -1,0 +1,148 @@
+(* Functions, basic blocks, and modules.  A function's entry block is the
+   first in [blocks].  Blocks keep phis interleaved with other
+   instructions, but the validator enforces that phis come first. *)
+
+type block = {
+  label : Instr.label;
+  insns : Instr.named list;
+  term : Instr.terminator;
+}
+
+type t = {
+  name : string;
+  args : (Instr.var * Types.t) list;
+  ret_ty : Types.t option;
+  blocks : block list;
+}
+
+type module_ = { funcs : t list }
+
+let entry fn =
+  match fn.blocks with
+  | [] -> invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" fn.name)
+  | b :: _ -> b
+
+let find_block fn label = List.find_opt (fun b -> b.label = label) fn.blocks
+
+let find_block_exn fn label =
+  match find_block fn label with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Func.find_block: no block %%%s in @%s" label fn.name)
+
+let block_labels fn = List.map (fun b -> b.label) fn.blocks
+
+(* Predecessors of each block, in deterministic order. *)
+let predecessors fn : (Instr.label * Instr.label list) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace tbl b.label []) fn.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt tbl s with
+          | Some ps -> Hashtbl.replace tbl s (b.label :: ps)
+          | None -> ())
+        (Instr.successors b.term))
+    fn.blocks;
+  List.map (fun b -> (b.label, List.rev (Hashtbl.find tbl b.label))) fn.blocks
+
+let preds_of fn label =
+  match List.assoc_opt label (predecessors fn) with Some ps -> ps | None -> []
+
+(* All definitions in the function: arguments and instruction results,
+   with their types. *)
+let defs fn : (Instr.var * Types.t) list =
+  let insn_defs =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun { Instr.def; ins } ->
+            match (def, Instr.result_ty ins) with
+            | Some v, Some ty -> Some (v, ty)
+            | _ -> None)
+          b.insns)
+      fn.blocks
+  in
+  fn.args @ insn_defs
+
+let def_ty fn v = List.assoc_opt v (defs fn)
+
+let find_def fn v : Instr.named option =
+  List.find_map
+    (fun b -> List.find_opt (fun { Instr.def; _ } -> def = Some v) b.insns)
+    fn.blocks
+
+(* Block containing the definition of [v], if it is an instruction
+   result. *)
+let defining_block fn v =
+  List.find_opt (fun b -> List.exists (fun { Instr.def; _ } -> def = Some v) b.insns) fn.blocks
+
+let num_insns fn =
+  List.fold_left (fun acc b -> acc + List.length b.insns + 1 (* terminator *)) 0 fn.blocks
+
+let count_insns fn p =
+  List.fold_left
+    (fun acc b -> acc + List.length (List.filter (fun n -> p n.Instr.ins) b.insns))
+    0 fn.blocks
+
+let num_freeze fn = count_insns fn (function Instr.Freeze _ -> true | _ -> false)
+
+(* Map every instruction (dropping an instruction by returning []). *)
+let map_insns fn f =
+  { fn with
+    blocks = List.map (fun b -> { b with insns = List.concat_map f b.insns }) fn.blocks
+  }
+
+(* Replace all uses of variable [v] with operand [by], everywhere
+   (instructions and terminators). *)
+let replace_uses fn ~v ~by =
+  let subst = function Instr.Var x when x = v -> by | op -> op in
+  { fn with
+    blocks =
+      List.map
+        (fun b ->
+          { b with
+            insns = List.map (fun n -> { n with Instr.ins = Instr.map_operands subst n.Instr.ins }) b.insns;
+            term = Instr.map_term_operands subst b.term;
+          })
+        fn.blocks
+  }
+
+(* Number of (syntactic) uses of a register in the function. *)
+let use_count (fn : t) (v : Instr.var) : int =
+  let count_in_ops ops =
+    List.length (List.filter (function Instr.Var x -> x = v | Instr.Const _ -> false) ops)
+  in
+  List.fold_left
+    (fun acc b ->
+      List.fold_left (fun acc n -> acc + count_in_ops (Instr.operands n.Instr.ins)) acc b.insns
+      + count_in_ops (Instr.term_operands b.term))
+    0 fn.blocks
+
+(* Fresh-name generation: smallest %tN not used in the function. *)
+let fresh_var fn prefix =
+  let used = List.map fst (defs fn) in
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" prefix i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+let fresh_label fn prefix =
+  let used = block_labels fn in
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" prefix i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+(* Structural equality up to nothing (exact equality of the printed
+   form is what the LNT-diff experiment compares). *)
+let equal (a : t) (b : t) = a = b
+
+let find_func m name = List.find_opt (fun f -> f.name = name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "no function @%s in module" name)

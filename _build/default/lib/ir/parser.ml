@@ -1,0 +1,517 @@
+(* Parser for the textual IR.  Hand-written lexer and recursive-descent
+   parser accepting the syntax the printer emits (a faithful subset of
+   LLVM assembly), so parse ∘ print = id — a property test relies on it.
+
+   Comments run from ';' to end of line. *)
+
+open Ub_support
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LT
+  | GT
+  | COMMA
+  | EQUALS
+  | COLON
+  | STAR
+  | IDENT of string (* keywords, opcodes, iN types, x *)
+  | LOCAL of string (* %name *)
+  | GLOBAL of string (* @name *)
+  | NUM of string (* integer literal, possibly negative or hex *)
+  | EOF
+
+let pp_token = function
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACK -> "[" | RBRACK -> "]" | LT -> "<" | GT -> ">"
+  | COMMA -> "," | EQUALS -> "=" | COLON -> ":" | STAR -> "*"
+  | IDENT s -> s
+  | LOCAL s -> "%" ^ s
+  | GLOBAL s -> "@" ^ s
+  | NUM s -> s
+  | EOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let read_while p =
+    let start = !i in
+    while !i < n && p s.[!i] do incr i done;
+    String.sub s start (!i - start)
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' then while !i < n && s.[!i] <> '\n' do incr i done
+    else if c = '(' then begin push LPAREN; incr i end
+    else if c = ')' then begin push RPAREN; incr i end
+    else if c = '{' then begin push LBRACE; incr i end
+    else if c = '}' then begin push RBRACE; incr i end
+    else if c = '[' then begin push LBRACK; incr i end
+    else if c = ']' then begin push RBRACK; incr i end
+    else if c = '<' then begin push LT; incr i end
+    else if c = '>' then begin push GT; incr i end
+    else if c = ',' then begin push COMMA; incr i end
+    else if c = '=' then begin push EQUALS; incr i end
+    else if c = ':' then begin push COLON; incr i end
+    else if c = '*' then begin push STAR; incr i end
+    else if c = '%' then begin
+      incr i;
+      let name = read_while is_ident_char in
+      if name = "" then fail "line %d: empty %%name" !line;
+      push (LOCAL name)
+    end
+    else if c = '@' then begin
+      incr i;
+      let name = read_while is_ident_char in
+      if name = "" then fail "line %d: empty @name" !line;
+      push (GLOBAL name)
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      let _ = read_while (fun c -> is_digit c || c = 'x' || c = 'X'
+                                   || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) in
+      push (NUM (String.sub s start (!i - start)))
+    end
+    else if is_ident_start c then push (IDENT (read_while is_ident_char))
+    else fail "line %d: unexpected character %C" !line c
+  done;
+  push EOF;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+let cur_line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then
+    fail "line %d: expected '%s' but found '%s'" (cur_line st) (pp_token tok) (pp_token got)
+
+let expect_ident st kw =
+  match next st with
+  | IDENT s when s = kw -> ()
+  | got -> fail "line %d: expected '%s' but found '%s'" (cur_line st) kw (pp_token got)
+
+let local st =
+  match next st with
+  | LOCAL v -> v
+  | got -> fail "line %d: expected %%name, found '%s'" (cur_line st) (pp_token got)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let int_ty_of_ident s =
+  if String.length s >= 2 && s.[0] = 'i'
+     && String.for_all is_digit (String.sub s 1 (String.length s - 1))
+  then
+    let w = int_of_string (String.sub s 1 (String.length s - 1)) in
+    if Types.valid_int_width w then Some (Types.Int w) else None
+  else None
+
+let rec parse_type st : Types.t =
+  let base =
+    match next st with
+    | IDENT s -> (
+      match int_ty_of_ident s with
+      | Some t -> t
+      | None -> fail "line %d: expected a type, found '%s'" (cur_line st) s)
+    | LT ->
+      let n =
+        match next st with
+        | NUM s -> int_of_string s
+        | got -> fail "line %d: expected vector length, found '%s'" (cur_line st) (pp_token got)
+      in
+      expect_ident st "x";
+      let elt = parse_type st in
+      expect st GT;
+      Types.Vec (n, elt)
+    | got -> fail "line %d: expected a type, found '%s'" (cur_line st) (pp_token got)
+  in
+  parse_stars st base
+
+and parse_stars st base =
+  if peek st = STAR then begin
+    advance st;
+    parse_stars st (Types.Ptr base)
+  end
+  else base
+
+(* ------------------------------------------------------------------ *)
+(* Operands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_operand st (ty : Types.t) : Instr.operand =
+  match peek st with
+  | LOCAL v ->
+    advance st;
+    Instr.Var v
+  | NUM s ->
+    advance st;
+    (match ty with
+    | Types.Int w -> Instr.Const (Constant.Int (Bitvec.of_string ~width:w s))
+    | _ -> fail "line %d: integer literal for non-integer type" (cur_line st))
+  | IDENT "undef" ->
+    advance st;
+    Instr.Const (Constant.Undef ty)
+  | IDENT "poison" ->
+    advance st;
+    Instr.Const (Constant.Poison ty)
+  | IDENT "null" ->
+    advance st;
+    Instr.Const (Constant.Null ty)
+  | IDENT "true" ->
+    advance st;
+    Instr.Const (Constant.bool true)
+  | IDENT "false" ->
+    advance st;
+    Instr.Const (Constant.bool false)
+  | LT ->
+    advance st;
+    (* vector constant: < ty c, ty c, ... > *)
+    let elems = ref [] in
+    let rec loop () =
+      let ety = parse_type st in
+      let c =
+        match parse_operand st ety with
+        | Instr.Const c -> c
+        | Instr.Var _ -> fail "line %d: vector constants must be constant" (cur_line st)
+      in
+      elems := c :: !elems;
+      if peek st = COMMA then begin advance st; loop () end
+    in
+    loop ();
+    expect st GT;
+    Instr.Const (Constant.Vec (ty, List.rev !elems))
+  | got -> fail "line %d: expected an operand, found '%s'" (cur_line st) (pp_token got)
+
+let parse_typed_operand st =
+  let ty = parse_type st in
+  let op = parse_operand st ty in
+  (ty, op)
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_attrs st op =
+  let a = ref Instr.no_attrs in
+  let rec loop () =
+    match peek st with
+    | IDENT "nsw" -> advance st; a := { !a with Instr.nsw = true }; loop ()
+    | IDENT "nuw" -> advance st; a := { !a with Instr.nuw = true }; loop ()
+    | IDENT "exact" -> advance st; a := { !a with Instr.exact = true }; loop ()
+    | _ -> ()
+  in
+  loop ();
+  if not (Instr.attrs_ok op !a) then
+    fail "line %d: invalid attributes for %s" (cur_line st) (Instr.binop_name op);
+  !a
+
+let parse_phi_incoming st ty =
+  let incoming = ref [] in
+  let rec loop () =
+    expect st LBRACK;
+    let v = parse_operand st ty in
+    expect st COMMA;
+    let l = local st in
+    expect st RBRACK;
+    incoming := (v, l) :: !incoming;
+    if peek st = COMMA then begin advance st; loop () end
+  in
+  loop ();
+  List.rev !incoming
+
+let parse_label_ref st =
+  expect_ident st "label";
+  local st
+
+let parse_instr_body st (opcode : string) : Instr.t =
+  match opcode with
+  | _ when Instr.binop_of_name opcode <> None ->
+    let op = Option.get (Instr.binop_of_name opcode) in
+    let attrs = parse_attrs st op in
+    let ty = parse_type st in
+    let a = parse_operand st ty in
+    expect st COMMA;
+    let b = parse_operand st ty in
+    Instr.Binop (op, attrs, ty, a, b)
+  | "icmp" ->
+    let p =
+      match next st with
+      | IDENT s -> (
+        match Instr.pred_of_name s with
+        | Some p -> p
+        | None -> fail "line %d: unknown icmp predicate '%s'" (cur_line st) s)
+      | got -> fail "line %d: expected icmp predicate, found '%s'" (cur_line st) (pp_token got)
+    in
+    let ty = parse_type st in
+    let a = parse_operand st ty in
+    expect st COMMA;
+    let b = parse_operand st ty in
+    Instr.Icmp (p, ty, a, b)
+  | "select" ->
+    let _cty = parse_type st in
+    let c = parse_operand st _cty in
+    expect st COMMA;
+    let ty = parse_type st in
+    let a = parse_operand st ty in
+    expect st COMMA;
+    let ty2 = parse_type st in
+    if not (Types.equal ty ty2) then fail "line %d: select arm types differ" (cur_line st);
+    let b = parse_operand st ty in
+    Instr.Select (c, ty, a, b)
+  | "zext" | "sext" | "trunc" ->
+    let op =
+      match opcode with
+      | "zext" -> Instr.Zext
+      | "sext" -> Instr.Sext
+      | _ -> Instr.Trunc
+    in
+    let from = parse_type st in
+    let x = parse_operand st from in
+    expect_ident st "to";
+    let to_ = parse_type st in
+    Instr.Conv (op, from, x, to_)
+  | "bitcast" ->
+    let from = parse_type st in
+    let x = parse_operand st from in
+    expect_ident st "to";
+    let to_ = parse_type st in
+    Instr.Bitcast (from, x, to_)
+  | "freeze" ->
+    let ty = parse_type st in
+    let x = parse_operand st ty in
+    Instr.Freeze (ty, x)
+  | "phi" ->
+    let ty = parse_type st in
+    Instr.Phi (ty, parse_phi_incoming st ty)
+  | "getelementptr" ->
+    let inbounds =
+      match peek st with
+      | IDENT "inbounds" -> advance st; true
+      | _ -> false
+    in
+    let pointee = parse_type st in
+    expect st COMMA;
+    let pty = parse_type st in
+    if not (Types.equal pty (Types.Ptr pointee)) then
+      fail "line %d: getelementptr pointer type mismatch" (cur_line st);
+    let base = parse_operand st pty in
+    let indices = ref [] in
+    while peek st = COMMA do
+      advance st;
+      let t = parse_type st in
+      let v = parse_operand st t in
+      indices := (t, v) :: !indices
+    done;
+    Instr.Gep { inbounds; pointee; base; indices = List.rev !indices }
+  | "load" ->
+    let ty = parse_type st in
+    expect st COMMA;
+    let pty = parse_type st in
+    if not (Types.equal pty (Types.Ptr ty)) then
+      fail "line %d: load pointer type mismatch" (cur_line st);
+    let p = parse_operand st pty in
+    Instr.Load (ty, p)
+  | "store" ->
+    let ty = parse_type st in
+    let v = parse_operand st ty in
+    expect st COMMA;
+    let pty = parse_type st in
+    if not (Types.equal pty (Types.Ptr ty)) then
+      fail "line %d: store pointer type mismatch" (cur_line st);
+    let p = parse_operand st pty in
+    Instr.Store (ty, v, p)
+  | "call" ->
+    let ret =
+      match peek st with
+      | IDENT "void" -> advance st; None
+      | _ -> Some (parse_type st)
+    in
+    let callee =
+      match next st with
+      | GLOBAL g -> g
+      | got -> fail "line %d: expected @callee, found '%s'" (cur_line st) (pp_token got)
+    in
+    expect st LPAREN;
+    let args = ref [] in
+    if peek st <> RPAREN then begin
+      let rec loop () =
+        args := parse_typed_operand st :: !args;
+        if peek st = COMMA then begin advance st; loop () end
+      in
+      loop ()
+    end;
+    expect st RPAREN;
+    Instr.Call (ret, callee, List.rev !args)
+  | "extractelement" ->
+    let vty = parse_type st in
+    let v = parse_operand st vty in
+    expect st COMMA;
+    let ity = parse_type st in
+    let i = parse_operand st ity in
+    Instr.Extractelement (vty, v, i)
+  | "insertelement" ->
+    let vty = parse_type st in
+    let v = parse_operand st vty in
+    expect st COMMA;
+    let ety = parse_type st in
+    let e = parse_operand st ety in
+    expect st COMMA;
+    let ity = parse_type st in
+    let i = parse_operand st ity in
+    Instr.Insertelement (vty, v, e, i)
+  | _ -> fail "line %d: unknown opcode '%s'" (cur_line st) opcode
+
+let parse_terminator st (opcode : string) : Instr.terminator =
+  match opcode with
+  | "ret" -> (
+    match peek st with
+    | IDENT "void" -> advance st; Instr.Ret_void
+    | _ ->
+      let ty = parse_type st in
+      let x = parse_operand st ty in
+      Instr.Ret (ty, x))
+  | "br" -> (
+    match peek st with
+    | IDENT "label" -> Instr.Br (parse_label_ref st)
+    | _ ->
+      let ty = parse_type st in
+      if not (Types.equal ty (Types.Int 1)) then
+        fail "line %d: conditional branch needs an i1 condition" (cur_line st);
+      let c = parse_operand st ty in
+      expect st COMMA;
+      let t = parse_label_ref st in
+      expect st COMMA;
+      let e = parse_label_ref st in
+      Instr.Cond_br (c, t, e))
+  | "unreachable" -> Instr.Unreachable
+  | _ -> fail "line %d: '%s' is not a terminator" (cur_line st) opcode
+
+let is_terminator_opcode = function
+  | "ret" | "br" | "unreachable" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Blocks, functions, modules                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_block st : Func.block =
+  let label =
+    match next st with
+    | IDENT l -> expect st COLON; l
+    | LOCAL l -> expect st COLON; l
+    | got -> fail "line %d: expected block label, found '%s'" (cur_line st) (pp_token got)
+  in
+  let insns = ref [] in
+  let term = ref None in
+  let rec loop () =
+    match peek st with
+    | LOCAL v when peek2 st = EQUALS ->
+      advance st;
+      advance st;
+      let opcode =
+        match next st with
+        | IDENT s -> s
+        | got -> fail "line %d: expected opcode, found '%s'" (cur_line st) (pp_token got)
+      in
+      insns := { Instr.def = Some v; ins = parse_instr_body st opcode } :: !insns;
+      loop ()
+    | IDENT op when is_terminator_opcode op ->
+      advance st;
+      term := Some (parse_terminator st op)
+    | IDENT op ->
+      advance st;
+      insns := { Instr.def = None; ins = parse_instr_body st op } :: !insns;
+      loop ()
+    | got -> fail "line %d: expected instruction, found '%s'" (cur_line st) (pp_token got)
+  in
+  loop ();
+  match !term with
+  | Some t -> { Func.label; insns = List.rev !insns; term = t }
+  | None -> fail "block %%%s has no terminator" label
+
+let parse_func st : Func.t =
+  expect_ident st "define";
+  let ret_ty =
+    match peek st with
+    | IDENT "void" -> advance st; None
+    | _ -> Some (parse_type st)
+  in
+  let name =
+    match next st with
+    | GLOBAL g -> g
+    | got -> fail "line %d: expected @name, found '%s'" (cur_line st) (pp_token got)
+  in
+  expect st LPAREN;
+  let args = ref [] in
+  if peek st <> RPAREN then begin
+    let rec loop () =
+      let ty = parse_type st in
+      let v = local st in
+      args := (v, ty) :: !args;
+      if peek st = COMMA then begin advance st; loop () end
+    in
+    loop ()
+  end;
+  expect st RPAREN;
+  expect st LBRACE;
+  let blocks = ref [] in
+  while peek st <> RBRACE do
+    blocks := parse_block st :: !blocks
+  done;
+  expect st RBRACE;
+  { Func.name; args = List.rev !args; ret_ty; blocks = List.rev !blocks }
+
+let parse_module_stream st : Func.module_ =
+  let funcs = ref [] in
+  while peek st <> EOF do
+    funcs := parse_func st :: !funcs
+  done;
+  { Func.funcs = List.rev !funcs }
+
+let parse_module s = parse_module_stream { toks = tokenize s }
+
+let parse_func_string s =
+  let st = { toks = tokenize s } in
+  let f = parse_func st in
+  expect st EOF;
+  f

@@ -1,0 +1,83 @@
+(* The type language of the IR, following Figure 4 of the paper:
+
+     ty ::= isz | ty* | < sz x isz > | < sz x ty* >
+
+   Integers have arbitrary bitwidth 1..64 (the paper allows arbitrary
+   width; 64 is plenty for every example and experiment in it).  Pointers
+   are 32 bits wide, as assumed in Section 4.2.  Vectors have a
+   statically-known element count and a scalar (non-vector) element
+   type. *)
+
+type t =
+  | Int of int (* bitwidth *)
+  | Ptr of t (* pointee type *)
+  | Vec of int * t (* element count, scalar element type *)
+
+let i1 = Int 1
+let i8 = Int 8
+let i16 = Int 16
+let i32 = Int 32
+let i64 = Int 64
+
+let pointer_bits = 32
+
+let rec pp ppf = function
+  | Int w -> Fmt.pf ppf "i%d" w
+  | Ptr ty -> Fmt.pf ppf "%a*" pp ty
+  | Vec (n, ty) -> Fmt.pf ppf "<%d x %a>" n pp ty
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec equal a b =
+  match (a, b) with
+  | Int w1, Int w2 -> w1 = w2
+  | Ptr t1, Ptr t2 -> equal t1 t2
+  | Vec (n1, t1), Vec (n2, t2) -> n1 = n2 && equal t1 t2
+  | (Int _ | Ptr _ | Vec _), _ -> false
+
+let is_scalar = function Int _ | Ptr _ -> true | Vec _ -> false
+let is_integer = function Int _ -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_vector = function Vec _ -> true | _ -> false
+
+let is_bool = function Int 1 -> true | _ -> false
+
+(* The boolean type of the same shape: i1 for scalars, <n x i1> for
+   vectors.  This is the result type of [icmp]. *)
+let bool_shape = function
+  | Vec (n, _) -> Vec (n, Int 1)
+  | Int _ | Ptr _ -> Int 1
+
+let element = function
+  | Vec (_, ty) -> ty
+  | ty -> ty
+
+let vec_length = function Vec (n, _) -> Some n | _ -> None
+
+(* Width in bits of a scalar as laid out in registers / memory. *)
+let scalar_bitwidth = function
+  | Int w -> w
+  | Ptr _ -> pointer_bits
+  | Vec _ -> invalid_arg "Types.scalar_bitwidth: vector"
+
+let rec bitwidth = function
+  | Int w -> w
+  | Ptr _ -> pointer_bits
+  | Vec (n, ty) -> n * bitwidth ty
+
+(* Size in bytes when stored to memory: bitwidth rounded up.  i32 -> 4,
+   i1 -> 1, pointers -> 4.  GEP arithmetic uses this. *)
+let store_size ty = (bitwidth ty + 7) / 8
+
+let valid_int_width w = w >= 1 && w <= 64
+
+let rec well_formed = function
+  | Int w -> valid_int_width w
+  | Ptr ty -> well_formed ty && is_scalar ty
+  | Vec (n, ty) -> n >= 1 && n <= 64 && is_scalar ty && well_formed ty
+
+(* Can [bitcast] convert between these two?  Same total bitwidth, and we
+   additionally require both sides to be first-class (always true here). *)
+let bitcast_compatible a b = bitwidth a = bitwidth b
+
+let compare = Stdlib.compare

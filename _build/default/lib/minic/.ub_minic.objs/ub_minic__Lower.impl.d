@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Bitvec Builder Constant Func Instr List Option Parser Printf Types Ub_ir Ub_support

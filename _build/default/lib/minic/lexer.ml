@@ -1,0 +1,87 @@
+(* Mini-C lexer: hand-written, line-tracking.  C-style // and /* */
+   comments. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type token =
+  | TInt of int64
+  | TIdent of string
+  | TKw of string (* int, char, short, long, if, else, while, for, return, struct, void *)
+  | TPunct of string (* operators and punctuation *)
+  | TEof
+
+let keywords =
+  [ "int8"; "int16"; "int"; "int64"; "if"; "else"; "while"; "for"; "return"; "struct"; "void" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let punct3 = [ ">>="; "<<=" ]
+let punct2 =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^=" ]
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do
+        if src.[!i] = '\n' then incr line;
+        incr i
+      done;
+      i := !i + 2
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = 'x' || src.[!i] = 'X'
+                       || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                       || (src.[!i] >= 'A' && src.[!i] <= 'F')) do
+        incr i
+      done;
+      push (TInt (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (TKw s) else push (TIdent s)
+    end
+    else begin
+      let try_punct lst len =
+        if !i + len <= n then begin
+          let s = String.sub src !i len in
+          if List.mem s lst then begin
+            push (TPunct s);
+            i := !i + len;
+            true
+          end
+          else false
+        end
+        else false
+      in
+      if try_punct punct3 3 then ()
+      else if try_punct punct2 2 then ()
+      else begin
+        let s = String.make 1 c in
+        if String.contains "+-*/%<>=!&|^~(){}[];,.:?" c then begin
+          push (TPunct s);
+          incr i
+        end
+        else fail "line %d: unexpected character %C" !line c
+      end
+    end
+  done;
+  push TEof;
+  List.rev !toks

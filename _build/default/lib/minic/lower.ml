@@ -1,0 +1,622 @@
+(* Mini-C -> IR lowering.
+
+   Scalars are lowered straight to SSA (structured control flow lets us
+   place phis at if-joins and loop headers without a separate mem2reg
+   pass, the way a careful frontend would).  Arrays and structs live in
+   malloc'ed memory and are accessed through getelementptr inbounds.
+
+   The Section 5.3 story is the [freeze_bitfields] flag: a bit-field
+   store is load+mask+or+store of the container word, and the loaded
+   word must be FROZEN — the first store to a freshly malloc'ed struct
+   reads uninitialized (poison) bits, and without freeze the mask/or
+   chain poisons the entire word, wiping the neighbouring fields.  This
+   is the paper's one-line Clang change. *)
+
+module Cparser = Parser (* Mini-C's own parser, before Ub_ir shadows it *)
+
+open Ub_support
+open Ub_ir
+open Ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type config = { freeze_bitfields : bool }
+
+let clang_legacy = { freeze_bitfields = false }
+let clang_fixed = { freeze_bitfields = true }
+
+(* struct layout *)
+type fkind =
+  | Plain of int * Types.t (* byte offset, IR type *)
+  | Bits of int * int * int (* container word byte offset, bit offset, width *)
+
+type layout = { size : int; by_name : (string * fkind) list }
+
+let ir_ty_of_base = function
+  | I8 -> Types.Int 8
+  | I16 -> Types.Int 16
+  | I32 -> Types.Int 32
+  | I64 -> Types.Int 64
+  | Array _ | Struct _ -> invalid_arg "ir_ty_of_base"
+
+let layout_struct (sd : struct_def) : layout =
+  let off = ref 0 in
+  let bit = ref 0 in (* bit position within current container; -1 = none *)
+  let in_container = ref false in
+  let fields = ref [] in
+  let close_container () =
+    if !in_container then begin
+      off := !off + 4;
+      in_container := false;
+      bit := 0
+    end
+  in
+  List.iter
+    (fun f ->
+      match f.bits with
+      | None ->
+        close_container ();
+        let ty = ir_ty_of_base f.fty in
+        let sz = Types.store_size ty in
+        (* align *)
+        off := (!off + sz - 1) / sz * sz;
+        fields := (f.fname, Plain (!off, ty)) :: !fields;
+        off := !off + sz
+      | Some w ->
+        if w <= 0 || w > 32 then fail "bit-field %s has invalid width %d" f.fname w;
+        if (not !in_container) || !bit + w > 32 then begin
+          close_container ();
+          (* align container to 4 *)
+          off := (!off + 3) / 4 * 4;
+          in_container := true;
+          bit := 0
+        end;
+        fields := (f.fname, Bits (!off, !bit, w)) :: !fields;
+        bit := !bit + w)
+    sd.fields;
+  close_container ();
+  let size = max 4 ((!off + 3) / 4 * 4) in
+  { size; by_name = List.rev !fields }
+
+(* lowering context *)
+type binding =
+  | Scalar of Types.t * Instr.operand (* SSA value *)
+  | Agg of agg
+
+and agg = { ptr : Instr.operand; aty : Ast.ty; lay : layout option }
+
+type venv = (string * binding) list
+
+type ctx = {
+  b : Builder.t;
+  cfg : config;
+  prog : program;
+  layouts : (string * layout) list;
+  ret_ty : Types.t option;
+}
+
+let find_struct ctx name =
+  match List.assoc_opt name ctx.layouts with
+  | Some l -> l
+  | None -> fail "unknown struct %s" name
+
+let func_sig ctx name : (Types.t option * Types.t list) option =
+  List.find_map
+    (fun (f : Ast.func) ->
+      if f.name = name then
+        Some
+          ( Option.map ir_ty_of_base f.ret,
+            List.map (fun (_, t) -> ir_ty_of_base t) f.params )
+      else None)
+    ctx.prog.funcs
+
+(* integer conversion to a target width (signed) *)
+let convert ctx (v : Instr.operand) ~(from : Types.t) ~(to_ : Types.t) : Instr.operand =
+  if Types.equal from to_ then v
+  else begin
+    let fw = Types.bitwidth from and tw = Types.bitwidth to_ in
+    if tw > fw then Builder.sext ctx.b ~from ~to_ v
+    else Builder.trunc ctx.b ~from ~to_ v
+  end
+
+let i32 = Types.Int 32
+
+(* lower an expression to (operand, type); all arithmetic happens at the
+   unified width of the operands (min i32, C-style promotion) *)
+let rec lower_expr (ctx : ctx) (env : venv ref) (e : expr) : Instr.operand * Types.t =
+  match e with
+  | Int_lit i -> (Instr.Const (Constant.Int (Bitvec.of_int64 ~width:32 i)), i32)
+  | Var v -> (
+    match List.assoc_opt v !env with
+    | Some (Scalar (ty, op)) -> (op, ty)
+    | Some (Agg _) -> fail "aggregate %s used as a value" v
+    | None -> fail "unbound variable %s" v)
+  | Cast (ty, e) ->
+    let v, from = lower_expr ctx env e in
+    let to_ = ir_ty_of_base ty in
+    (convert ctx v ~from ~to_, to_)
+  | Unop (Neg, e) ->
+    let v, ty = lower_expr ctx env e in
+    (Builder.sub ~attrs:Instr.nsw_only ctx.b ty (Builder.const_i ~width:(Types.bitwidth ty) 0) v, ty)
+  | Unop (BNot, e) ->
+    let v, ty = lower_expr ctx env e in
+    (Builder.xor ctx.b ty v (Builder.const_i ~width:(Types.bitwidth ty) (-1)), ty)
+  | Unop (LNot, e) ->
+    let v, ty = lower_expr ctx env e in
+    let z = Builder.icmp ctx.b Instr.Eq ty v (Builder.const_i ~width:(Types.bitwidth ty) 0) in
+    (Builder.zext ctx.b ~from:(Types.Int 1) ~to_:i32 z, i32)
+  | Binop ((LAnd | LOr) as op, a, b) ->
+    (* short-circuit via ?: *)
+    let zero = Int_lit 0L and one = Int_lit 1L in
+    let nz e = Binop (Ne, e, Int_lit 0L) in
+    if op = LAnd then lower_expr ctx env (Cond (a, nz b, zero))
+    else lower_expr ctx env (Cond (a, one, nz b))
+  | Binop (op, a, b) ->
+    let va, ta = lower_expr ctx env a in
+    let vb, tb = lower_expr ctx env b in
+    let ty = if Types.bitwidth ta >= Types.bitwidth tb then ta else tb in
+    let ty = if Types.bitwidth ty < 32 then i32 else ty in
+    let va = convert ctx va ~from:ta ~to_:ty in
+    let vb = convert ctx vb ~from:tb ~to_:ty in
+    let cmp pred =
+      let c = Builder.icmp ctx.b pred ty va vb in
+      (Builder.zext ctx.b ~from:(Types.Int 1) ~to_:i32 c, i32)
+    in
+    (match op with
+    | Add -> (Builder.add ~attrs:Instr.nsw_only ctx.b ty va vb, ty)
+    | Sub -> (Builder.sub ~attrs:Instr.nsw_only ctx.b ty va vb, ty)
+    | Mul -> (Builder.mul ~attrs:Instr.nsw_only ctx.b ty va vb, ty)
+    | Div -> (Builder.sdiv ctx.b ty va vb, ty)
+    | Rem -> (Builder.binop ctx.b Instr.SRem ty va vb, ty)
+    | Shl -> (Builder.shl ctx.b ty va vb, ty)
+    | Shr -> (Builder.ashr ctx.b ty va vb, ty)
+    | BAnd -> (Builder.and_ ctx.b ty va vb, ty)
+    | BOr -> (Builder.or_ ctx.b ty va vb, ty)
+    | BXor -> (Builder.xor ctx.b ty va vb, ty)
+    | Lt -> cmp Instr.Slt
+    | Le -> cmp Instr.Sle
+    | Gt -> cmp Instr.Sgt
+    | Ge -> cmp Instr.Sge
+    | Eq -> cmp Instr.Eq
+    | Ne -> cmp Instr.Ne
+    | LAnd | LOr -> assert false)
+  | Cond (c, a, b) ->
+    (* control flow with a phi (short-circuit semantics) *)
+    let cv = lower_condition ctx env c in
+    let lt = Builder.fresh_label ~prefix:"cnd.t" ctx.b in
+    let lf = Builder.fresh_label ~prefix:"cnd.f" ctx.b in
+    let lj = Builder.fresh_label ~prefix:"cnd.j" ctx.b in
+    Builder.cond_br ctx.b cv lt lf;
+    Builder.start_block ctx.b lt;
+    let envt = ref !env in
+    let va, ta = lower_expr ctx envt a in
+    let end_t = Builder.current_label ctx.b in
+    Builder.br ctx.b lj;
+    Builder.start_block ctx.b lf;
+    let envf = ref !env in
+    let vb, tb = lower_expr ctx envf b in
+    let ty = if Types.bitwidth ta >= Types.bitwidth tb then ta else tb in
+    let vb = convert ctx vb ~from:tb ~to_:ty in
+    let end_f = Builder.current_label ctx.b in
+    Builder.br ctx.b lj;
+    (* widen va in its own block if needed: we conservatively required
+       matching types by converting vb; convert va at the join is not
+       possible (wrong block), so convert in end_t retroactively is hard —
+       instead require both converted pre-join: convert va inside lt *)
+    Builder.start_block ctx.b lj;
+    let va =
+      if Types.equal ta ty then va
+      else begin
+        (* rare: re-lower with explicit cast *)
+        ignore va;
+        fail "conditional expression branches have different types; add a cast"
+      end
+    in
+    let p = Builder.phi ctx.b ty [ (va, end_t); (vb, end_f) ] in
+    (p, ty)
+  | Assign (lv, rhs) ->
+    let v, ty = lower_assign ctx env lv rhs in
+    (v, ty)
+  | Index (Var a, i) -> (
+    match List.assoc_opt a !env with
+    | Some (Agg { ptr; aty = Array (elt, _); _ }) ->
+      let ety = ir_ty_of_base elt in
+      let iv, ity = lower_expr ctx env i in
+      let iv = convert ctx iv ~from:ity ~to_:i32 in
+      let addr = Builder.gep ctx.b ~inbounds:true ~pointee:ety ptr [ (i32, iv) ] in
+      (Builder.load ctx.b ety addr, ety)
+    | _ -> fail "%s is not an array" a)
+  | Index _ -> fail "array expression must be a variable"
+  | Field (Var v, f) -> (
+    match List.assoc_opt v !env with
+    | Some (Agg { ptr; aty = Struct sn; lay = _ }) -> lower_field_read ctx env ptr sn f
+    | _ -> fail "%s is not a struct" v)
+  | Field _ -> fail "field base must be a variable"
+  | Call (name, args) ->
+    let sg = func_sig ctx name in
+    let vals = List.map (fun a -> lower_expr ctx env a) args in
+    let typed_args =
+      match sg with
+      | Some (_, ptys) ->
+        (try List.map2 (fun (v, t) pt -> (pt, convert ctx v ~from:t ~to_:pt)) vals ptys
+         with Invalid_argument _ -> fail "wrong arity calling %s" name)
+      | None -> List.map (fun (v, t) -> (t, v)) vals
+    in
+    let rty = match sg with Some (r, _) -> r | None -> Some i32 in
+    (match rty with
+    | Some rt -> (Builder.call ctx.b (Some rt) name typed_args, rt)
+    | None ->
+      Builder.call_void ctx.b name typed_args;
+      (Builder.const_i ~width:32 0, i32))
+
+and lower_condition ctx env (e : expr) : Instr.operand =
+  (* produce an i1 *)
+  match e with
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne) as op, a, b) ->
+    let va, ta = lower_expr ctx env a in
+    let vb, tb = lower_expr ctx env b in
+    let ty = if Types.bitwidth ta >= Types.bitwidth tb then ta else tb in
+    let ty = if Types.bitwidth ty < 32 then i32 else ty in
+    let va = convert ctx va ~from:ta ~to_:ty in
+    let vb = convert ctx vb ~from:tb ~to_:ty in
+    let pred =
+      match op with
+      | Lt -> Instr.Slt
+      | Le -> Instr.Sle
+      | Gt -> Instr.Sgt
+      | Ge -> Instr.Sge
+      | Eq -> Instr.Eq
+      | Ne -> Instr.Ne
+      | _ -> assert false
+    in
+    Builder.icmp ctx.b pred ty va vb
+  | _ ->
+    let v, ty = lower_expr ctx env e in
+    Builder.icmp ctx.b Instr.Ne ty v (Builder.const_i ~width:(Types.bitwidth ty) 0)
+
+and lower_field_read ctx _env ptr sn f : Instr.operand * Types.t =
+  let lay = find_struct ctx sn in
+  match List.assoc_opt f lay.by_name with
+  | Some (Plain (off, ty)) ->
+    let addr8 =
+      Builder.gep ctx.b ~inbounds:true ~pointee:(Types.Int 8) ptr
+        [ (i32, Builder.const_i ~width:32 off) ]
+    in
+    let addr = Builder.bitcast ctx.b ~from:(Types.Ptr (Types.Int 8)) ~to_:(Types.Ptr ty) addr8 in
+    (Builder.load ctx.b ty addr, ty)
+  | Some (Bits (off, bit, w)) ->
+    let addr8 =
+      Builder.gep ctx.b ~inbounds:true ~pointee:(Types.Int 8) ptr
+        [ (i32, Builder.const_i ~width:32 off) ]
+    in
+    let addr = Builder.bitcast ctx.b ~from:(Types.Ptr (Types.Int 8)) ~to_:(Types.Ptr i32) addr8 in
+    let word = Builder.load ctx.b i32 addr in
+    let shifted =
+      if bit = 0 then word else Builder.lshr ctx.b i32 word (Builder.const_i ~width:32 bit)
+    in
+    let mask = if w >= 32 then -1 else (1 lsl w) - 1 in
+    (Builder.and_ ctx.b i32 shifted (Builder.const_i ~width:32 mask), i32)
+  | None -> fail "struct %s has no field %s" sn f
+
+and lower_assign ctx env (lv : lvalue) (rhs : expr) : Instr.operand * Types.t =
+  let v, vty = lower_expr ctx env rhs in
+  match lv with
+  | Lvar name -> (
+    match List.assoc_opt name !env with
+    | Some (Scalar (ty, _)) ->
+      let v' = convert ctx v ~from:vty ~to_:ty in
+      env := (name, Scalar (ty, v')) :: List.remove_assoc name !env;
+      (v', ty)
+    | Some (Agg _) -> fail "cannot assign to aggregate %s" name
+    | None -> fail "unbound variable %s" name)
+  | Lindex (a, i) -> (
+    match List.assoc_opt a !env with
+    | Some (Agg { ptr; aty = Array (elt, _); _ }) ->
+      let ety = ir_ty_of_base elt in
+      let iv, ity = lower_expr ctx env i in
+      let iv = convert ctx iv ~from:ity ~to_:i32 in
+      let addr = Builder.gep ctx.b ~inbounds:true ~pointee:ety ptr [ (i32, iv) ] in
+      let v' = convert ctx v ~from:vty ~to_:ety in
+      Builder.store ctx.b ety v' addr;
+      (v', ety)
+    | _ -> fail "%s is not an array" a)
+  | Lfield (sv, f) -> (
+    match List.assoc_opt sv !env with
+    | Some (Agg { ptr; aty = Struct sn; _ }) -> (
+      let lay = find_struct ctx sn in
+      match List.assoc_opt f lay.by_name with
+      | Some (Plain (off, ty)) ->
+        let addr8 =
+          Builder.gep ctx.b ~inbounds:true ~pointee:(Types.Int 8) ptr
+            [ (i32, Builder.const_i ~width:32 off) ]
+        in
+        let addr =
+          Builder.bitcast ctx.b ~from:(Types.Ptr (Types.Int 8)) ~to_:(Types.Ptr ty) addr8
+        in
+        let v' = convert ctx v ~from:vty ~to_:ty in
+        Builder.store ctx.b ty v' addr;
+        (v', ty)
+      | Some (Bits (off, bit, w)) ->
+        (* THE Section 5.3 lowering *)
+        let addr8 =
+          Builder.gep ctx.b ~inbounds:true ~pointee:(Types.Int 8) ptr
+            [ (i32, Builder.const_i ~width:32 off) ]
+        in
+        let addr =
+          Builder.bitcast ctx.b ~from:(Types.Ptr (Types.Int 8)) ~to_:(Types.Ptr i32) addr8
+        in
+        let word = Builder.load ctx.b i32 addr in
+        let word =
+          if ctx.cfg.freeze_bitfields then Builder.freeze ctx.b i32 word else word
+        in
+        let mask = if w >= 32 then -1 else (1 lsl w) - 1 in
+        let cleared =
+          Builder.and_ ctx.b i32 word
+            (Builder.const_i ~width:32 (lnot (mask lsl bit)))
+        in
+        let v32 = convert ctx v ~from:vty ~to_:i32 in
+        let vmasked = Builder.and_ ctx.b i32 v32 (Builder.const_i ~width:32 mask) in
+        let vshift =
+          if bit = 0 then vmasked
+          else Builder.shl ctx.b i32 vmasked (Builder.const_i ~width:32 bit)
+        in
+        let neww = Builder.or_ ctx.b i32 cleared vshift in
+        Builder.store ctx.b i32 neww addr;
+        (vmasked, i32)
+      | None -> fail "struct %s has no field %s" sn f)
+    | _ -> fail "%s is not a struct" sv)
+
+(* variables assigned anywhere in a statement list (scalars only) *)
+let rec assigned_vars (stmts : stmt list) : string list =
+  List.sort_uniq compare (List.concat_map assigned_in_stmt stmts)
+
+and assigned_in_stmt = function
+  | Expr e | Return (Some e) -> assigned_in_expr e
+  | Return None -> []
+  | Decl (_, _, Some e) -> assigned_in_expr e
+  | Decl (_, _, None) -> []
+  | If (c, t, e) -> assigned_in_expr c @ assigned_vars t @ assigned_vars e
+  | While (c, b) -> assigned_in_expr c @ assigned_vars b
+  | For (i, c, s, b) ->
+    (match i with Some st -> assigned_in_stmt st | None -> [])
+    @ (match c with Some e -> assigned_in_expr e | None -> [])
+    @ (match s with Some e -> assigned_in_expr e | None -> [])
+    @ assigned_vars b
+  | Block b -> assigned_vars b
+
+and assigned_in_expr = function
+  | Assign (Lvar v, e) -> v :: assigned_in_expr e
+  | Assign (_, e) -> assigned_in_expr e
+  | Binop (_, a, b) -> assigned_in_expr a @ assigned_in_expr b
+  | Unop (_, e) -> assigned_in_expr e
+  | Cond (c, a, b) -> assigned_in_expr c @ assigned_in_expr a @ assigned_in_expr b
+  | Index (a, i) -> assigned_in_expr a @ assigned_in_expr i
+  | Field (e, _) -> assigned_in_expr e
+  | Call (_, args) -> List.concat_map assigned_in_expr args
+  | Cast (_, e) -> assigned_in_expr e
+  | Int_lit _ | Var _ -> []
+
+(* merge two environments at a join point with phis *)
+let merge_envs ctx (env0 : venv) (envs : (venv * Instr.label) list) : venv =
+  List.map
+    (fun (name, b0) ->
+      match b0 with
+      | Agg _ -> (name, b0)
+      | Scalar (ty, _) ->
+        let values =
+          List.map
+            (fun (env, lbl) ->
+              match List.assoc_opt name env with
+              | Some (Scalar (_, op)) -> (op, lbl)
+              | _ -> fail "variable %s lost in branch" name)
+            envs
+        in
+        let all_same =
+          match values with
+          | [] -> true
+          | (v0, _) :: rest -> List.for_all (fun (v, _) -> v = v0) rest
+        in
+        if all_same && values <> [] then (name, Scalar (ty, fst (List.hd values)))
+        else (name, Scalar (ty, Builder.phi ctx.b ty values)))
+    env0
+
+exception Terminated
+
+(* returns the updated env; raises Terminated if all paths returned *)
+let rec lower_stmts ctx (env : venv ref) (stmts : stmt list) : unit =
+  List.iter (fun st -> lower_stmt ctx env st) stmts
+
+and lower_stmt ctx (env : venv ref) (st : stmt) : unit =
+  match st with
+  | Expr e -> ignore (lower_expr ctx env e)
+  | Block b -> lower_stmts ctx env b
+  | Return e ->
+    (match (e, ctx.ret_ty) with
+    | Some e, Some rt ->
+      let v, ty = lower_expr ctx env e in
+      Builder.ret ctx.b rt (convert ctx v ~from:ty ~to_:rt)
+    | None, None -> Builder.ret_void ctx.b
+    | Some _, None -> fail "return with value in void function"
+    | None, Some rt -> Builder.ret ctx.b rt (Builder.const_i ~width:(Types.bitwidth rt) 0));
+    raise Terminated
+  | Decl (ty, name, init) -> (
+    match ty with
+    | I8 | I16 | I32 | I64 ->
+      let irty = ir_ty_of_base ty in
+      let v =
+        match init with
+        | Some e ->
+          let v, vty = lower_expr ctx env e in
+          convert ctx v ~from:vty ~to_:irty
+        | None -> Builder.undef irty (* uninitialized local *)
+      in
+      env := (name, Scalar (irty, v)) :: List.remove_assoc name !env
+    | Array (elt, n) ->
+      let ety = ir_ty_of_base elt in
+      let bytes = Types.store_size ety * n in
+      let p =
+        Builder.call ctx.b (Some (Types.Ptr ety)) "malloc"
+          [ (i32, Builder.const_i ~width:32 bytes) ]
+      in
+      env := (name, Agg { ptr = p; aty = ty; lay = None }) :: List.remove_assoc name !env;
+      (match init with Some _ -> fail "array initializers are not supported" | None -> ())
+    | Struct sn ->
+      let lay = find_struct ctx sn in
+      let p =
+        Builder.call ctx.b (Some (Types.Ptr (Types.Int 8))) "malloc"
+          [ (i32, Builder.const_i ~width:32 lay.size) ]
+      in
+      env := (name, Agg { ptr = p; aty = ty; lay = Some lay }) :: List.remove_assoc name !env)
+  | If (c, then_, else_) -> (
+    let cv = lower_condition ctx env c in
+    let lt = Builder.fresh_label ~prefix:"if.t" ctx.b in
+    let lf = Builder.fresh_label ~prefix:"if.f" ctx.b in
+    let lj = Builder.fresh_label ~prefix:"if.j" ctx.b in
+    Builder.cond_br ctx.b cv lt lf;
+    Builder.start_block ctx.b lt;
+    let env_t = ref !env in
+    let t_result =
+      try
+        lower_stmts ctx env_t then_;
+        let e = Builder.current_label ctx.b in
+        Builder.br ctx.b lj;
+        Some (!env_t, e)
+      with Terminated -> None
+    in
+    Builder.start_block ctx.b lf;
+    let env_f = ref !env in
+    let f_result =
+      try
+        lower_stmts ctx env_f else_;
+        let e = Builder.current_label ctx.b in
+        Builder.br ctx.b lj;
+        Some (!env_f, e)
+      with Terminated -> None
+    in
+    match (t_result, f_result) with
+    | None, None -> raise Terminated
+    | Some (e1, l1), None ->
+      Builder.start_block ctx.b lj;
+      env := e1;
+      ignore l1
+    | None, Some (e2, l2) ->
+      Builder.start_block ctx.b lj;
+      env := e2;
+      ignore l2
+    | Some (e1, l1), Some (e2, l2) ->
+      Builder.start_block ctx.b lj;
+      env := merge_envs ctx !env [ (e1, l1); (e2, l2) ])
+  | While (c, body) -> lower_loop ctx env ~cond:(Some c) ~step:None ~body
+  | For (init, cond, step, body) ->
+    (match init with Some st -> lower_stmt ctx env st | None -> ());
+    lower_loop ctx env ~cond ~step ~body
+
+and lower_loop ctx (env : venv ref) ~cond ~step ~body : unit =
+  let header = Builder.fresh_label ~prefix:"loop.h" ctx.b in
+  let lbody = Builder.fresh_label ~prefix:"loop.b" ctx.b in
+  let lexit = Builder.fresh_label ~prefix:"loop.x" ctx.b in
+  let pre_label = Builder.current_label ctx.b in
+  (* variables needing phis: assigned in cond/step/body and scalar *)
+  let mutated =
+    assigned_vars (body @ (match step with Some e -> [ Expr e ] | None -> []))
+    @ (match cond with Some c -> assigned_in_expr c | None -> [])
+  in
+  let mutated =
+    List.filter
+      (fun v -> match List.assoc_opt v !env with Some (Scalar _) -> true | _ -> false)
+      (List.sort_uniq compare mutated)
+  in
+  Builder.br ctx.b header;
+  Builder.start_block ctx.b header;
+  (* reserve phi names; incomings patched after body lowering *)
+  let phi_names =
+    List.map
+      (fun v ->
+        match List.assoc_opt v !env with
+        | Some (Scalar (ty, init_op)) ->
+          let name = Builder.fresh ~prefix:("lp." ^ v) ctx.b in
+          (v, ty, init_op, name)
+        | _ -> assert false)
+      mutated
+  in
+  (* bind loop vars to their phi names while lowering cond and body *)
+  let env_in_loop =
+    List.fold_left
+      (fun acc (v, ty, _, name) -> (v, Scalar (ty, Instr.Var name)) :: List.remove_assoc v acc)
+      !env phi_names
+  in
+  let env_h = ref env_in_loop in
+  (match cond with
+  | Some c ->
+    let cv = lower_condition ctx env_h c in
+    Builder.cond_br ctx.b cv lbody lexit
+  | None -> Builder.br ctx.b lbody);
+  let header_end = header in
+  ignore header_end;
+  Builder.start_block ctx.b lbody;
+  let env_b = ref !env_h in
+  let body_result =
+    try
+      lower_stmts ctx env_b body;
+      (match step with Some e -> ignore (lower_expr ctx env_b e) | None -> ());
+      let e = Builder.current_label ctx.b in
+      Builder.br ctx.b header;
+      Some e
+    with Terminated -> None
+  in
+  (* now create the phis at the START of the header block *)
+  let incomings v =
+    let init = List.find_map (fun (v', _, i, _) -> if v' = v then Some i else None) phi_names in
+    let init = Option.get init in
+    match body_result with
+    | Some latch_label ->
+      let latch_val =
+        match List.assoc_opt v !env_b with
+        | Some (Scalar (_, op)) -> op
+        | _ -> fail "loop variable %s lost" v
+      in
+      [ (init, pre_label); (latch_val, latch_label) ]
+    | None -> [ (init, pre_label) ]
+  in
+  List.iter
+    (fun (v, ty, _, name) ->
+      Builder.prepend_phi ctx.b header ~name ty (incomings v))
+    phi_names;
+  Builder.start_block ctx.b lexit;
+  (* after the loop, variables hold the header phi values *)
+  env := !env_h
+
+(* -------------------- functions and programs ----------------------- *)
+
+let lower_func (cfg : config) (prog : program) (f : Ast.func) : Func.t =
+  let layouts = List.map (fun sd -> (sd.sname, layout_struct sd)) prog.structs in
+  let ret_ty = Option.map ir_ty_of_base f.ret in
+  let b =
+    Builder.create ~name:f.name
+      ~args:(List.map (fun (p, t) -> (p, ir_ty_of_base t)) f.params)
+      ?ret_ty ()
+  in
+  let ctx = { b; cfg; prog; layouts; ret_ty } in
+  Builder.start_block b "entry";
+  let env =
+    ref (List.map (fun (p, t) -> (p, Scalar (ir_ty_of_base t, Instr.Var p))) f.params)
+  in
+  (try
+     lower_stmts ctx env f.body;
+     (* fall-through return *)
+     match ret_ty with
+     | Some rt -> Builder.ret b rt (Builder.const_i ~width:(Types.bitwidth rt) 0)
+     | None -> Builder.ret_void b
+   with Terminated -> ());
+  (* any dangling unterminated block (e.g. join after return-in-both-arms)
+     gets an unreachable *)
+  Builder.terminate_dangling b;
+  Builder.finish b
+
+let lower_program ?(cfg = clang_fixed) (prog : program) : Func.module_ =
+  { Func.funcs = List.map (lower_func cfg prog) prog.funcs }
+
+let compile ?(cfg = clang_fixed) (src : string) : Func.module_ =
+  lower_program ~cfg (Cparser.parse_program src)

@@ -1,0 +1,363 @@
+(* Mini-C parser: recursive descent with precedence climbing for
+   expressions. *)
+
+open Ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type st = { mutable toks : (Lexer.token * int) list }
+
+let peek s = match s.toks with (t, _) :: _ -> t | [] -> Lexer.TEof
+let line s = match s.toks with (_, l) :: _ -> l | [] -> 0
+let advance s = match s.toks with _ :: r -> s.toks <- r | [] -> ()
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let expect_punct s p =
+  match next s with
+  | Lexer.TPunct q when q = p -> ()
+  | t ->
+    fail "line %d: expected '%s', found %s" (line s) p
+      (match t with
+      | Lexer.TPunct q -> "'" ^ q ^ "'"
+      | Lexer.TIdent i -> i
+      | Lexer.TKw k -> k
+      | Lexer.TInt _ -> "<int>"
+      | Lexer.TEof -> "<eof>")
+
+let ident s =
+  match next s with
+  | Lexer.TIdent i -> i
+  | _ -> fail "line %d: expected identifier" (line s)
+
+let base_ty_of_kw = function
+  | "int8" -> Some I8
+  | "int16" -> Some I16
+  | "int" -> Some I32
+  | "int64" -> Some I64
+  | _ -> None
+
+let parse_base_ty s =
+  match next s with
+  | Lexer.TKw k -> (
+    match base_ty_of_kw k with
+    | Some t -> t
+    | None ->
+      if k = "struct" then Struct (ident s)
+      else fail "line %d: expected a type, got '%s'" (line s) k)
+  | _ -> fail "line %d: expected a type" (line s)
+
+(* -------------------- expressions ---------------------------------- *)
+
+let binop_of_punct = function
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Rem, 10)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "&" -> Some (BAnd, 5)
+  | "^" -> Some (BXor, 4)
+  | "|" -> Some (BOr, 3)
+  | "&&" -> Some (LAnd, 2)
+  | "||" -> Some (LOr, 1)
+  | _ -> None
+
+let rec parse_expr s : expr = parse_assign s
+
+and parse_assign s : expr =
+  let lhs = parse_ternary s in
+  match peek s with
+  | Lexer.TPunct "=" ->
+    advance s;
+    let rhs = parse_assign s in
+    Assign (lvalue_of lhs, rhs)
+  | Lexer.TPunct p
+    when String.length p >= 2 && p.[String.length p - 1] = '='
+         && binop_of_punct (String.sub p 0 (String.length p - 1)) <> None ->
+    advance s;
+    let op, _ = Option.get (binop_of_punct (String.sub p 0 (String.length p - 1))) in
+    let rhs = parse_assign s in
+    Assign (lvalue_of lhs, Binop (op, lhs, rhs))
+  | _ -> lhs
+
+and lvalue_of = function
+  | Var v -> Lvar v
+  | Index (Var a, i) -> Lindex (a, i)
+  | Field (Var v, f) -> Lfield (v, f)
+  | _ -> fail "invalid assignment target"
+
+and parse_ternary s : expr =
+  let c = parse_binary s 1 in
+  match peek s with
+  | Lexer.TPunct "?" ->
+    advance s;
+    let a = parse_expr s in
+    expect_punct s ":";
+    let b = parse_ternary s in
+    Cond (c, a, b)
+  | _ -> c
+
+and parse_binary s min_prec : expr =
+  let lhs = ref (parse_unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek s with
+    | Lexer.TPunct p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance s;
+        let rhs = parse_binary s (prec + 1) in
+        lhs := Binop (op, !lhs, rhs)
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary s : expr =
+  match peek s with
+  | Lexer.TPunct "-" ->
+    advance s;
+    Unop (Neg, parse_unary s)
+  | Lexer.TPunct "~" ->
+    advance s;
+    Unop (BNot, parse_unary s)
+  | Lexer.TPunct "!" ->
+    advance s;
+    Unop (LNot, parse_unary s)
+  | Lexer.TPunct "(" -> (
+    (* cast or parenthesized expression *)
+    advance s;
+    match peek s with
+    | Lexer.TKw k when base_ty_of_kw k <> None ->
+      advance s;
+      let ty = Option.get (base_ty_of_kw k) in
+      expect_punct s ")";
+      Cast (ty, parse_unary s)
+    | _ ->
+      let e = parse_expr s in
+      expect_punct s ")";
+      parse_postfix s e)
+  | _ -> parse_primary s
+
+and parse_postfix s e : expr =
+  match peek s with
+  | Lexer.TPunct "[" ->
+    advance s;
+    let i = parse_expr s in
+    expect_punct s "]";
+    parse_postfix s (Index (e, i))
+  | Lexer.TPunct "." ->
+    advance s;
+    let f = ident s in
+    parse_postfix s (Field (e, f))
+  | _ -> e
+
+and parse_primary s : expr =
+  match next s with
+  | Lexer.TInt i -> Int_lit i
+  | Lexer.TIdent name -> (
+    match peek s with
+    | Lexer.TPunct "(" ->
+      advance s;
+      let args = ref [] in
+      if peek s <> Lexer.TPunct ")" then begin
+        let rec loop () =
+          args := parse_expr s :: !args;
+          if peek s = Lexer.TPunct "," then begin
+            advance s;
+            loop ()
+          end
+        in
+        loop ()
+      end;
+      expect_punct s ")";
+      parse_postfix s (Call (name, List.rev !args))
+    | _ -> parse_postfix s (Var name))
+  | _ -> fail "line %d: expected an expression" (line s)
+
+(* -------------------- statements ----------------------------------- *)
+
+let rec parse_stmt s : stmt =
+  match peek s with
+  | Lexer.TPunct "{" ->
+    advance s;
+    let stmts = parse_stmts_until s "}" in
+    Block stmts
+  | Lexer.TKw "if" ->
+    advance s;
+    expect_punct s "(";
+    let c = parse_expr s in
+    expect_punct s ")";
+    let then_ = parse_stmt_as_list s in
+    let else_ =
+      match peek s with
+      | Lexer.TKw "else" ->
+        advance s;
+        parse_stmt_as_list s
+      | _ -> []
+    in
+    If (c, then_, else_)
+  | Lexer.TKw "while" ->
+    advance s;
+    expect_punct s "(";
+    let c = parse_expr s in
+    expect_punct s ")";
+    While (c, parse_stmt_as_list s)
+  | Lexer.TKw "for" ->
+    advance s;
+    expect_punct s "(";
+    let init =
+      if peek s = Lexer.TPunct ";" then begin
+        advance s;
+        None
+      end
+      else begin
+        let st = parse_simple_stmt s in
+        expect_punct s ";";
+        Some st
+      end
+    in
+    let cond =
+      if peek s = Lexer.TPunct ";" then None
+      else Some (parse_expr s)
+    in
+    expect_punct s ";";
+    let step = if peek s = Lexer.TPunct ")" then None else Some (parse_expr s) in
+    expect_punct s ")";
+    For (init, cond, step, parse_stmt_as_list s)
+  | Lexer.TKw "return" ->
+    advance s;
+    if peek s = Lexer.TPunct ";" then begin
+      advance s;
+      Return None
+    end
+    else begin
+      let e = parse_expr s in
+      expect_punct s ";";
+      Return (Some e)
+    end
+  | _ ->
+    let st = parse_simple_stmt s in
+    expect_punct s ";";
+    st
+
+and parse_stmt_as_list s : stmt list =
+  match parse_stmt s with Block b -> b | st -> [ st ]
+
+(* declaration or expression (no trailing ';') *)
+and parse_simple_stmt s : stmt =
+  match peek s with
+  | Lexer.TKw k when base_ty_of_kw k <> None || k = "struct" ->
+    let ty = parse_base_ty s in
+    let name = ident s in
+    let ty =
+      match peek s with
+      | Lexer.TPunct "[" ->
+        advance s;
+        let n =
+          match next s with
+          | Lexer.TInt i -> Int64.to_int i
+          | _ -> fail "line %d: expected array length" (line s)
+        in
+        expect_punct s "]";
+        Array (ty, n)
+      | _ -> ty
+    in
+    let init =
+      match peek s with
+      | Lexer.TPunct "=" ->
+        advance s;
+        Some (parse_expr s)
+      | _ -> None
+    in
+    Decl (ty, name, init)
+  | _ -> Expr (parse_expr s)
+
+and parse_stmts_until s closer : stmt list =
+  let stmts = ref [] in
+  while peek s <> Lexer.TPunct closer do
+    stmts := parse_stmt s :: !stmts
+  done;
+  advance s;
+  List.rev !stmts
+
+(* -------------------- top level ------------------------------------ *)
+
+let parse_struct s : struct_def =
+  (* 'struct' consumed by caller *)
+  let sname = ident s in
+  expect_punct s "{";
+  let fields = ref [] in
+  while peek s <> Lexer.TPunct "}" do
+    let fty = parse_base_ty s in
+    let fname = ident s in
+    let bits =
+      match peek s with
+      | Lexer.TPunct ":" ->
+        advance s;
+        (match next s with
+        | Lexer.TInt i -> Some (Int64.to_int i)
+        | _ -> fail "line %d: expected bit-field width" (line s))
+      | _ -> None
+    in
+    expect_punct s ";";
+    fields := { fname; fty; bits } :: !fields
+  done;
+  advance s;
+  expect_punct s ";";
+  { sname; fields = List.rev !fields }
+
+let parse_program (src : string) : program =
+  let s = { toks = Lexer.tokenize src } in
+  let structs = ref [] in
+  let funcs = ref [] in
+  while peek s <> Lexer.TEof do
+    match peek s with
+    | Lexer.TKw "struct" when (match s.toks with
+                               | _ :: (Lexer.TIdent _, _) :: (Lexer.TPunct "{", _) :: _ -> true
+                               | _ -> false) ->
+      advance s;
+      structs := parse_struct s :: !structs
+    | _ ->
+      (* function: ret-type name(params) { body } *)
+      let ret =
+        match peek s with
+        | Lexer.TKw "void" ->
+          advance s;
+          None
+        | _ -> Some (parse_base_ty s)
+      in
+      let name = ident s in
+      expect_punct s "(";
+      let params = ref [] in
+      if peek s <> Lexer.TPunct ")" then begin
+        let rec loop () =
+          let ty = parse_base_ty s in
+          let p = ident s in
+          params := (p, ty) :: !params;
+          if peek s = Lexer.TPunct "," then begin
+            advance s;
+            loop ()
+          end
+        in
+        loop ()
+      end;
+      expect_punct s ")";
+      expect_punct s "{";
+      let body = parse_stmts_until s "}" in
+      funcs := { name; ret; params = List.rev !params; body } :: !funcs
+  done;
+  { structs = List.rev !structs; funcs = List.rev !funcs }

@@ -1,0 +1,1 @@
+lib/opt/cgp.ml: Constant Func Instcombine Instr List Pass Types Ub_ir

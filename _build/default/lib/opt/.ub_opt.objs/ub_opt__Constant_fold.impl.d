@@ -1,0 +1,1 @@
+lib/opt/constant_fold.ml: Bitvec Constant Func Instr Pass Types Ub_ir Ub_support

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Func Hashtbl Instr List Pass Ub_analysis Ub_ir

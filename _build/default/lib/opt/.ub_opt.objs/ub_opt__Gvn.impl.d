@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Constant Func Hashtbl Instr List Pass Printf String Types Ub_analysis Ub_ir

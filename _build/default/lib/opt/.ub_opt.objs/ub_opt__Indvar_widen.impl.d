@@ -1,0 +1,1 @@
+lib/opt/indvar_widen.ml: Func Instr List Pass Types Ub_analysis Ub_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Func Hashtbl Instr List Option Pass Types Ub_ir

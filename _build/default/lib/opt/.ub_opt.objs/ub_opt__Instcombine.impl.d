@@ -1,0 +1,1 @@
+lib/opt/instcombine.ml: Bitvec Constant Func Instr Option Pass Types Ub_analysis Ub_ir Ub_support

@@ -1,0 +1,1 @@
+lib/opt/jump_threading.ml: Bitvec Constant Dce Func Hashtbl Instr List Pass Simplifycfg Ub_ir Ub_support

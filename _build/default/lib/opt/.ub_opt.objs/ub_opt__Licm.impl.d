@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Bitvec Constant Func Instr List Pass Ub_analysis Ub_ir Ub_support

@@ -1,0 +1,1 @@
+lib/opt/load_widen.ml: Constant Func Instr Pass Types Ub_ir Ub_support

@@ -1,0 +1,1 @@
+lib/opt/loop_unswitch.ml: Dce Func Instr List Option Pass Types Ub_analysis Ub_ir

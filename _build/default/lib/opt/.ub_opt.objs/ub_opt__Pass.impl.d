@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Func Instr List Logs Printer Printf String Ub_ir Validate

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Cgp Constant_fold Dce Gvn Indvar_widen Inline Instcombine Jump_threading Licm Load_widen Loop_unswitch Pass Reassociate Sccp Simplifycfg Ub_ir

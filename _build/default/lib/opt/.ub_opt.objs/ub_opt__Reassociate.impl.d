@@ -1,0 +1,1 @@
+lib/opt/reassociate.ml: Bitvec Constant Func Instr Pass Ub_ir Ub_support

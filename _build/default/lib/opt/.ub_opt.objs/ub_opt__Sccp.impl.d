@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Bitvec Constant Constant_fold Func Hashtbl Instr List Pass Simplifycfg Types Ub_ir Ub_support

@@ -1,0 +1,1 @@
+lib/opt/simplifycfg.ml: Bitvec Constant Dce Func Instr List Pass Ub_ir Ub_support

@@ -1,0 +1,141 @@
+(* Constant folding.  Folds only deterministic cases:
+   - all-concrete operands and a non-trapping operation;
+   - strict operations with a poison operand fold to poison;
+   - freeze of a fully-defined constant folds to the constant, and
+     freeze(freeze x) to freeze x (the InstCombine additions of §6).
+   Undef operands are left alone here: their folds are use-count
+   sensitive and live in InstCombine where they can be gated. *)
+
+open Ub_support
+open Ub_ir
+open Instr
+
+let conc = function
+  | Const (Constant.Int bv) -> Some bv
+  | _ -> None
+
+let is_poison_const = function
+  | Const (Constant.Poison _) -> true
+  | _ -> false
+
+let int_const bv = Const (Constant.Int bv)
+
+let fold_binop op (attrs : attrs) ty a b : operand option =
+  match (conc a, conc b) with
+  | Some x, Some y -> (
+    let poison = Some (Const (Constant.Poison ty)) in
+    match op with
+    | Add ->
+      if (attrs.nsw && Bitvec.add_nsw_overflows x y) || (attrs.nuw && Bitvec.add_nuw_overflows x y)
+      then poison
+      else Some (int_const (Bitvec.add x y))
+    | Sub ->
+      if (attrs.nsw && Bitvec.sub_nsw_overflows x y) || (attrs.nuw && Bitvec.sub_nuw_overflows x y)
+      then poison
+      else Some (int_const (Bitvec.sub x y))
+    | Mul ->
+      if (attrs.nsw && Bitvec.mul_nsw_overflows x y) || (attrs.nuw && Bitvec.mul_nuw_overflows x y)
+      then poison
+      else Some (int_const (Bitvec.mul x y))
+    | UDiv ->
+      if Bitvec.is_zero y then None (* immediate UB: must not fold away *)
+      else if attrs.exact && not (Bitvec.udiv_exact x y) then poison
+      else Some (int_const (Bitvec.udiv x y))
+    | SDiv ->
+      if Bitvec.is_zero y || Bitvec.sdiv_overflows x y then None
+      else if attrs.exact && not (Bitvec.sdiv_exact x y) then poison
+      else Some (int_const (Bitvec.sdiv x y))
+    | URem -> if Bitvec.is_zero y then None else Some (int_const (Bitvec.urem x y))
+    | SRem ->
+      if Bitvec.is_zero y || Bitvec.sdiv_overflows x y then None
+      else Some (int_const (Bitvec.srem x y))
+    | Shl ->
+      (* shift past bitwidth is undef in old modes and poison in the
+         proposed one; folding it to either would be unsound under the
+         other semantics, so we leave out-of-range shifts alone *)
+      if not (Bitvec.shift_in_range x y) then None
+      else begin
+        let n = Bitvec.to_uint_exn y in
+        if (attrs.nsw && Bitvec.shl_nsw_overflows x n) || (attrs.nuw && Bitvec.shl_nuw_overflows x n)
+        then poison
+        else Some (int_const (Bitvec.shl x n))
+      end
+    | LShr ->
+      if not (Bitvec.shift_in_range x y) then None
+      else begin
+        let n = Bitvec.to_uint_exn y in
+        if attrs.exact && not (Bitvec.lshr_exact x n) then poison
+        else Some (int_const (Bitvec.lshr x n))
+      end
+    | AShr ->
+      if not (Bitvec.shift_in_range x y) then None
+      else begin
+        let n = Bitvec.to_uint_exn y in
+        if attrs.exact && not (Bitvec.ashr_exact x n) then poison
+        else Some (int_const (Bitvec.ashr x n))
+      end
+    | And -> Some (int_const (Bitvec.logand x y))
+    | Or -> Some (int_const (Bitvec.logor x y))
+    | Xor -> Some (int_const (Bitvec.logxor x y)))
+  | _ ->
+    (* strict poison propagation, except division by poison (immediate UB
+       in our default modes — leave it in place) *)
+    if (is_poison_const a || is_poison_const b) && not (Instr.is_div op) then
+      Some (Const (Constant.Poison ty))
+    else None
+
+let fold_icmp pred ty a b : operand option =
+  ignore ty;
+  match (conc a, conc b) with
+  | Some x, Some y ->
+    let r =
+      match pred with
+      | Eq -> Bitvec.eq x y
+      | Ne -> Bitvec.ne x y
+      | Ugt -> Bitvec.ugt x y
+      | Uge -> Bitvec.uge x y
+      | Ult -> Bitvec.ult x y
+      | Ule -> Bitvec.ule x y
+      | Sgt -> Bitvec.sgt x y
+      | Sge -> Bitvec.sge x y
+      | Slt -> Bitvec.slt x y
+      | Sle -> Bitvec.sle x y
+    in
+    Some (Const (Constant.bool r))
+  | _ ->
+    if is_poison_const a || is_poison_const b then Some (Const (Constant.Poison (Types.Int 1)))
+    else None
+
+let fold_insn (_fn : Func.t) (named : Instr.named) : Pass.rewrite =
+  match named.ins with
+  | Binop (op, attrs, ty, a, b) -> (
+    match fold_binop op attrs ty a b with
+    | Some op' -> Pass.Replace_with op'
+    | None -> Pass.Keep)
+  | Icmp (pred, ty, a, b) -> (
+    match fold_icmp pred ty a b with
+    | Some op' -> Pass.Replace_with op'
+    | None -> Pass.Keep)
+  | Select (Const (Constant.Int c), _, a, b) ->
+    Pass.Replace_with (if Bitvec.is_one c then a else b)
+  | Select (Const (Constant.Poison _), ty, _, _) ->
+    (* Select_conditional and Select_arith: poison condition => poison.
+       (Under Select_ub_cond this deletes a UB — a legal refinement.) *)
+    Pass.Replace_with (Const (Constant.Poison ty))
+  | Conv (op, _, Const (Constant.Int x), to_) ->
+    let w = Types.bitwidth to_ in
+    let v =
+      match op with
+      | Zext -> Bitvec.zext x ~width:w
+      | Sext -> Bitvec.sext x ~width:w
+      | Trunc -> Bitvec.trunc x ~width:w
+    in
+    Pass.Replace_with (int_const v)
+  | Conv (_, _, Const (Constant.Poison _), to_) ->
+    Pass.Replace_with (Const (Constant.Poison to_))
+  | Freeze (_, (Const (Constant.Int _) as c)) -> Pass.Replace_with c
+  | Freeze (_, (Const (Constant.Null _) as c)) -> Pass.Replace_with c
+  | _ -> Pass.Keep
+
+let pass : Pass.t =
+  { Pass.name = "constfold"; run = (fun _cfg fn -> Pass.rewrite_to_fixpoint fold_insn fn) }

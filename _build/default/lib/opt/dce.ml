@@ -1,0 +1,96 @@
+(* Dead code elimination: removes unused side-effect-free instructions
+   (including dead loads — removing a potentially-trapping operation only
+   enlarges the domain of definedness, a legal refinement) and blocks
+   unreachable from the entry. *)
+
+open Ub_ir
+open Instr
+
+let removable (ins : Instr.t) =
+  match ins with
+  | Store _ | Call _ -> false
+  | _ -> true
+
+(* Liveness by mark-and-sweep from the observable roots (terminators and
+   side-effecting instructions), so that dead phi cycles — a phi and its
+   increment that only feed each other — are collected too. *)
+let remove_dead_insns (fn : Func.t) : Func.t =
+  let def_of = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun n -> match n.Instr.def with Some d -> Hashtbl.replace def_of d n | None -> ())
+        b.insns)
+    fn.blocks;
+  let live = Hashtbl.create 32 in
+  let rec mark = function
+    | Const _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem live v) then begin
+        Hashtbl.replace live v ();
+        match Hashtbl.find_opt def_of v with
+        | Some n -> List.iter mark (operands n.Instr.ins)
+        | None -> () (* argument *)
+      end
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter mark (term_operands b.term);
+      List.iter
+        (fun n -> if not (removable n.Instr.ins) then List.iter mark (operands n.Instr.ins))
+        b.insns)
+    fn.blocks;
+  Func.map_insns fn (fun n ->
+      match n.Instr.def with
+      | Some d when (not (Hashtbl.mem live d)) && removable n.Instr.ins -> []
+      | None when removable n.Instr.ins -> [] (* void pure instruction: impossible, kept for safety *)
+      | _ -> [ n ])
+
+let remove_unreachable_blocks (fn : Func.t) : Func.t =
+  let cfg = Ub_analysis.Cfg.build fn in
+  let keep = List.filter (fun (b : Func.block) -> Ub_analysis.Cfg.is_reachable cfg b.label) fn.blocks in
+  if List.length keep = List.length fn.blocks then fn
+  else begin
+    (* drop phi incomings from removed blocks *)
+    let live l = List.exists (fun (b : Func.block) -> b.label = l) keep in
+    let fixed =
+      List.map
+        (fun (b : Func.block) ->
+          { b with
+            insns =
+              List.map
+                (fun n ->
+                  match n.Instr.ins with
+                  | Phi (ty, inc) ->
+                    { n with Instr.ins = Phi (ty, List.filter (fun (_, l) -> live l) inc) }
+                  | _ -> n)
+                b.insns;
+          })
+        keep
+    in
+    (* single-incoming phis become copies *)
+    let substs = ref [] in
+    let fixed =
+      List.map
+        (fun (b : Func.block) ->
+          { b with
+            insns =
+              List.concat_map
+                (fun n ->
+                  match (n.Instr.def, n.Instr.ins) with
+                  | Some d, Phi (_, [ (v, _) ]) ->
+                    substs := (d, v) :: !substs;
+                    []
+                  | _ -> [ n ])
+                b.insns;
+          })
+        fixed
+    in
+    let fn' = { fn with Func.blocks = fixed } in
+    List.fold_left (fun acc (v, by) -> Func.replace_uses acc ~v ~by) fn' !substs
+  end
+
+let pass : Pass.t =
+  { Pass.name = "dce";
+    run = (fun _cfg fn -> remove_dead_insns (remove_unreachable_blocks fn));
+  }

@@ -1,0 +1,168 @@
+(* Global value numbering.
+
+   Two ingredients, exactly the ones Section 3.3 discusses:
+
+   1. Expression numbering: pure instructions with identical opcodes and
+      congruent operands get the same value number; uses of later
+      computations are rewritten to the dominating representative (the
+      now-dead duplicates are left for DCE).
+
+   2. Predicate propagation: on the true edge of `br (icmp eq a, b)`, the
+      classes of [a] and [b] are merged inside the dominated region, with
+      the *right-hand side* chosen as representative — this is what turns
+      `foo(w)` into `foo(y)` in the paper's example, and it is sound only
+      because branching on poison is UB in the proposed semantics
+      (the soundness matrix demonstrates it is wrong under Branch_nondet).
+
+   freeze is handled conservatively: every freeze is its own class (the
+   paper notes GVN "does not yet know how to fold equivalent freeze
+   instructions"; folding them is only sound when *all* uses are
+   replaced, which this pass does not attempt).
+
+   Phi operands are never rewritten: a fact or numbering established in a
+   block only holds on paths through it, but a phi operand is evaluated
+   at the end of the *incoming* block. *)
+
+open Ub_ir
+open Instr
+module A = Ub_analysis
+
+type key = string
+
+let key_of_operand = function
+  | Var v -> "%" ^ v
+  | Const c -> Constant.to_string c ^ ":" ^ Types.to_string (Constant.ty c)
+
+let key_of_insn (ins : Instr.t) (op : operand -> key) : key option =
+  match ins with
+  | Binop (bop, attrs, ty, a, b) ->
+    let a, b =
+      if Instr.commutative bop then begin
+        let ka = op a and kb = op b in
+        if ka <= kb then (a, b) else (b, a)
+      end
+      else (a, b)
+    in
+    Some
+      (Printf.sprintf "%s%s%s%s %s %s,%s" (binop_name bop)
+         (if attrs.nsw then ".nsw" else "")
+         (if attrs.nuw then ".nuw" else "")
+         (if attrs.exact then ".exact" else "")
+         (Types.to_string ty) (op a) (op b))
+  | Icmp (pred, ty, a, b) ->
+    Some (Printf.sprintf "icmp.%s %s %s,%s" (pred_name pred) (Types.to_string ty) (op a) (op b))
+  | Select (c, ty, a, b) ->
+    Some (Printf.sprintf "select %s %s,%s,%s" (Types.to_string ty) (op c) (op a) (op b))
+  | Conv (cop, from, x, to_) ->
+    Some
+      (Printf.sprintf "%s %s %s %s" (conv_name cop) (Types.to_string from) (op x)
+         (Types.to_string to_))
+  | Bitcast (from, x, to_) ->
+    Some (Printf.sprintf "bitcast %s %s %s" (Types.to_string from) (op x) (Types.to_string to_))
+  | Gep { inbounds; pointee; base; indices } ->
+    Some
+      (Printf.sprintf "gep%s %s %s %s"
+         (if inbounds then ".ib" else "")
+         (Types.to_string pointee) (op base)
+         (String.concat "," (List.map (fun (_, v) -> op v) indices)))
+  | Freeze _ -> None (* conservatively unique; see header comment *)
+  | Phi _ | Load _ | Store _ | Call _ | Extractelement _ | Insertelement _ -> None
+
+(* Collect "a == rhs" facts that hold on entry to single-predecessor
+   branch targets. *)
+let equality_facts (fn : Func.t) (cfg_a : A.Cfg.t) :
+    (Instr.label, (Instr.var * operand) list) Hashtbl.t =
+  let eq_facts = Hashtbl.create 16 in
+  let record target fact =
+    let cur = match Hashtbl.find_opt eq_facts target with Some l -> l | None -> [] in
+    Hashtbl.replace eq_facts target (fact :: cur)
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      match b.term with
+      | Cond_br (Var c, t, e) when t <> e -> (
+        let fact_of a b' =
+          match (a, b') with
+          | Var va, rhs -> Some (va, rhs)
+          | lhs, Var vb -> Some (vb, lhs)
+          | _ -> None
+        in
+        match Func.find_def fn c with
+        | Some { Instr.ins = Icmp (Eq, _, a, b'); _ } -> (
+          match (A.Cfg.predecessors cfg_a t, fact_of a b') with
+          | [ p ], Some f when p = b.label -> record t f
+          | _ -> ())
+        | Some { Instr.ins = Icmp (Ne, _, a, b'); _ } -> (
+          match (A.Cfg.predecessors cfg_a e, fact_of a b') with
+          | [ p ], Some f when p = b.label -> record e f
+          | _ -> ())
+        | _ -> ())
+      | _ -> ())
+    fn.blocks;
+  eq_facts
+
+let run (_cfg : Pass.config) (fn : Func.t) : Func.t =
+  let cfg_a = A.Cfg.build fn in
+  let dom = A.Dom.compute cfg_a in
+  let eq_facts = equality_facts fn cfg_a in
+  let repr : (Instr.var, operand) Hashtbl.t = Hashtbl.create 32 in
+  let rec canon (o : operand) : operand =
+    match o with
+    | Var v -> (
+      match Hashtbl.find_opt repr v with
+      | Some (Var v') when v' <> v -> canon (Var v')
+      | Some (Const _ as c) -> c
+      | _ -> o)
+    | Const _ -> o
+  in
+  let ckey o = key_of_operand (canon o) in
+  let exprs : (key, Instr.var) Hashtbl.t = Hashtbl.create 64 in
+  let new_blocks : (Instr.label, Func.block) Hashtbl.t = Hashtbl.create 16 in
+  let rec walk (l : Instr.label) =
+    let b = Func.find_block_exn fn l in
+    let added_exprs = ref [] in
+    let added_reprs = ref [] in
+    let add_repr v rhs =
+      if (not (Hashtbl.mem repr v)) && canon rhs <> Var v then begin
+        Hashtbl.replace repr v (canon rhs);
+        added_reprs := v :: !added_reprs
+      end
+    in
+    (match Hashtbl.find_opt eq_facts l with
+    | Some facts -> List.iter (fun (v, rhs) -> add_repr v rhs) facts
+    | None -> ());
+    let insns' =
+      List.map
+        (fun { Instr.def; ins } ->
+          let ins' = match ins with Phi _ -> ins | _ -> Instr.map_operands canon ins in
+          (match def with
+          | None -> ()
+          | Some d -> (
+            match key_of_insn ins' ckey with
+            | None -> ()
+            | Some k -> (
+              match Hashtbl.find_opt exprs k with
+              | Some leader when leader <> d -> add_repr d (Var leader)
+              | Some _ -> ()
+              | None ->
+                Hashtbl.replace exprs k d;
+                added_exprs := k :: !added_exprs)));
+          { Instr.def; ins = ins' })
+        b.insns
+    in
+    let term' = Instr.map_term_operands canon b.term in
+    Hashtbl.replace new_blocks l { b with insns = insns'; term = term' };
+    List.iter walk (A.Dom.children dom l);
+    List.iter (Hashtbl.remove exprs) !added_exprs;
+    List.iter (Hashtbl.remove repr) !added_reprs
+  in
+  walk (Func.entry fn).label;
+  { fn with
+    Func.blocks =
+      List.map
+        (fun (b : Func.block) ->
+          match Hashtbl.find_opt new_blocks b.label with Some nb -> nb | None -> b)
+        fn.blocks;
+  }
+
+let pass : Pass.t = { Pass.name = "gvn"; run }

@@ -1,0 +1,38 @@
+(* The -O2-style pipeline, assembled the way the paper's experiments run
+   it: the same pass order for the baseline and the freeze prototype,
+   with behaviour differences coming only from the configuration. *)
+
+let o2_function_passes : Pass.t list =
+  [ Simplifycfg.pass;
+    Sccp.pass;
+    Instcombine.pass;
+    Constant_fold.pass;
+    Reassociate.pass;
+    Gvn.pass;
+    Jump_threading.pass;
+    Simplifycfg.pass;
+    Licm.pass;
+    Loop_unswitch.pass;
+    Indvar_widen.pass;
+    Instcombine.pass;
+    Constant_fold.pass;
+    Gvn.pass;
+    Load_widen.pass;
+    Dce.pass;
+    Simplifycfg.pass;
+    Cgp.pass;
+    Dce.pass;
+  ]
+
+(* A short pipeline for the opt-fuzz validation experiment (the paper
+   validates InstCombine, GVN, Reassociation and SCCP individually plus
+   -O2; loop passes never fire on the straight-line fuzz corpus). *)
+let fuzz_passes : Pass.t list =
+  [ Instcombine.pass; Gvn.pass; Reassociate.pass; Sccp.pass ]
+
+let run_o2 (cfg : Pass.config) (m : Ub_ir.Func.module_) : Ub_ir.Func.module_ =
+  let m = Inline.run_module cfg m in
+  Pass.run_pipeline_module cfg o2_function_passes m
+
+let run_o2_func (cfg : Pass.config) (fn : Ub_ir.Func.t) : Ub_ir.Func.t =
+  Pass.run_pipeline cfg o2_function_passes fn

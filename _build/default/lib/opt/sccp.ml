@@ -1,0 +1,163 @@
+(* Sparse conditional constant propagation over the lattice
+   Top (never executed / unknown) < Const bv < Overdefined.
+
+   Poison and undef constants go straight to Overdefined: assuming a
+   value for them per-use is exactly the GCC footnote trap of Section 9
+   ("optimizations like SCCP can assume multiple values for the same
+   uninitialized variable"), and folding them would not be a refinement
+   under every mode we support. *)
+
+open Ub_support
+open Ub_ir
+open Instr
+
+type lat = Top | Const_ of Bitvec.t | Over
+
+let join a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Const_ x, Const_ y when Bitvec.equal x y -> a
+  | _ -> Over
+
+let run (_cfg : Pass.config) (fn : Func.t) : Func.t =
+  let values : (Instr.var, lat) Hashtbl.t = Hashtbl.create 32 in
+  (* arguments are unknown at compile time: Overdefined from the start *)
+  List.iter (fun (a, _) -> Hashtbl.replace values a Over) fn.Func.args;
+  let executable : (Instr.label, unit) Hashtbl.t = Hashtbl.create 16 in
+  let edge_exec : (Instr.label * Instr.label, unit) Hashtbl.t = Hashtbl.create 16 in
+  let get v = match Hashtbl.find_opt values v with Some l -> l | None -> Top in
+  let lat_of_operand = function
+    | Const (Constant.Int bv) -> Const_ bv
+    | Const _ -> Over
+    | Var v -> get v
+  in
+  let changed = ref true in
+  let set v l =
+    let old = get v in
+    let nw = join old l in
+    if nw <> old then begin
+      Hashtbl.replace values v nw;
+      changed := true
+    end
+  in
+  let mark_block l =
+    if not (Hashtbl.mem executable l) then begin
+      Hashtbl.replace executable l ();
+      changed := true
+    end
+  in
+  let mark_edge f t =
+    if not (Hashtbl.mem edge_exec (f, t)) then begin
+      Hashtbl.replace edge_exec (f, t) ();
+      changed := true
+    end;
+    mark_block t
+  in
+  mark_block (Func.entry fn).label;
+  (* fixpoint *)
+  let iter_limit = ref (List.length fn.blocks * 64 + 256) in
+  while !changed && !iter_limit > 0 do
+    changed := false;
+    decr iter_limit;
+    List.iter
+      (fun (b : Func.block) ->
+        if Hashtbl.mem executable b.label then begin
+          List.iter
+            (fun { Instr.def; ins } ->
+              match def with
+              | None -> ()
+              | Some d -> (
+                match ins with
+                | Phi (_, incoming) ->
+                  let l =
+                    List.fold_left
+                      (fun acc (v, from) ->
+                        if Hashtbl.mem edge_exec (from, b.label) then
+                          join acc (lat_of_operand v)
+                        else acc)
+                      Top incoming
+                  in
+                  set d l
+                | Binop (op, attrs, ty, a, b') -> (
+                  match (lat_of_operand a, lat_of_operand b') with
+                  | Const_ x, Const_ y -> (
+                    match
+                      Constant_fold.fold_binop op attrs ty (Const (Constant.Int x))
+                        (Const (Constant.Int y))
+                    with
+                    | Some (Const (Constant.Int r)) -> set d (Const_ r)
+                    | _ -> set d Over)
+                  | Over, _ | _, Over -> set d Over
+                  | _ -> ())
+                | Icmp (pred, ty, a, b') -> (
+                  match (lat_of_operand a, lat_of_operand b') with
+                  | Const_ x, Const_ y -> (
+                    match
+                      Constant_fold.fold_icmp pred ty (Const (Constant.Int x))
+                        (Const (Constant.Int y))
+                    with
+                    | Some (Const (Constant.Int r)) -> set d (Const_ r)
+                    | _ -> set d Over)
+                  | Over, _ | _, Over -> set d Over
+                  | _ -> ())
+                | Select (c, _, a, b') -> (
+                  match lat_of_operand c with
+                  | Const_ cv ->
+                    set d (lat_of_operand (if Bitvec.is_one cv then a else b'))
+                  | Over -> set d (join (lat_of_operand a) (lat_of_operand b'))
+                  | Top -> ())
+                | Conv (op, _, x, to_) -> (
+                  let w = Types.bitwidth to_ in
+                  match lat_of_operand x with
+                  | Const_ xv ->
+                    let r =
+                      match op with
+                      | Zext -> Bitvec.zext xv ~width:w
+                      | Sext -> Bitvec.sext xv ~width:w
+                      | Trunc -> Bitvec.trunc xv ~width:w
+                    in
+                    set d (Const_ r)
+                  | Over -> set d Over
+                  | Top -> ())
+                | Freeze (_, x) -> (
+                  (* freeze of a known constant is that constant *)
+                  match lat_of_operand x with
+                  | Const_ xv -> set d (Const_ xv)
+                  | Over -> set d Over
+                  | Top -> ())
+                | _ -> set d Over))
+            b.insns;
+          match b.term with
+          | Br t -> mark_edge b.label t
+          | Cond_br (c, t, e) -> (
+            match lat_of_operand c with
+            | Const_ cv -> mark_edge b.label (if Bitvec.is_one cv then t else e)
+            | Over ->
+              mark_edge b.label t;
+              mark_edge b.label e
+            | Top -> ())
+          | Ret _ | Ret_void | Unreachable -> ()
+        end)
+      fn.blocks
+  done;
+  (* rewrite: replace defs that settled on a constant; fold branches on
+     constants; leave unreachable-block removal to simplifycfg *)
+  let substs = ref [] in
+  let fn' =
+    Func.map_insns fn (fun n ->
+        match n.Instr.def with
+        | Some d -> (
+          match get d with
+          | Const_ bv when not (Instr.has_side_effects n.Instr.ins) -> (
+            match n.Instr.ins with
+            | Phi _ | Binop _ | Icmp _ | Select _ | Conv _ | Freeze _ ->
+              substs := (d, Const (Constant.Int bv)) :: !substs;
+              []
+            | _ -> [ n ])
+          | _ -> [ n ])
+        | None -> [ n ])
+  in
+  let fn' = List.fold_left (fun acc (v, by) -> Func.replace_uses acc ~v ~by) fn' !substs in
+  Simplifycfg.fold_constant_branches fn'
+
+let pass : Pass.t = { Pass.name = "sccp"; run }

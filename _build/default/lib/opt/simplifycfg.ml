@@ -1,0 +1,197 @@
+(* SimplifyCFG: constant-branch folding, straight-line block merging,
+   removal of trivial forwarding blocks, and the phi->select conversion
+   of Section 3.4 (sound under the proposed semantics because select with
+   a non-poison condition forwards only the chosen arm, and the branch it
+   replaces would have been UB on a poison condition anyway — replacing
+   UB is a legal refinement). *)
+
+open Ub_support
+open Ub_ir
+open Instr
+
+(* br (true/false) -> br; also br c, same, same -> br same *)
+let fold_constant_branches (fn : Func.t) : Func.t =
+  { fn with
+    blocks =
+      List.map
+        (fun (b : Func.block) ->
+          match b.term with
+          | Cond_br (Const (Constant.Int bv), t, e) ->
+            { b with term = Br (if Bitvec.is_one bv then t else e) }
+          | Cond_br (_, t, e) when t = e -> { b with term = Br t }
+          | _ -> b)
+        fn.blocks;
+  }
+
+(* Remove phi incomings for edges that no longer exist. *)
+let prune_phis (fn : Func.t) : Func.t =
+  let preds = Func.predecessors fn in
+  let fn =
+    { fn with
+      Func.blocks =
+        List.map
+          (fun (b : Func.block) ->
+            let my_preds = match List.assoc_opt b.label preds with Some p -> p | None -> [] in
+            { b with
+              insns =
+                List.map
+                  (fun n ->
+                    match n.Instr.ins with
+                    | Phi (ty, inc) ->
+                      { n with
+                        Instr.ins = Phi (ty, List.filter (fun (_, l) -> List.mem l my_preds) inc);
+                      }
+                    | _ -> n)
+                  b.insns;
+            })
+          fn.blocks;
+    }
+  in
+  (* single-incoming phis in single-pred blocks become copies *)
+  let substs = ref [] in
+  let fn =
+    Func.map_insns fn (fun n ->
+        match (n.Instr.def, n.Instr.ins) with
+        | Some d, Phi (_, [ (v, _) ]) ->
+          substs := (d, v) :: !substs;
+          []
+        | _ -> [ n ])
+  in
+  List.fold_left (fun acc (v, by) -> Func.replace_uses acc ~v ~by) fn !substs
+
+(* Merge [b2] into [b1] when b1 ends `br b2` and b2's only predecessor is
+   b1 (and b2 has no phis left). *)
+let merge_blocks (fn : Func.t) : Func.t =
+  let rec go fn =
+    let preds = Func.predecessors fn in
+    let candidate =
+      List.find_opt
+        (fun (b1 : Func.block) ->
+          match b1.term with
+          | Br l2 when l2 <> b1.label -> (
+            match List.assoc_opt l2 preds with
+            | Some [ _ ] ->
+              let b2 = Func.find_block_exn fn l2 in
+              (not (List.exists (fun n -> match n.Instr.ins with Phi _ -> true | _ -> false) b2.insns))
+              && l2 <> (Func.entry fn).label
+            | _ -> false)
+          | _ -> false)
+        fn.blocks
+    in
+    match candidate with
+    | None -> fn
+    | Some b1 ->
+      let l2 = match b1.term with Br l -> l | _ -> assert false in
+      let b2 = Func.find_block_exn fn l2 in
+      let merged = { b1 with insns = b1.insns @ b2.insns; term = b2.term } in
+      let blocks =
+        List.filter_map
+          (fun (b : Func.block) ->
+            if b.label = b1.label then Some merged
+            else if b.label = l2 then None
+            else Some b)
+          fn.blocks
+      in
+      (* phis downstream referring to l2 now come from b1 *)
+      let blocks =
+        List.map
+          (fun (b : Func.block) ->
+            { b with
+              insns =
+                List.map
+                  (fun n ->
+                    match n.Instr.ins with
+                    | Phi (ty, inc) ->
+                      { n with
+                        Instr.ins =
+                          Phi (ty, List.map (fun (v, l) -> (v, if l = l2 then b1.label else l)) inc);
+                      }
+                    | _ -> n)
+                  b.insns;
+            })
+          blocks
+      in
+      go { fn with Func.blocks = blocks }
+  in
+  go fn
+
+(* The phi -> select conversion (SimplifyCFG in the paper):
+
+     C:  br %c, %A, %B          C: %x = select %c, %va, %vb
+     A:  br %M             =>      br %M
+     B:  br %M
+     M:  %x = phi [%va,%A],[%vb,%B]
+
+   Only fires for empty A/B (the classic diamond of Figure "3.4"), and a
+   triangle variant where one arm is C itself. *)
+let phi_to_select (fn : Func.t) : Func.t =
+  let block l = Func.find_block_exn fn l in
+  let is_empty_forwarder l target =
+    let b = block l in
+    b.insns = [] && b.term = Br target
+  in
+  let preds = Func.predecessors fn in
+  let candidate =
+    List.find_map
+      (fun (c : Func.block) ->
+        match c.term with
+        | Cond_br (cond, a, bl) when a <> bl -> (
+          (* diamond: both arms empty forwarders to the same M *)
+          let target_of l = match (block l).term with Br m -> Some m | _ -> None in
+          match (target_of a, target_of bl) with
+          | Some m1, Some m2
+            when m1 = m2
+                 && is_empty_forwarder a m1
+                 && is_empty_forwarder bl m1
+                 && List.assoc_opt a preds = Some [ c.label ]
+                 && List.assoc_opt bl preds = Some [ c.label ]
+                 && (match List.assoc_opt m1 preds with
+                    | Some ps -> List.sort compare ps = List.sort compare [ a; bl ]
+                    | None -> false) ->
+            Some (c, cond, a, bl, m1)
+          | _ -> None)
+        | _ -> None)
+      fn.blocks
+  in
+  match candidate with
+  | None -> fn
+  | Some (c, cond, a, bl, m) ->
+    let mb = block m in
+    (* phis in M become selects appended to C *)
+    let selects, rest =
+      List.fold_left
+        (fun (sels, rest) n ->
+          match n.Instr.ins with
+          | Phi (ty, inc) -> (
+            let va = List.assoc_opt a (List.map (fun (v, l) -> (l, v)) inc) in
+            let vb = List.assoc_opt bl (List.map (fun (v, l) -> (l, v)) inc) in
+            match (va, vb) with
+            | Some va, Some vb ->
+              (sels @ [ { n with Instr.ins = Select (cond, ty, va, vb) } ], rest)
+            | _ -> (sels, rest @ [ n ]))
+          | _ -> (sels, rest @ [ n ]))
+        ([], []) mb.insns
+    in
+    if selects = [] then fn
+    else begin
+      let blocks =
+        List.filter_map
+          (fun (b : Func.block) ->
+            if b.label = c.label then Some { b with insns = b.insns @ selects; term = Br m }
+            else if b.label = a || b.label = bl then None
+            else if b.label = m then Some { b with insns = rest }
+            else Some b)
+          fn.blocks
+      in
+      { fn with Func.blocks = blocks }
+    end
+
+let run (_cfg : Pass.config) (fn : Func.t) : Func.t =
+  let fn = fold_constant_branches fn in
+  let fn = Dce.remove_unreachable_blocks fn in
+  let fn = prune_phis fn in
+  let fn = phi_to_select fn in
+  let fn = merge_blocks fn in
+  fn
+
+let pass : Pass.t = { Pass.name = "simplifycfg"; run }

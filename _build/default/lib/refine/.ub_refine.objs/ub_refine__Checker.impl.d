@@ -1,0 +1,1 @@
+lib/refine/checker.ml: Array Bitvec Bvterm Circuit Encode Enum_check Func List Mode Printf String Ub_ir Ub_sem Ub_smt Ub_support Util Value

@@ -1,0 +1,1 @@
+lib/refine/encode.ml: Array Bvterm Circuit Constant Func Hashtbl Instr List Mode Printf Types Ub_ir Ub_sem Ub_smt

@@ -1,0 +1,1 @@
+lib/refine/enum_check.ml: Bitvec Func Interp List Mode Oracle Printf String Types Ub_ir Ub_sem Ub_support Value

@@ -1,0 +1,1 @@
+lib/refine/matrix.ml: Checker List Parser Ub_ir Ub_sem

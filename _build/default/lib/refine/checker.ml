@@ -1,0 +1,192 @@
+(* The refinement checker: does [tgt] refine [src] under a semantics
+   mode?  This is the tool the paper uses (via Alive + opt-fuzz,
+   Section 6) to validate optimizations against the proposed semantics,
+   and the engine behind our Section-3 soundness matrix.
+
+   Verification condition (counterexample search):
+
+     exists inputs, target-choices .
+       forall source-choices .
+         not ( UB_src  \/  ( not UB_tgt  /\ covers ) )
+
+   where covers = p_src \/ (not p_tgt /\ (u_src \/ (not u_tgt /\ v_src = v_tgt))).
+
+   Source choices (undef materializations, freeze picks, nondet branch
+   directions) are enumerated by bounded expansion; target choices are
+   ordinary existentials in the SAT query. *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+open Ub_smt
+
+type verdict =
+  | Refines
+  | Counterexample of { args : Value.t list; witness : string }
+  | Unknown of string
+
+let verdict_to_string = function
+  | Refines -> "refines"
+  | Counterexample { args; witness } ->
+    Printf.sprintf "COUNTEREXAMPLE args=(%s): %s"
+      (String.concat ", " (List.map Value.to_string args))
+      witness
+  | Unknown r -> "unknown: " ^ r
+
+(* Choice provider that records widths (first pass) or replays fixed
+   constants (expansion passes). *)
+let counting_choices ctx (widths : int list ref) : Encode.choice_fn =
+  { Encode.choose =
+      (fun ~width ->
+        widths := width :: !widths;
+        Bvterm.fresh ctx ~width)
+  }
+
+let constant_choices ctx (vals : Bitvec.t list) : Encode.choice_fn =
+  let rest = ref vals in
+  { Encode.choose =
+      (fun ~width ->
+        match !rest with
+        | v :: tl ->
+          rest := tl;
+          assert (Bitvec.width v = width);
+          Bvterm.const ctx v
+        | [] -> invalid_arg "Checker: choice list exhausted")
+  }
+
+let fresh_choices ctx : Encode.choice_fn =
+  { Encode.choose = (fun ~width -> Bvterm.fresh ctx ~width) }
+
+(* All assignments to a list of widths, as lists of bitvecs. *)
+let rec assignments = function
+  | [] -> [ [] ]
+  | w :: rest ->
+    let tails = assignments rest in
+    List.concat_map (fun bv -> List.map (fun t -> bv :: t) tails) (Bitvec.all ~width:w)
+
+let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode.t)
+    ~(src : Func.t) ~(tgt : Func.t) : verdict =
+  if List.map snd src.args <> List.map snd tgt.args then Unknown "argument types differ"
+  else if src.ret_ty <> tgt.ret_ty then Unknown "return types differ"
+  else begin
+    try
+      let ctx = Circuit.create_ctx () in
+      (* shared inputs: per argument a (value, poison, undef) triple *)
+      let args_syms =
+        List.map
+          (fun (v, ty) ->
+            let w = Encode.int_width ty in
+            let sym =
+              { Encode.v = Bvterm.fresh ~name:("arg_" ^ v) ctx ~width:w;
+                p = Circuit.fresh ~name:("poison_" ^ v) ctx;
+                u =
+                  (if mode.Mode.undef_enabled then Circuit.fresh ~name:("undef_" ^ v) ctx
+                   else Circuit.bfalse);
+              }
+            in
+            (v, ty, sym))
+          src.args
+      in
+      let src_args = List.map (fun (v, _, s) -> (v, s)) args_syms in
+      let tgt_args =
+        List.map2 (fun (_, _, s) (v, _) -> (v, s)) args_syms tgt.args
+      in
+      (* pass 1: count source choices *)
+      let widths = ref [] in
+      let _ = Encode.encode ctx mode (counting_choices ctx widths) ~args:src_args src in
+      let widths = List.rev !widths in
+      let total_bits = Util.sum_int widths in
+      if total_bits > max_universal_bits then
+        Unknown
+          (Printf.sprintf "source has %d bits of nondeterministic choice (max %d)" total_bits
+             max_universal_bits)
+      else begin
+        (* encode target once, with existential choices *)
+        let tenc = Encode.encode ctx mode (fresh_choices ctx) ~args:tgt_args tgt in
+        (* encode source once per universal assignment *)
+        let sencs =
+          List.map
+            (fun assign ->
+              Encode.encode ctx mode (constant_choices ctx assign) ~args:src_args src)
+            (assignments widths)
+        in
+        let covers (s : Encode.fenc) : Circuit.t =
+          match (s.ret, tenc.ret) with
+          | None, None -> Circuit.btrue
+          | Some rs, Some rt ->
+            Circuit.bor ctx rs.Encode.p
+              (Circuit.band ctx
+                 (Circuit.bnot ctx rt.Encode.p)
+                 (Circuit.bor ctx rs.Encode.u
+                    (Circuit.band ctx
+                       (Circuit.bnot ctx rt.Encode.u)
+                       (Bvterm.eq ctx rs.Encode.v rt.Encode.v))))
+          | _ -> Circuit.bfalse
+        in
+        let cex =
+          Circuit.big_and ctx
+            (List.map
+               (fun s ->
+                 Circuit.bnot ctx
+                   (Circuit.bor ctx s.Encode.ub
+                      (Circuit.band ctx (Circuit.bnot ctx tenc.ub) (covers s))))
+               sencs)
+        in
+        match Circuit.Cnf.solve ~max_conflicts ctx cex with
+        | Circuit.Cnf.Unsat_r -> Refines
+        | Circuit.Cnf.Sat_model model ->
+          (* extract argument values *)
+          let args =
+            List.map
+              (fun (_, ty, sym) ->
+                let w = Encode.int_width ty in
+                if Circuit.eval model.bool_of_input sym.Encode.p then
+                  Value.Scalar Value.Poison
+                else if
+                  (not (Circuit.is_false sym.Encode.u))
+                  && Circuit.eval model.bool_of_input sym.Encode.u
+                then Value.Scalar Value.Undef
+                else begin
+                  let bv = ref (Bitvec.zero w) in
+                  Array.iteri
+                    (fun i bit ->
+                      if Circuit.eval model.bool_of_input bit then
+                        bv := Bitvec.set_bit !bv i true)
+                    sym.Encode.v;
+                  Value.Scalar (Value.Conc !bv)
+                end)
+              args_syms
+          in
+          Counterexample { args; witness = "SAT model of the refinement violation" }
+      end
+    with
+    | Encode.Unsupported r -> Unknown ("not encodable: " ^ r)
+    | Circuit.Cnf.Too_hard -> Unknown "SAT budget exceeded"
+  end
+
+(* Combined checker: try the SAT path, fall back to enumeration when the
+   functions are outside the encodable fragment. *)
+let check ?max_universal_bits ?max_conflicts ?fuel ?max_inputs ?max_runs ?module_src
+    ?module_tgt ?inputs (mode : Mode.t) ~(src : Func.t) ~(tgt : Func.t) : verdict =
+  match inputs with
+  | Some _ ->
+    (* explicit inputs: enumeration only *)
+    (match
+       Enum_check.check ~mode ?fuel ?max_inputs ?max_runs ?module_src ?module_tgt ?inputs
+         ~src ~tgt ()
+     with
+    | Enum_check.Refines -> Refines
+    | Enum_check.Counterexample { args; witness } -> Counterexample { args; witness }
+    | Enum_check.Unknown r -> Unknown r)
+  | None -> (
+    match check_sat ?max_universal_bits ?max_conflicts mode ~src ~tgt with
+    | (Refines | Counterexample _) as v -> v
+    | Unknown sat_reason -> (
+      match
+        Enum_check.check ~mode ?fuel ?max_inputs ?max_runs ?module_src ?module_tgt ~src ~tgt
+          ()
+      with
+      | Enum_check.Refines -> Refines
+      | Enum_check.Counterexample { args; witness } -> Counterexample { args; witness }
+      | Enum_check.Unknown enum_reason ->
+        Unknown (Printf.sprintf "SAT: %s; enumeration: %s" sat_reason enum_reason)))

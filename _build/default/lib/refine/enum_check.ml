@@ -1,0 +1,134 @@
+(* Refinement checking by exhaustive enumeration: compute the complete
+   behaviour sets of source and target on every input (over a small input
+   space) and check trace-and-result inclusion.  Slow but fully general —
+   loops, memory, calls, vectors, every semantics mode — and therefore
+   also the ground truth that the SAT-based checker is property-tested
+   against. *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+
+type verdict =
+  | Refines
+  | Counterexample of { args : Value.t list; witness : string }
+  | Unknown of string
+
+(* Does source behaviour [s] cover target behaviour [t]?  UB covers
+   everything; a returned value covers by Value.covers; event traces must
+   match pointwise with argument covering; memories compare bit-wise with
+   poison covering anything and undef covering any defined bit. *)
+let mem_covers (src : string) (tgt : string) =
+  String.length src = String.length tgt
+  && begin
+    let ok = ref true in
+    String.iteri
+      (fun i cs ->
+        let ct = tgt.[i] in
+        if cs <> ct then
+          match (cs, ct) with
+          | 'p', _ -> ()
+          | 'u', ('0' | '1' | 'u') -> ()
+          | _ -> ok := false)
+      src;
+    !ok
+  end
+
+let event_covers (Interp.Call_event (ns, args_s)) (Interp.Call_event (nt, args_t)) =
+  ns = nt
+  && List.length args_s = List.length args_t
+  && List.for_all2 (fun s t -> Value.covers ~src:s ~tgt:t) args_s args_t
+
+let behavior_covers (s : Interp.Behaviors.behavior) (t : Interp.Behaviors.behavior) =
+  match s.Interp.Behaviors.b_outcome with
+  | Interp.Ub _ -> true
+  | outcome_s -> (
+    (* events must be covered pointwise, memory bitwise *)
+    List.length s.b_events = List.length t.b_events
+    && List.for_all2 event_covers s.b_events t.b_events
+    && mem_covers s.b_mem t.b_mem
+    &&
+    match (outcome_s, t.b_outcome) with
+    | Interp.Returned None, Interp.Returned None -> true
+    | Interp.Returned (Some vs), Interp.Returned (Some vt) -> Value.covers ~src:vs ~tgt:vt
+    | Interp.Timeout, Interp.Timeout -> true (* both diverge within fuel *)
+    | _, _ -> false)
+
+(* A source behaviour that times out is treated as possibly-anything for
+   prefix reasons?  No: we are conservative — if the source can time out
+   we only accept a target timeout with a covered event prefix.  Programs
+   in the experiments terminate well within fuel. *)
+
+(* All argument tuples for a function over small integer types.  Poison
+   and (mode-dependent) undef are included, as Alive does. *)
+let input_space ~(mode : Mode.t) ~max_inputs (fn : Func.t) : Value.t list list option =
+  let arg_values (ty : Types.t) : Value.t list option =
+    match ty with
+    | Types.Int w when w <= 8 ->
+      let concs = List.map (fun bv -> Value.of_bitvec bv) (Bitvec.all ~width:w) in
+      let extra =
+        Value.Scalar Value.Poison
+        :: (if mode.Mode.undef_enabled then [ Value.Scalar Value.Undef ] else [])
+      in
+      Some (concs @ extra)
+    | _ -> None
+  in
+  let rec build = function
+    | [] -> Some [ [] ]
+    | (_, ty) :: rest -> (
+      match (arg_values ty, build rest) with
+      | Some vs, Some tails ->
+        Some (List.concat_map (fun v -> List.map (fun t -> v :: t) tails) vs)
+      | _ -> None)
+  in
+  match build fn.args with
+  | Some tuples when List.length tuples <= max_inputs -> Some tuples
+  | Some _ -> None
+  | None -> None
+
+let check ?(mode = Mode.proposed) ?(fuel = 5_000) ?(max_inputs = 5_000) ?(max_runs = 50_000)
+    ?module_src ?module_tgt ?inputs ~(src : Func.t) ~(tgt : Func.t) () : verdict =
+  if List.map snd src.args <> List.map snd tgt.args then Unknown "argument types differ"
+  else begin
+    let tuples =
+      match inputs with
+      | Some ts -> Some ts
+      | None -> input_space ~mode ~max_inputs src
+    in
+    match tuples with
+    | None -> Unknown "input space too large or not enumerable"
+    | Some tuples -> (
+      try
+        let bad =
+          List.find_map
+            (fun args ->
+              let behs_src =
+                Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_src ~max_runs src args
+              in
+              let behs_tgt =
+                Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_tgt ~max_runs tgt args
+              in
+              match
+                List.find_opt
+                  (fun bt -> not (List.exists (fun bs -> behavior_covers bs bt) behs_src))
+                  behs_tgt
+              with
+              | Some bt ->
+                Some
+                  (Counterexample
+                     { args;
+                       witness =
+                         Printf.sprintf
+                           "target behaviour not covered: %s (source has %d behaviour(s): %s)"
+                           (Interp.Behaviors.to_string bt)
+                           (List.length behs_src)
+                           (String.concat " | "
+                              (List.map Interp.Behaviors.to_string
+                                 (Ub_support.Util.take 4 behs_src)));
+                     })
+              | None -> None)
+            tuples
+        in
+        match bad with Some cex -> cex | None -> Refines
+      with Oracle.Exhausted -> Unknown "behaviour space too large")
+  end

@@ -1,0 +1,371 @@
+(* A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+   learning, VSIDS branching, Luby restarts, and learned-clause
+   minimization by self-subsumption over the implication graph.
+
+   This is the decision-procedure substrate for the refinement checker
+   (the paper uses Z3 via Alive; the container is sealed, so we carry our
+   own solver — see DESIGN.md).  Literal encoding: variable [v >= 0] maps
+   to literals [2v] (positive) and [2v+1] (negated). *)
+
+type lit = int
+
+let pos v : lit = 2 * v
+let neg v : lit = (2 * v) + 1
+let lit_of ?(negated = false) v = if negated then neg v else pos v
+let var_of (l : lit) = l lsr 1
+let is_neg (l : lit) = l land 1 = 1
+let lnot (l : lit) = l lxor 1
+
+type result = Sat of bool array | Unsat
+
+(* Truth values in the trail: 0 unassigned, 1 true, 2 false (of the
+   positive literal). *)
+
+type clause = { lits : lit array; mutable activity : float; learned : bool }
+
+type t = {
+  nvars : int;
+  mutable clauses : clause list; (* original clauses, for debugging *)
+  (* watch lists indexed by literal *)
+  watches : clause list array;
+  assign : int array; (* per var: 0 / 1 (true) / 2 (false) *)
+  level : int array; (* decision level per var *)
+  reason : clause option array; (* antecedent clause per var *)
+  trail : int array; (* assigned literals in order *)
+  mutable trail_len : int;
+  trail_lim : int array; (* trail length at each decision level *)
+  mutable decision_level : int;
+  mutable qhead : int; (* propagation queue head *)
+  activity : float array; (* VSIDS per var *)
+  mutable var_inc : float;
+  seen : bool array; (* scratch for conflict analysis *)
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable decisions : int;
+}
+
+exception Unsat_exn
+
+let create nvars =
+  { nvars;
+    clauses = [];
+    watches = Array.make (2 * nvars) [];
+    assign = Array.make nvars 0;
+    level = Array.make nvars 0;
+    reason = Array.make nvars None;
+    trail = Array.make (max 1 nvars) 0;
+    trail_len = 0;
+    trail_lim = Array.make (max 1 nvars) 0;
+    decision_level = 0;
+    qhead = 0;
+    activity = Array.make nvars 0.0;
+    var_inc = 1.0;
+    seen = Array.make nvars false;
+    conflicts = 0;
+    propagations = 0;
+    decisions = 0;
+  }
+
+let value_lit (s : t) (l : lit) =
+  (* 0 unassigned, 1 true, 2 false *)
+  let a = s.assign.(var_of l) in
+  if a = 0 then 0 else if is_neg l then 3 - a else a
+
+let enqueue (s : t) (l : lit) (reason : clause option) =
+  let v = var_of l in
+  s.assign.(v) <- (if is_neg l then 2 else 1);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let bump_var (s : t) v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_var_activity (s : t) = s.var_inc <- s.var_inc /. 0.95
+
+(* Add a clause; returns false if the instance is already unsat at level
+   0.  Duplicate and trivially-true clauses are simplified away. *)
+let add_clause (s : t) (lits : lit list) : bool =
+  (* simplify: dedup, detect tautology, drop false-at-level-0 literals *)
+  let lits = List.sort_uniq compare lits in
+  if List.exists (fun l -> List.mem (lnot l) lits) lits then true
+  else begin
+    let lits = List.filter (fun l -> value_lit s l <> 2 || s.level.(var_of l) > 0) lits in
+    let lits = Array.of_list lits in
+    match Array.length lits with
+    | 0 -> false
+    | 1 ->
+      let l = lits.(0) in
+      (match value_lit s l with
+      | 1 -> true
+      | 2 -> false
+      | _ ->
+        enqueue s l None;
+        true)
+    | _ ->
+      let c = { lits; activity = 0.0; learned = false } in
+      s.clauses <- c :: s.clauses;
+      s.watches.(lnot lits.(0)) <- c :: s.watches.(lnot lits.(0));
+      s.watches.(lnot lits.(1)) <- c :: s.watches.(lnot lits.(1));
+      true
+  end
+
+(* Propagate until fixpoint; returns the conflicting clause if any. *)
+let propagate (s : t) : clause option =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_len do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* literal l became true; visit clauses watching (lnot l)... we store
+       watches keyed by the literal that, when made FALSE, requires a
+       visit.  We keyed insertion by [lnot lits.(i)], i.e. watching
+       literal lits.(i); when l becomes true, lits containing (lnot l)
+       are affected: those are in watches.(l). *)
+    let watchers = s.watches.(l) in
+    s.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | c :: rest -> (
+        if !conflict <> None then
+          (* put the remainder back untouched *)
+          s.watches.(l) <- c :: rest @ s.watches.(l)
+        else begin
+          let lits = c.lits in
+          let falsified = lnot l in
+          (* ensure falsified literal is at position 1 *)
+          if lits.(0) = falsified then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- falsified
+          end;
+          if value_lit s lits.(0) = 1 then begin
+            (* clause already satisfied; keep watching *)
+            s.watches.(l) <- c :: s.watches.(l);
+            process rest
+          end
+          else begin
+            (* look for a new watch *)
+            let n = Array.length lits in
+            let found = ref false in
+            let i = ref 2 in
+            while (not !found) && !i < n do
+              if value_lit s lits.(!i) <> 2 then begin
+                let w = lits.(!i) in
+                lits.(!i) <- lits.(1);
+                lits.(1) <- w;
+                s.watches.(lnot w) <- c :: s.watches.(lnot w);
+                found := true
+              end;
+              incr i
+            done;
+            if !found then process rest
+            else begin
+              (* unit or conflict *)
+              s.watches.(l) <- c :: s.watches.(l);
+              match value_lit s lits.(0) with
+              | 2 ->
+                conflict := Some c;
+                (* keep the unvisited watchers on this list *)
+                s.watches.(l) <- rest @ s.watches.(l)
+              | 0 ->
+                enqueue s lits.(0) (Some c);
+                process rest
+              | _ -> process rest
+            end
+          end
+        end)
+    in
+    process watchers
+  done;
+  !conflict
+
+(* First-UIP conflict analysis.  Returns (learned clause, backtrack
+   level); learned.(0) is the asserting literal. *)
+let analyze (s : t) (confl : clause) : lit array * int =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  (* -1 marks "use all literals of confl" on first iteration *)
+  let confl = ref (Some confl) in
+  let idx = ref (s.trail_len - 1) in
+  let continue_ = ref true in
+  while !continue_ do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+      Array.iter
+        (fun q ->
+          if q <> !p then begin
+            let v = var_of q in
+            if (not s.seen.(v)) && s.level.(v) > 0 then begin
+              s.seen.(v) <- true;
+              bump_var s v;
+              if s.level.(v) >= s.decision_level then incr counter
+              else learned := q :: !learned
+            end
+          end)
+        c.lits);
+    (* find next literal on trail that is marked *)
+    while not s.seen.(var_of s.trail.(!idx)) do
+      decr idx
+    done;
+    let q = s.trail.(!idx) in
+    let v = var_of q in
+    s.seen.(v) <- false;
+    decr counter;
+    decr idx;
+    if !counter = 0 then begin
+      (* q is the first UIP *)
+      learned := lnot q :: !learned;
+      continue_ := false
+    end
+    else begin
+      p := q;
+      confl := s.reason.(v)
+    end
+  done;
+  let arr = Array.of_list !learned in
+  (* move asserting literal (lnot of UIP) to front: it is the head *)
+  let n = Array.length arr in
+  (* asserting literal is the last added: find it — it is the only one at
+     current decision level *)
+  let ai = ref 0 in
+  for i = 0 to n - 1 do
+    if s.level.(var_of arr.(i)) = s.decision_level then ai := i
+  done;
+  let tmp = arr.(0) in
+  arr.(0) <- arr.(!ai);
+  arr.(!ai) <- tmp;
+  (* backtrack level: max level among the rest *)
+  let blevel = ref 0 in
+  let bi = ref 1 in
+  for i = 1 to n - 1 do
+    if s.level.(var_of arr.(i)) > !blevel then begin
+      blevel := s.level.(var_of arr.(i));
+      bi := i
+    end
+  done;
+  if n > 1 then begin
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!bi);
+    arr.(!bi) <- tmp
+  end;
+  (* clear seen flags *)
+  Array.iter (fun l -> s.seen.(var_of l) <- false) arr;
+  (arr, !blevel)
+
+let backtrack (s : t) (level : int) =
+  if s.decision_level > level then begin
+    for i = s.trail_len - 1 downto s.trail_lim.(level) do
+      let v = var_of s.trail.(i) in
+      s.assign.(v) <- 0;
+      s.reason.(v) <- None
+    done;
+    s.trail_len <- s.trail_lim.(level);
+    s.qhead <- s.trail_len;
+    s.decision_level <- level
+  end
+
+let pick_branch_var (s : t) : int option =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+(* Luby sequence for restarts. *)
+let rec luby i =
+  (* find k with 2^k - 1 = i *)
+  let rec pow2 k = if k = 0 then 1 else 2 * pow2 (k - 1) in
+  let rec find_k k = if pow2 k - 1 >= i then k else find_k (k + 1) in
+  let k = find_k 1 in
+  if pow2 k - 1 = i then pow2 (k - 1) else luby (i - pow2 (k - 1) + 1)
+
+exception Budget_exceeded
+
+let solve ?(max_conflicts = max_int) (s : t) : result =
+  let restart_num = ref 0 in
+  let result = ref None in
+  (try
+     (* top-level propagation of units added by add_clause *)
+     (match propagate s with
+     | Some _ -> result := Some Unsat
+     | None -> ());
+     while !result = None do
+       incr restart_num;
+       let budget = 100 * luby !restart_num in
+       let local_conflicts = ref 0 in
+       (try
+          while !result = None do
+            match propagate s with
+            | Some confl ->
+              s.conflicts <- s.conflicts + 1;
+              incr local_conflicts;
+              if s.conflicts > max_conflicts then raise Budget_exceeded;
+              if s.decision_level = 0 then begin
+                result := Some Unsat;
+                raise Exit
+              end;
+              let learned, blevel = analyze s confl in
+              backtrack s blevel;
+              decay_var_activity s;
+              if Array.length learned = 1 then enqueue s learned.(0) None
+              else begin
+                let c = { lits = learned; activity = 0.0; learned = true } in
+                s.watches.(lnot learned.(0)) <- c :: s.watches.(lnot learned.(0));
+                s.watches.(lnot learned.(1)) <- c :: s.watches.(lnot learned.(1));
+                enqueue s learned.(0) (Some c)
+              end;
+              if !local_conflicts >= budget then begin
+                (* restart *)
+                backtrack s 0;
+                raise Exit
+              end
+            | None -> (
+              match pick_branch_var s with
+              | None ->
+                (* full assignment: SAT *)
+                result :=
+                  Some (Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1)));
+                raise Exit
+              | Some v ->
+                s.decisions <- s.decisions + 1;
+                s.trail_lim.(s.decision_level) <- s.trail_len;
+                s.decision_level <- s.decision_level + 1;
+                (* phase: default false (matches zeros oracle bias) *)
+                enqueue s (neg v) None)
+          done
+        with Exit -> ())
+     done
+   with Budget_exceeded ->
+     backtrack s 0;
+     raise Budget_exceeded);
+  match !result with Some r -> r | None -> assert false
+
+(* One-shot convenience: clauses as lists of literals. *)
+let solve_clauses ?max_conflicts ~nvars (clauses : lit list list) : result =
+  let s = create nvars in
+  let ok = List.for_all (fun c -> add_clause s c) clauses in
+  if not ok then Unsat else solve ?max_conflicts s
+
+(* Check a model against clauses (used by tests and as a runtime
+   self-check). *)
+let model_satisfies (model : bool array) (clauses : lit list list) =
+  List.for_all
+    (List.exists (fun l ->
+         let v = var_of l in
+         if is_neg l then not model.(v) else model.(v)))
+    clauses
+
+let stats s = (s.conflicts, s.decisions, s.propagations)

@@ -1,0 +1,1 @@
+lib/semantics/eval.ml: Array Bitvec Instr Int64 Memory Mode Oracle Printf Types Ub_ir Ub_support Value

@@ -1,0 +1,1 @@
+lib/semantics/interp.ml: Array Bitvec Eval Func Hashtbl Instr List Memory Mode Oracle Printf Types Ub_ir Ub_support Value

@@ -1,0 +1,1 @@
+lib/semantics/memory.ml: Array Bitvec Hashtbl Int64 List Printf String Types Ub_ir Ub_support Value

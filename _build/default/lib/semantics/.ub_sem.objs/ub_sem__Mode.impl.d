@@ -1,0 +1,1 @@
+lib/semantics/mode.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/semantics/oracle.ml: Bitvec Int64 List Prng Ub_support

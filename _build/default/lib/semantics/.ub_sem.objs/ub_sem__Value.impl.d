@@ -1,0 +1,1 @@
+lib/semantics/value.ml: Array Bitvec Constant Fmt List Mode Stdlib Types Ub_ir Ub_support

@@ -1,0 +1,284 @@
+(* A small-step-in-spirit, big-step-in-implementation interpreter for the
+   IR under a semantics mode.  Deterministic given an oracle; the
+   [Behaviors] module at the bottom enumerates all oracle decisions to
+   compute the complete behaviour set of a (small) function, which is the
+   ground truth the enumeration-based refinement checker uses. *)
+
+open Ub_support
+open Ub_ir
+open Instr
+
+(* Observable events: calls to functions not defined in the module.
+   Arguments are recorded as evaluated (possibly poison/undef) — the
+   refinement order on traces uses Value.covers pointwise. *)
+type event = Call_event of string * Value.t list
+
+type outcome =
+  | Returned of Value.t option
+  | Ub of string
+  | Timeout
+
+type run_result = {
+  outcome : outcome;
+  events : event list; (* chronological *)
+  mem_fp : string; (* fingerprint of final memory *)
+  steps : int;
+  block_counts : (label * int) list; (* execution profile, for the cost model *)
+}
+
+let outcome_to_string = function
+  | Returned None -> "ret void"
+  | Returned (Some v) -> "ret " ^ Value.to_string v
+  | Ub m -> "UB: " ^ m
+  | Timeout -> "timeout"
+
+exception Ub_exn of string
+exception Out_of_fuel
+
+type frame = { env : (var, Value.t) Hashtbl.t }
+
+type state = {
+  mode : Mode.t;
+  oracle : Oracle.t;
+  mem : Memory.t;
+  module_ : Func.module_ option;
+  mutable fuel : int;
+  mutable events : event list; (* reverse chronological *)
+  profile : (string * label, int) Hashtbl.t;
+  externals : string -> Value.t list -> Value.t option;
+      (* result for an external call; [Some v]/[None=void] *)
+}
+
+let default_external ret_ty _name _args =
+  (* externals return zero of their declared type *)
+  match ret_ty with
+  | None -> None
+  | Some ty -> (
+    match ty with
+    | Types.Vec (n, elt) ->
+      Some (Value.Vector (Array.make n (Value.Conc (Bitvec.zero (Types.scalar_bitwidth elt)))))
+    | _ -> Some (Value.Scalar (Value.Conc (Bitvec.zero (Types.scalar_bitwidth ty)))))
+
+let spend st n =
+  st.fuel <- st.fuel - n;
+  if st.fuel < 0 then raise Out_of_fuel
+
+let eval_operand (st : state) (fr : frame) (op : operand) : Value.t =
+  match op with
+  | Var v -> (
+    match Hashtbl.find_opt fr.env v with
+    | Some value -> value
+    | None -> invalid_arg (Printf.sprintf "Interp: unbound register %%%s" v))
+  | Const c -> Eval.normalize st.mode (Value.of_constant c)
+
+let res_exn = function Ok v -> v | Error m -> raise (Ub_exn m)
+
+(* Allocation builtin: [call ty* @malloc(i32 %n)] allocates n bytes. *)
+let is_malloc name = name = "malloc" || name = "alloca"
+
+let rec exec_call st fr ret_ty callee args =
+  let arg_vals = List.map (fun (_, a) -> eval_operand st fr a) args in
+  if is_malloc callee then begin
+    match arg_vals with
+    | [ Value.Scalar (Value.Conc n) ] ->
+      let size = Bitvec.to_uint_exn n in
+      if size = 0 then raise (Ub_exn "malloc of zero bytes")
+      else Some (Value.Scalar (Value.Conc (Memory.alloc st.mem ~size)))
+    | _ -> raise (Ub_exn "malloc with non-concrete size")
+  end
+  else begin
+    match st.module_ with
+    | Some m when Func.find_func m callee <> None ->
+      let callee_fn = Func.find_func_exn m callee in
+      run_body st callee_fn arg_vals
+    | _ ->
+      st.events <- Call_event (callee, arg_vals) :: st.events;
+      (match st.externals callee arg_vals with
+      | Some _ as r -> r
+      | None -> default_external ret_ty callee arg_vals)
+  end
+
+and run_body (st : state) (fn : Func.t) (arg_vals : Value.t list) : Value.t option =
+  if List.length arg_vals <> List.length fn.args then
+    invalid_arg (Printf.sprintf "Interp: @%s called with wrong arity" fn.name);
+  let fr = { env = Hashtbl.create 16 } in
+  List.iter2
+    (fun (name, _ty) v -> Hashtbl.replace fr.env name (Eval.normalize st.mode v))
+    fn.args arg_vals;
+  let rec run_block (prev : label option) (b : Func.block) : Value.t option =
+    (match Hashtbl.find_opt st.profile (fn.name, b.label) with
+    | Some c -> Hashtbl.replace st.profile (fn.name, b.label) (c + 1)
+    | None -> Hashtbl.replace st.profile (fn.name, b.label) 1);
+    (* phis evaluate simultaneously from the edge values *)
+    let phis, rest =
+      List.partition (fun n -> match n.ins with Phi _ -> true | _ -> false) b.insns
+    in
+    let phi_values =
+      List.map
+        (fun n ->
+          match (n.def, n.ins) with
+          | Some d, Phi (_, incoming) -> (
+            match prev with
+            | None -> invalid_arg "Interp: phi in entry block"
+            | Some p -> (
+              match List.assoc_opt p (List.map (fun (v, l) -> (l, v)) incoming) with
+              | Some v -> (d, eval_operand st fr v)
+              | None ->
+                invalid_arg (Printf.sprintf "Interp: phi %%%s missing edge from %%%s" d p)))
+          | _ -> assert false)
+        phis
+    in
+    List.iter (fun (d, v) -> Hashtbl.replace fr.env d v) phi_values;
+    spend st (List.length phis);
+    (* straight-line instructions *)
+    List.iter
+      (fun { def; ins } ->
+        spend st 1;
+        let bind v = match def with Some d -> Hashtbl.replace fr.env d v | None -> () in
+        match ins with
+        | Phi _ -> assert false
+        | Binop (op, attrs, ty, a, b') ->
+          bind
+            (res_exn
+               (Eval.eval_binop st.mode st.oracle op attrs ty (eval_operand st fr a)
+                  (eval_operand st fr b')))
+        | Icmp (p, ty, a, b') ->
+          bind
+            (res_exn
+               (Eval.eval_icmp st.mode st.oracle p ty (eval_operand st fr a)
+                  (eval_operand st fr b')))
+        | Select (c, ty, a, b') ->
+          bind
+            (res_exn
+               (Eval.eval_select st.mode st.oracle (eval_operand st fr c) ty
+                  (eval_operand st fr a) (eval_operand st fr b')))
+        | Conv (op, from, x, to_) ->
+          bind (res_exn (Eval.eval_conv st.mode st.oracle op ~from ~to_ (eval_operand st fr x)))
+        | Bitcast (from, x, to_) ->
+          bind (res_exn (Eval.eval_bitcast st.mode ~from ~to_ (eval_operand st fr x)))
+        | Freeze (ty, x) ->
+          bind (res_exn (Eval.eval_freeze st.mode st.oracle ty (eval_operand st fr x)))
+        | Gep { inbounds; pointee; base; indices } ->
+          let idx_vals = List.map (fun (t, v) -> (t, eval_operand st fr v)) indices in
+          bind
+            (res_exn
+               (Eval.eval_gep st.oracle ~inbounds ~pointee (eval_operand st fr base) idx_vals))
+        | Load (ty, p) -> (
+          match Value.as_scalar (eval_operand st fr p) with
+          | Value.Poison -> raise (Ub_exn "load from poison pointer")
+          | Value.Undef -> raise (Ub_exn "load from undef pointer")
+          | Value.Conc addr -> (
+            match Memory.load_bits st.mem addr ~nbytes:(Types.store_size ty) with
+            | None -> raise (Ub_exn "load from invalid address")
+            | Some bits ->
+              let w = Types.bitwidth ty in
+              bind (Value.ty_up ~mode:st.mode ty (Array.sub bits 0 w))))
+        | Store (ty, v, p) -> (
+          match Value.as_scalar (eval_operand st fr p) with
+          | Value.Poison -> raise (Ub_exn "store to poison pointer")
+          | Value.Undef -> raise (Ub_exn "store to undef pointer")
+          | Value.Conc addr ->
+            let bits = Value.ty_down ty (eval_operand st fr v) in
+            if not (Memory.store_bits st.mem addr bits) then
+              raise (Ub_exn "store to invalid address"))
+        | Call (ret_ty, callee, args) -> (
+          match exec_call st fr ret_ty callee args with
+          | Some v -> bind v
+          | None -> ())
+        | Extractelement (vty, v, i) ->
+          bind
+            (res_exn
+               (Eval.eval_extractelement st.oracle vty (eval_operand st fr v)
+                  (eval_operand st fr i)))
+        | Insertelement (vty, v, e, i) ->
+          bind
+            (res_exn
+               (Eval.eval_insertelement st.oracle vty (eval_operand st fr v)
+                  (eval_operand st fr e) (eval_operand st fr i))))
+      rest;
+    (* terminator *)
+    spend st 1;
+    match b.term with
+    | Ret (_, x) -> Some (eval_operand st fr x)
+    | Ret_void -> None
+    | Br l -> run_block (Some b.label) (Func.find_block_exn fn l)
+    | Cond_br (c, t, e) ->
+      let cond = res_exn (Eval.resolve_branch st.mode st.oracle (eval_operand st fr c)) in
+      run_block (Some b.label) (Func.find_block_exn fn (if cond then t else e))
+    | Unreachable -> raise (Ub_exn "reached unreachable")
+  in
+  run_block None (Func.entry fn)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(mode = Mode.proposed) ?(oracle = Oracle.zeros) ?(fuel = 200_000) ?module_
+    ?(externals = fun _ _ -> None) ?mem (fn : Func.t) (args : Value.t list) : run_result =
+  let mem = match mem with Some m -> m | None -> Memory.create () in
+  let st =
+    { mode; oracle; mem; module_; fuel; events = []; profile = Hashtbl.create 16; externals }
+  in
+  let outcome =
+    try Returned (run_body st fn args) with
+    | Ub_exn m -> Ub m
+    | Out_of_fuel -> Timeout
+  in
+  let block_counts =
+    Hashtbl.fold (fun (f, l) c acc -> if f = fn.name then (l, c) :: acc else acc) st.profile []
+    |> List.sort compare
+  in
+  { outcome;
+    events = List.rev st.events;
+    mem_fp = Memory.fingerprint mem;
+    steps = st.fuel;
+    block_counts;
+  }
+
+(* Full execution profile across all functions (for the cost model). *)
+let profile ?(mode = Mode.proposed) ?(oracle = Oracle.zeros) ?(fuel = 2_000_000) ~module_
+    (fn : Func.t) (args : Value.t list) : ((string * label) * int) list * outcome =
+  let st =
+    { mode; oracle; mem = Memory.create (); module_ = Some module_; fuel; events = [];
+      profile = Hashtbl.create 64; externals = (fun _ _ -> None);
+    }
+  in
+  let outcome =
+    try Returned (run_body st fn args) with
+    | Ub_exn m -> Ub m
+    | Out_of_fuel -> Timeout
+  in
+  (Hashtbl.fold (fun k c acc -> (k, c) :: acc) st.profile [] |> List.sort compare, outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour enumeration                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Behaviors = struct
+  (* One abstract behaviour of a run: the outcome together with the
+     observable trace.  Memory is included via fingerprint so that
+     store-visible transformations can be compared too. *)
+  type behavior = {
+    b_outcome : outcome;
+    b_events : event list;
+    b_mem : string;
+  }
+
+  let behavior_of_run (r : run_result) =
+    { b_outcome = r.outcome; b_events = r.events; b_mem = r.mem_fp }
+
+  let to_string (b : behavior) =
+    Printf.sprintf "%s | events:%d | mem:%s" (outcome_to_string b.b_outcome)
+      (List.length b.b_events) b.b_mem
+
+  (* All behaviours of [fn] on [args] under [mode], by exhaustive
+     exploration of oracle decisions.  [max_runs] bounds the exploration;
+     raises [Oracle.Exhausted] beyond it. *)
+  let enumerate ?(mode = Mode.proposed) ?(fuel = 10_000) ?module_ ?(max_runs = 200_000)
+      ?max_width_bits (fn : Func.t) (args : Value.t list) : behavior list =
+    let runs =
+      Oracle.explore ?max_width_bits ~max_runs (fun oracle ->
+          behavior_of_run (run ~mode ~oracle ~fuel ?module_ fn args))
+    in
+    List.sort_uniq compare runs
+end

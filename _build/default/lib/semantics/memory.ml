@@ -1,0 +1,117 @@
+(* The memory of Section 4.2: a partial map from 32-bit addresses to
+   bitwise-defined bytes (<8 x i1> with per-bit poison/undef).  On top of
+   the raw map we keep an allocation table so loads and stores can be
+   checked for validity — accessing outside any live allocation is
+   immediate UB, as is access through a poison address. *)
+
+open Ub_support
+open Ub_ir
+
+type byte = Value.bit array (* length 8, LSB first *)
+
+type allocation = { base : int64; size : int; mutable live : bool }
+
+type t = {
+  bytes : (int64, byte) Hashtbl.t;
+  mutable allocs : allocation list;
+  mutable next_base : int64;
+}
+
+let create () = { bytes = Hashtbl.create 64; allocs = []; next_base = 0x1000L }
+
+let copy t =
+  { bytes = Hashtbl.copy t.bytes;
+    allocs = List.map (fun a -> { a with live = a.live }) t.allocs;
+    next_base = t.next_base;
+  }
+
+let addr_space = 0x1_0000_0000L (* 2^32 *)
+
+(* Allocate [size] bytes; returns the base address.  Contents start
+   uninitialized (all Bundef). *)
+let alloc t ~size =
+  if size <= 0 then invalid_arg "Memory.alloc: non-positive size";
+  let base = t.next_base in
+  let nb = Int64.add base (Int64.of_int size) in
+  if Int64.unsigned_compare nb addr_space >= 0 then failwith "Memory.alloc: address space exhausted";
+  (* round next base up for alignment-friendly addresses *)
+  t.next_base <- Int64.logand (Int64.add nb 15L) (Int64.lognot 15L);
+  t.allocs <- { base; size; live = true } :: t.allocs;
+  for i = 0 to size - 1 do
+    Hashtbl.replace t.bytes (Int64.add base (Int64.of_int i)) (Array.make 8 Value.Bundef)
+  done;
+  Bitvec.of_int64 ~width:Types.pointer_bits base
+
+let free t addr =
+  let a = Bitvec.to_uint64 addr in
+  match List.find_opt (fun al -> Int64.equal al.base a && al.live) t.allocs with
+  | Some al -> al.live <- false
+  | None -> failwith "Memory.free: not an allocation base"
+
+(* Is the byte range [addr, addr+len) inside a single live allocation? *)
+let valid_range t addr len =
+  let a = Bitvec.to_uint64 addr in
+  List.exists
+    (fun al ->
+      al.live
+      && Int64.unsigned_compare a al.base >= 0
+      && Int64.unsigned_compare (Int64.add a (Int64.of_int len))
+           (Int64.add al.base (Int64.of_int al.size))
+           <= 0)
+    t.allocs
+
+(* Load [nbytes] bytes starting at [addr]; [None] if the access is
+   invalid.  Result is a flat bit array, LSB of the first byte first
+   (little-endian). *)
+let load_bits t addr ~nbytes : Value.bit array option =
+  if not (valid_range t addr nbytes) then None
+  else begin
+    let a = Bitvec.to_uint64 addr in
+    let out = Array.make (nbytes * 8) Value.Bundef in
+    for i = 0 to nbytes - 1 do
+      match Hashtbl.find_opt t.bytes (Int64.add a (Int64.of_int i)) with
+      | Some byte -> Array.blit byte 0 out (i * 8) 8
+      | None -> () (* inside an allocation => always present *)
+    done;
+    Some out
+  end
+
+(* Store a flat bit array (length divisible by 8 after padding).  Bits
+   beyond the value's width within the last byte are left untouched only
+   if the value is not byte-aligned — we pad with Bundef to the byte
+   boundary, which models LLVM's "padding is undef". *)
+let store_bits t addr (bits : Value.bit array) : bool =
+  let nbits = Array.length bits in
+  let nbytes = (nbits + 7) / 8 in
+  if not (valid_range t addr nbytes) then false
+  else begin
+    let a = Bitvec.to_uint64 addr in
+    for i = 0 to nbytes - 1 do
+      let byte = Array.make 8 Value.Bundef in
+      for j = 0 to 7 do
+        let k = (i * 8) + j in
+        if k < nbits then byte.(j) <- bits.(k)
+      done;
+      Hashtbl.replace t.bytes (Int64.add a (Int64.of_int i)) byte
+    done;
+    true
+  end
+
+(* A deterministic fingerprint of the live memory contents, used to
+   compare final memories across executions. *)
+let fingerprint t : string =
+  let entries =
+    Hashtbl.fold
+      (fun addr byte acc ->
+        let s =
+          String.concat ""
+            (List.map
+               (fun b ->
+                 match b with Value.B0 -> "0" | Value.B1 -> "1" | Value.Bpoison -> "p" | Value.Bundef -> "u")
+               (Array.to_list byte))
+        in
+        (addr, s) :: acc)
+      t.bytes []
+  in
+  let entries = List.sort compare entries in
+  String.concat ";" (List.map (fun (a, s) -> Printf.sprintf "%Lx=%s" a s) entries)

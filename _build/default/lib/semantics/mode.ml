@@ -1,0 +1,119 @@
+(* A *semantics mode* pins down every choice the paper shows LLVM's
+   passes disagreeing about (Section 3), plus the paper's proposed
+   resolution (Section 4).  The interpreter, the refinement checker and
+   the soundness-matrix experiment are all parameterized by a mode, which
+   is how we reproduce statements like "loop unswitching and GVN require
+   different semantics for branch on poison in order to be correct". *)
+
+type branch_on_poison =
+  | Branch_ub (* branching on poison is immediate UB (GVN's view; proposed) *)
+  | Branch_nondet (* branching on poison is a nondeterministic choice (loop unswitching's view) *)
+
+type select_sem =
+  | Select_conditional
+      (* poison condition => poison result; otherwise the chosen arm is
+         forwarded and the other arm is ignored (Figure 5 / proposed) *)
+  | Select_nondet_cond
+      (* poison condition => nondeterministically pick an arm; matches
+         the Branch_nondet view of br, keeping select~br equivalence *)
+  | Select_arith
+      (* poison *anywhere* (condition or either arm) => poison; the
+         LangRef reading that justifies select<->arithmetic rewrites *)
+  | Select_ub_cond
+      (* poison condition => immediate UB; matches the Branch_ub view of
+         br, keeping the select<->br lowering sound in that direction *)
+
+type t = {
+  name : string;
+  undef_enabled : bool; (* does the [undef] value exist? *)
+  branch_on_poison : branch_on_poison;
+  select_sem : select_sem;
+  div_by_poison_ub : bool;
+      (* division with poison divisor: true => immediate UB (LLVM/Alive
+         practice), false => poison (the literal "all ops return poison"
+         reading); see DESIGN.md *)
+  load_uninit_poison : bool;
+      (* loads of uninitialized bits: false => undef (old), true =>
+         poison (proposed; Section 5.3 relies on this) *)
+}
+
+(* The paper's proposed semantics (Section 4): no undef, freeze exists,
+   branch on poison is UB, select conditionally forwards poison. *)
+let proposed =
+  { name = "proposed";
+    undef_enabled = false;
+    branch_on_poison = Branch_ub;
+    select_sem = Select_conditional;
+    div_by_poison_ub = true;
+    load_uninit_poison = true;
+  }
+
+(* The "old LLVM" candidate semantics of Section 3.  There is no single
+   old semantics — that is the paper's point — so we name the views taken
+   by individual passes. *)
+
+(* Loop unswitching's view: hoisting a branch out of a loop assumes
+   branch-on-poison is a nondeterministic choice (Section 3.3). *)
+let old_unswitch =
+  { name = "old-unswitch";
+    undef_enabled = true;
+    branch_on_poison = Branch_nondet;
+    select_sem = Select_nondet_cond;
+    div_by_poison_ub = true;
+    load_uninit_poison = false;
+  }
+
+(* GVN's view: replacing a value by a syntactically-equal one assumes
+   branch-on-poison (and select-on-poison) is UB (Section 3.3). *)
+let old_gvn =
+  { name = "old-gvn";
+    undef_enabled = true;
+    branch_on_poison = Branch_ub;
+    select_sem = Select_ub_cond;
+    div_by_poison_ub = true;
+    load_uninit_poison = false;
+  }
+
+(* The LangRef reading used by select->arithmetic InstCombine rewrites:
+   select is poison if any operand is (Section 3.4). *)
+let old_langref =
+  { name = "old-langref";
+    undef_enabled = true;
+    branch_on_poison = Branch_nondet;
+    select_sem = Select_arith;
+    div_by_poison_ub = true;
+    load_uninit_poison = false;
+  }
+
+(* The SimplifyCFG view: phi->select needs select to forward only the
+   dynamically chosen value, with a non-UB condition (Section 3.4). *)
+let old_simplifycfg =
+  { name = "old-simplifycfg";
+    undef_enabled = true;
+    branch_on_poison = Branch_nondet;
+    select_sem = Select_conditional;
+    div_by_poison_ub = true;
+    load_uninit_poison = false;
+  }
+
+(* All candidate "old" semantics, for the soundness matrix. *)
+let old_candidates = [ old_unswitch; old_gvn; old_langref; old_simplifycfg ]
+
+let all = proposed :: old_candidates
+
+let find name = List.find_opt (fun m -> m.name = name) all
+
+let pp ppf m = Fmt.pf ppf "%s" m.name
+
+let describe m =
+  Printf.sprintf
+    "%s: undef=%b, br(poison)=%s, select=%s, div-by-poison=%s, uninit-load=%s"
+    m.name m.undef_enabled
+    (match m.branch_on_poison with Branch_ub -> "UB" | Branch_nondet -> "nondet")
+    (match m.select_sem with
+    | Select_conditional -> "conditional"
+    | Select_nondet_cond -> "nondet-cond"
+    | Select_arith -> "arith"
+    | Select_ub_cond -> "UB-cond")
+    (if m.div_by_poison_ub then "UB" else "poison")
+    (if m.load_uninit_poison then "poison" else "undef")

@@ -1,0 +1,1 @@
+lib/smt/bvterm.ml: Array Bitvec Circuit List Printf Ub_support

@@ -1,0 +1,1 @@
+lib/smt/circuit.ml: Array Hashtbl List Solver Ub_sat

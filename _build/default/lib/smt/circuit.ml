@@ -1,0 +1,236 @@
+(* Boolean circuits with constant-folding smart constructors and a
+   Tseitin translation to CNF for the CDCL solver.  The refinement
+   checker builds one circuit per verification query; bit-blasted
+   bitvector arithmetic lives in [Bvterm] on top of this module. *)
+
+type t = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Input of int (* free boolean variable, by input index *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Ite of t * t * t
+
+type ctx = {
+  mutable next_id : int;
+  mutable next_input : int;
+  mutable inputs : (int * string) list; (* input index -> debug name *)
+}
+
+let create_ctx () = { next_id = 2; next_input = 0; inputs = [] }
+
+let mk ctx node =
+  let id = ctx.next_id in
+  ctx.next_id <- ctx.next_id + 1;
+  { id; node }
+
+let btrue = { id = 0; node = True }
+let bfalse = { id = 1; node = False }
+let of_bool b = if b then btrue else bfalse
+
+let fresh ?(name = "b") ctx =
+  let idx = ctx.next_input in
+  ctx.next_input <- ctx.next_input + 1;
+  ctx.inputs <- (idx, name) :: ctx.inputs;
+  mk ctx (Input idx)
+
+let is_true b = b.node = True
+let is_false b = b.node = False
+
+(* Smart constructors with local simplification.  Structural-equality
+   tests use ids (cheap physical-by-construction sharing). *)
+
+let rec bnot ctx a =
+  match a.node with
+  | True -> bfalse
+  | False -> btrue
+  | Not x -> x
+  | _ -> mk ctx (Not a)
+
+and band ctx a b =
+  if a.id = b.id then a
+  else
+    match (a.node, b.node) with
+    | True, _ -> b
+    | _, True -> a
+    | False, _ | _, False -> bfalse
+    | Not x, _ when x.id = b.id -> bfalse
+    | _, Not y when y.id = a.id -> bfalse
+    | _ -> mk ctx (And (a, b))
+
+and bor ctx a b =
+  if a.id = b.id then a
+  else
+    match (a.node, b.node) with
+    | False, _ -> b
+    | _, False -> a
+    | True, _ | _, True -> btrue
+    | Not x, _ when x.id = b.id -> btrue
+    | _, Not y when y.id = a.id -> btrue
+    | _ -> mk ctx (Or (a, b))
+
+and bxor ctx a b =
+  if a.id = b.id then bfalse
+  else
+    match (a.node, b.node) with
+    | False, _ -> b
+    | _, False -> a
+    | True, _ -> bnot ctx b
+    | _, True -> bnot ctx a
+    | Not x, Not y -> bxor ctx x y
+    | _ -> mk ctx (Xor (a, b))
+
+and bite ctx c a b =
+  if a.id = b.id then a
+  else
+    match (c.node, a.node, b.node) with
+    | True, _, _ -> a
+    | False, _, _ -> b
+    | _, True, False -> c
+    | _, False, True -> bnot ctx c
+    | _, True, _ -> bor ctx c b
+    | _, False, _ -> band ctx (bnot ctx c) b
+    | _, _, True -> bor ctx (bnot ctx c) a
+    | _, _, False -> band ctx c a
+    | _ -> mk ctx (Ite (c, a, b))
+
+let beq ctx a b = bnot ctx (bxor ctx a b)
+let bimplies ctx a b = bor ctx (bnot ctx a) b
+
+let big_and ctx = List.fold_left (band ctx) btrue
+let big_or ctx = List.fold_left (bor ctx) bfalse
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin CNF                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Cnf = struct
+  open Ub_sat
+
+  type builder = {
+    solver : Solver.t;
+    node_var : (int, int) Hashtbl.t; (* circuit node id -> SAT var *)
+    input_var : (int, int) Hashtbl.t; (* input index -> SAT var *)
+    mutable ok : bool; (* false once add_clause reported level-0 unsat *)
+  }
+
+  let add b c = if not (Solver.add_clause b.solver c) then b.ok <- false
+
+  (* Translate a node to a SAT variable, memoized. *)
+  let rec lit_of (b : builder) (t : t) : Solver.lit =
+    match t.node with
+    | True -> Solver.pos 0 (* var 0 is pinned true *)
+    | False -> Solver.neg 0
+    | Input i -> Solver.pos (Hashtbl.find b.input_var i)
+    | Not x -> Solver.lnot (lit_of b x)
+    | _ -> (
+      match Hashtbl.find_opt b.node_var t.id with
+      | Some v -> Solver.pos v
+      | None ->
+        let v = fresh_var b in
+        Hashtbl.replace b.node_var t.id v;
+        let out = Solver.pos v in
+        (match t.node with
+        | And (x, y) ->
+          let lx = lit_of b x and ly = lit_of b y in
+          add b [ Solver.lnot out; lx ];
+          add b [ Solver.lnot out; ly ];
+          add b [ out; Solver.lnot lx; Solver.lnot ly ]
+        | Or (x, y) ->
+          let lx = lit_of b x and ly = lit_of b y in
+          add b [ out; Solver.lnot lx ];
+          add b [ out; Solver.lnot ly ];
+          add b [ Solver.lnot out; lx; ly ]
+        | Xor (x, y) ->
+          let lx = lit_of b x and ly = lit_of b y in
+          add b [ Solver.lnot out; lx; ly ];
+          add b [ Solver.lnot out; Solver.lnot lx; Solver.lnot ly ];
+          add b [ out; lx; Solver.lnot ly ];
+          add b [ out; Solver.lnot lx; ly ]
+        | Ite (c, x, y) ->
+          let lc = lit_of b c and lx = lit_of b x and ly = lit_of b y in
+          add b [ Solver.lnot out; Solver.lnot lc; lx ];
+          add b [ Solver.lnot out; lc; ly ];
+          add b [ out; Solver.lnot lc; Solver.lnot lx ];
+          add b [ out; lc; Solver.lnot ly ]
+        | True | False | Input _ | Not _ -> assert false);
+        out)
+
+  and fresh_var b =
+    (* solver vars were preallocated; track a counter in the table *)
+    match Hashtbl.find_opt b.node_var (-1) with
+    | Some n ->
+      Hashtbl.replace b.node_var (-1) (n + 1);
+      n
+    | None -> assert false
+
+  type model = { bool_of_input : int -> bool }
+
+  type solve_result = Sat_model of model | Unsat_r
+
+  exception Too_hard
+
+  (* Satisfiability of [root = true].  [max_conflicts] bounds solver
+     effort; raises [Too_hard] when exceeded. *)
+  let solve ?(max_conflicts = 2_000_000) (ctx : ctx) (root : t) : solve_result =
+    (* var 0: constant true; then one var per input; then Tseitin vars.
+       Upper bound on vars: 1 + inputs + nodes. *)
+    let nvars = 1 + ctx.next_input + ctx.next_id in
+    let solver = Ub_sat.Solver.create nvars in
+    let b =
+      { solver; node_var = Hashtbl.create 256; input_var = Hashtbl.create 64; ok = true }
+    in
+    Hashtbl.replace b.node_var (-1) (1 + ctx.next_input);
+    for i = 0 to ctx.next_input - 1 do
+      Hashtbl.replace b.input_var i (1 + i)
+    done;
+    add b [ Ub_sat.Solver.pos 0 ];
+    let root_lit = lit_of b root in
+    add b [ root_lit ];
+    if not b.ok then Unsat_r
+    else begin
+      match
+        try Ub_sat.Solver.solve ~max_conflicts solver
+        with Ub_sat.Solver.Budget_exceeded -> raise Too_hard
+      with
+      | Ub_sat.Solver.Unsat -> Unsat_r
+      | Ub_sat.Solver.Sat assignment ->
+        Sat_model
+          { bool_of_input =
+              (fun i ->
+                match Hashtbl.find_opt b.input_var i with
+                | Some v -> assignment.(v)
+                | None -> false);
+          }
+    end
+end
+
+(* Concrete evaluation of a circuit under an input assignment — used to
+   cross-check the bit-blaster against Bitvec and to validate SAT
+   models.  Memoized on node ids: blasted circuits are heavily shared
+   DAGs. *)
+let eval (assign : int -> bool) (t : t) : bool =
+  let memo : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+      let v =
+        match t.node with
+        | True -> true
+        | False -> false
+        | Input i -> assign i
+        | Not x -> not (go x)
+        | And (x, y) -> go x && go y
+        | Or (x, y) -> go x || go y
+        | Xor (x, y) -> go x <> go y
+        | Ite (c, x, y) -> if go c then go x else go y
+      in
+      Hashtbl.replace memo t.id v;
+      v
+  in
+  go t

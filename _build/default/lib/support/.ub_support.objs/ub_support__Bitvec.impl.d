@@ -1,0 +1,1 @@
+lib/support/bitvec.ml: Array Fmt Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/support/prng.ml: Array Bitvec Int64 List

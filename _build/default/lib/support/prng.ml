@@ -1,0 +1,51 @@
+(* SplitMix64: a small, fast, deterministic PRNG.  Every randomized piece
+   of this repository (corpus generation, random oracles, property tests'
+   auxiliary data) goes through this module so that runs are reproducible
+   from a single seed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound), bound > 0. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.equal (Int64.logand (next_int64 t) 1L) 1L
+
+let bitvec t ~width = Bitvec.make ~width (next_int64 t)
+
+(* Pick an element of a non-empty list / array. *)
+let choose_list t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose_list: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_array t xs =
+  if Array.length xs = 0 then invalid_arg "Prng.choose_array: empty";
+  xs.(int t (Array.length xs))
+
+(* Bernoulli with probability num/den. *)
+let chance t ~num ~den = int t den < num
+
+let shuffle t xs =
+  let a = Array.copy xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,35 @@
+(* Union-find with path compression and union by rank, over dense integer
+   keys.  Used by GVN's congruence classes and by the register allocator's
+   copy coalescing. *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let same t a b = find t a = find t b

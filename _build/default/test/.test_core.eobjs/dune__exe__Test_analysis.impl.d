@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Constant Hashtbl Instr List Parser Ub_analysis Ub_ir Ub_support

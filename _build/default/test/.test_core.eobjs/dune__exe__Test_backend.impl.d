@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Buffer Compile Cost Emit Isel List Mir Parser Printf QCheck2 QCheck_alcotest Target Ub_backend Ub_fuzz Ub_ir Ub_support

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Interp List Printf Ub_core Ub_minic Ub_opt Ub_sem Value

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Constant Func Gen Instr Interp List Mode Printer String Ub_fuzz Ub_ir Ub_opt Ub_refine Ub_sem Validate Value

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Constant Func Instr List Parser Printer QCheck2 QCheck_alcotest Types Ub_fuzz Ub_ir Validate

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Checker Lazy List Matrix Printf Ub_refine Ub_sem

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Func Interp List Mode String Ub_ir Ub_minic Ub_sem Validate

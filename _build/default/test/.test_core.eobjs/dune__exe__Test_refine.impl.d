@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Checker Enum_check Func Instr List Mode Parser QCheck2 QCheck_alcotest Ub_fuzz Ub_ir Ub_refine Ub_sem Ub_support

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List QCheck2 QCheck_alcotest Solver Ub_sat

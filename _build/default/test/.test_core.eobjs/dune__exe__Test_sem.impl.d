@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Bitvec Interp List Memory Mode Parser Printf Prng QCheck2 QCheck_alcotest Types Ub_fuzz Ub_ir Ub_sem Ub_support Value

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Bitvec Bvterm Circuit Printf QCheck2 QCheck_alcotest Ub_smt Ub_support

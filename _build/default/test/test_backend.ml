@@ -1,0 +1,214 @@
+(* Backend: instruction selection, register allocation, emission, cost
+   model — including the freeze-is-a-copy lowering and the LEA/r13
+   machinery behind the Queens anomaly. *)
+
+open Ub_ir
+open Ub_backend
+
+let parse = Parser.parse_func_string
+
+let compile src = Compile.compile_func (parse src)
+
+let all_insts (mf : Mir.func) = List.concat_map (fun b -> b.Mir.insts) mf.Mir.blocks
+
+let no_vregs (mf : Mir.func) =
+  List.for_all
+    (fun i ->
+      List.for_all
+        (function Mir.Vreg _ -> false | Mir.Preg _ -> true)
+        (Mir.uses i @ Mir.defs i))
+    (all_insts mf)
+
+let isel_tests =
+  [ Alcotest.test_case "freeze lowers to a register copy" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i8 @f(i8 %x) {
+e:
+  %y = freeze i8 %x
+  ret i8 %y
+}|}) in
+        Alcotest.(check bool) "has a Copy" true
+          (List.exists (function Mir.Copy _ -> true | _ -> false) (all_insts mf)));
+    Alcotest.test_case "poison lowers to a pinned undef register" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i8 @f() {
+e:
+  %y = freeze i8 poison
+  ret i8 %y
+}|}) in
+        Alcotest.(check bool) "has Undef_def" true
+          (List.exists (function Mir.Undef_def _ -> true | _ -> false) (all_insts mf)));
+    Alcotest.test_case "cmp fuses with branch when last" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i8 @f(i8 %a, i8 %b) {
+e:
+  %c = icmp slt i8 %a, %b
+  br i1 %c, label %t, label %u
+t:
+  ret i8 1
+u:
+  ret i8 2
+}|}) in
+        let entry = List.hd mf.Mir.blocks in
+        let rec adjacent = function
+          | Mir.Cmp _ :: Mir.Jcc _ :: _ -> true
+          | _ :: rest -> adjacent rest
+          | [] -> false
+        in
+        Alcotest.(check bool) "Cmp immediately before Jcc" true (adjacent entry.Mir.insts);
+        Alcotest.(check bool) "no setcc" true
+          (not (List.exists (function Mir.Setcc _ -> true | _ -> false) entry.Mir.insts)));
+    Alcotest.test_case "non-sunk compare does not fuse" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i8 @f(i8 %a, i8 %b) {
+e:
+  %c = icmp slt i8 %a, %b
+  %z = add i8 %a, %b
+  br i1 %c, label %t, label %u
+t:
+  ret i8 %z
+u:
+  ret i8 2
+}|}) in
+        let entry = List.hd mf.Mir.blocks in
+        Alcotest.(check bool) "setcc used" true
+          (List.exists (function Mir.Setcc _ -> true | _ -> false) entry.Mir.insts));
+    Alcotest.test_case "gep selects to lea with scale" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i32 @f(i32* %p, i32 %i) {
+e:
+  %q = getelementptr inbounds i32, i32* %p, i32 %i
+  %v = load i32, i32* %q
+  ret i32 %v
+}|}) in
+        Alcotest.(check bool) "lea with scale 4" true
+          (List.exists
+             (function Mir.Lea { addr = { Mir.scale = 4; index = Some _; _ }; _ } -> true | _ -> false)
+             (all_insts mf)));
+    Alcotest.test_case "vector ops legalize to scalar lanes" `Quick (fun () ->
+        let mf = Isel.lower_func (parse {|define i16 @f(i16* %p) {
+e:
+  %pv = bitcast i16* %p to <2 x i16>*
+  %v = load <2 x i16>, <2 x i16>* %pv
+  %e = extractelement <2 x i16> %v, i32 0
+  ret i16 %e
+}|}) in
+        let loads = List.filter (function Mir.Load _ -> true | _ -> false) (all_insts mf) in
+        Alcotest.(check int) "two scalar loads" 2 (List.length loads));
+  ]
+
+let regalloc_tests =
+  [ Alcotest.test_case "allocation eliminates all vregs" `Quick (fun () ->
+        let c = compile {|define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %s = phi i32 [ 0, %entry ], [ %s1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %s1 = add nsw i32 %s, %i
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret i32 %s
+}|} in
+        Alcotest.(check bool) "no vregs" true (no_vregs c.Compile.mir));
+    Alcotest.test_case "high pressure forces spills, still no vregs" `Quick (fun () ->
+        (* 20 simultaneously-live values > 14 registers *)
+        let buf = Buffer.create 512 in
+        Buffer.add_string buf "define i32 @p(i32 %a) {\ne:\n";
+        for i = 0 to 19 do
+          Buffer.add_string buf (Printf.sprintf "  %%v%d = add nsw i32 %%a, %d\n" i i)
+        done;
+        let rec chain i acc =
+          if i > 19 then acc
+          else begin
+            Buffer.add_string buf (Printf.sprintf "  %%s%d = add i32 %s, %%v%d\n" i acc i);
+            chain (i + 1) (Printf.sprintf "%%s%d" i)
+          end
+        in
+        let last = chain 0 "%a" in
+        Buffer.add_string buf (Printf.sprintf "  ret i32 %s\n}" last);
+        let c = compile (Buffer.contents buf) in
+        Alcotest.(check bool) "no vregs" true (no_vregs c.Compile.mir));
+  ]
+
+let cost_tests =
+  [ Alcotest.test_case "LEA r13 penalty (the Queens effect)" `Quick (fun () ->
+        let lea base =
+          Mir.Lea { dst = Mir.Preg 0; addr = { Mir.base; index = None; scale = 1; disp = 0 } }
+        in
+        let fast = Cost.inst_cost Target.machine1 None (lea (Mir.Preg 12 (* r14 *))) in
+        let slow = Cost.inst_cost Target.machine1 None (lea (Mir.Preg Target.r13)) in
+        Alcotest.(check bool) "r13 slower" true (slow > fast);
+        Alcotest.(check bool) "machine2 penalty larger" true
+          (Cost.inst_cost Target.machine2 None (lea (Mir.Preg Target.r13)) -. Target.machine2.Target.lat_lea
+           > slow -. fast));
+    Alcotest.test_case "macro-fusion makes cmp+jcc cheap" `Quick (fun () ->
+        let jcc = Mir.Jcc (Mir.CEq, "x") in
+        let fused = Cost.inst_cost Target.machine1 (Some (Mir.Cmp (Mir.W32, Mir.Preg 0, Mir.Imm 0L))) jcc in
+        let lone = Cost.inst_cost Target.machine1 (Some (Mir.Mov (Mir.W32, Mir.Preg 0, Mir.Imm 0L))) jcc in
+        Alcotest.(check bool) "fused cheaper" true (fused < lone));
+    Alcotest.test_case "freeze costs one copy at runtime" `Quick (fun () ->
+        let with_freeze = compile {|define i8 @f(i8 %x) {
+e:
+  %y = freeze i8 %x
+  ret i8 %y
+}|} in
+        let without = compile {|define i8 @f(i8 %x) {
+e:
+  ret i8 %x
+}|} in
+        let profile = [ ("e", 1) ] in
+        let cw = Compile.simulate_cycles Target.machine1 with_freeze ~profile in
+        let co = Compile.simulate_cycles Target.machine1 without ~profile in
+        Alcotest.(check bool) "costs a bit more" true (cw > co);
+        Alcotest.(check bool) "but at most a couple cycles" true (cw -. co <= 2.0));
+    Alcotest.test_case "pinned undef register costs nothing" `Quick (fun () ->
+        Alcotest.(check (float 0.0)) "zero" 0.0
+          (Cost.inst_cost Target.machine1 None (Mir.Undef_def (Mir.Preg 3))));
+  ]
+
+let emit_tests =
+  [ Alcotest.test_case "object size positive and REX-sensitive" `Quick (fun () ->
+        let small = Mir.Mov (Mir.W32, Mir.Preg 0, Mir.Imm 1L) in
+        let rex = Mir.Mov (Mir.W32, Mir.Preg 12, Mir.Imm 1L) in
+        Alcotest.(check bool) "rex costs a byte" true (Emit.inst_size rex > Emit.inst_size small));
+    Alcotest.test_case "r13 base forces a displacement byte" `Quick (fun () ->
+        let mk base =
+          Mir.Load (Mir.W32, Mir.Preg 0, { Mir.base; index = None; scale = 1; disp = 0 })
+        in
+        Alcotest.(check bool) "r13 load bigger" true
+          (Emit.inst_size (mk (Mir.Preg Target.r13)) > Emit.inst_size (mk (Mir.Preg 0))));
+    Alcotest.test_case "undef register emits no bytes" `Quick (fun () ->
+        Alcotest.(check int) "zero" 0 (Emit.inst_size (Mir.Undef_def (Mir.Preg 1))));
+    Alcotest.test_case "asm text is generated" `Quick (fun () ->
+        let c = compile {|define i8 @f(i8 %x) {
+e:
+  %y = add nsw i8 %x, 1
+  ret i8 %y
+}|} in
+        Alcotest.(check bool) "mentions add" true
+          (Ub_support.Util.string_contains ~needle:"add" c.Compile.asm);
+        Alcotest.(check bool) "size positive" true (c.Compile.obj_size > 0));
+  ]
+
+(* property: compiling the whole corpus succeeds, with no vregs left and
+   positive sizes *)
+let corpus_compiles =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random corpus compiles cleanly" ~count:40
+       QCheck2.Gen.(int_range 0 5_000)
+       (fun seed ->
+         let fns = Ub_fuzz.Gen.random_corpus ~seed ~size:2 in
+         List.for_all
+           (fun fn ->
+             let c = Compile.compile_func fn in
+             no_vregs c.Compile.mir && c.Compile.obj_size > 0)
+           fns))
+
+let () =
+  Alcotest.run "backend"
+    [ ("isel", isel_tests);
+      ("regalloc", regalloc_tests);
+      ("cost", cost_tests);
+      ("emit", emit_tests);
+      ("properties", [ corpus_compiles ]);
+    ]

@@ -1,0 +1,153 @@
+(* Bitvec: unit tests for every operation plus qcheck properties against
+   a native-int reference model (widths <= 30 so native arithmetic is
+   exact). *)
+
+open Ub_support
+
+let bv ~w i = Bitvec.of_int ~width:w i
+
+let check_i name expected got = Alcotest.(check string) name expected (Bitvec.to_string got)
+
+let unit_tests =
+  [ Alcotest.test_case "add wraps" `Quick (fun () ->
+        check_i "255+1 @ i8" "0" (Bitvec.add (bv ~w:8 255) (bv ~w:8 1)));
+    Alcotest.test_case "sub wraps" `Quick (fun () ->
+        check_i "0-1 @ i8" "-1" (Bitvec.sub (bv ~w:8 0) (bv ~w:8 1)));
+    Alcotest.test_case "mul wraps" `Quick (fun () ->
+        check_i "16*16 @ i8" "0" (Bitvec.mul (bv ~w:8 16) (bv ~w:8 16)));
+    Alcotest.test_case "signed print" `Quick (fun () ->
+        check_i "128 @ i8 prints signed" "-128" (bv ~w:8 128));
+    Alcotest.test_case "udiv" `Quick (fun () ->
+        check_i "200/3" "66" (Bitvec.udiv (bv ~w:8 200) (bv ~w:8 3)));
+    Alcotest.test_case "sdiv trunc toward zero" `Quick (fun () ->
+        check_i "-7/2" "-3" (Bitvec.sdiv (bv ~w:8 (-7)) (bv ~w:8 2)));
+    Alcotest.test_case "srem sign" `Quick (fun () ->
+        check_i "-7%2" "-1" (Bitvec.srem (bv ~w:8 (-7)) (bv ~w:8 2)));
+    Alcotest.test_case "div by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "udiv0" Bitvec.Division_by_zero (fun () ->
+            ignore (Bitvec.udiv (bv ~w:8 1) (bv ~w:8 0))));
+    Alcotest.test_case "sdiv overflow predicate" `Quick (fun () ->
+        Alcotest.(check bool) "INT_MIN/-1" true
+          (Bitvec.sdiv_overflows (Bitvec.min_signed 8) (Bitvec.all_ones 8));
+        Alcotest.(check bool) "1/-1 fine" false
+          (Bitvec.sdiv_overflows (bv ~w:8 1) (Bitvec.all_ones 8)));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check_i "1<<7 @ i8" "-128" (Bitvec.shl (bv ~w:8 1) 7);
+        check_i "0x80 lshr 7" "1" (Bitvec.lshr (bv ~w:8 128) 7);
+        check_i "0x80 ashr 7" "-1" (Bitvec.ashr (bv ~w:8 128) 7));
+    Alcotest.test_case "shift oob rejected" `Quick (fun () ->
+        Alcotest.(check bool) "in range" true
+          (Bitvec.shift_in_range (bv ~w:8 1) (bv ~w:8 7));
+        Alcotest.(check bool) "out of range" false
+          (Bitvec.shift_in_range (bv ~w:8 1) (bv ~w:8 8)));
+    Alcotest.test_case "zext/sext/trunc" `Quick (fun () ->
+        check_i "zext 0xff" "255" (Bitvec.zext (bv ~w:8 255) ~width:16);
+        check_i "sext 0xff" "-1" (Bitvec.sext (bv ~w:8 255) ~width:16);
+        check_i "trunc 0x1ff" "-1" (Bitvec.trunc (bv ~w:16 511) ~width:8));
+    Alcotest.test_case "nsw/nuw add" `Quick (fun () ->
+        Alcotest.(check bool) "127+1 nsw" true (Bitvec.add_nsw_overflows (bv ~w:8 127) (bv ~w:8 1));
+        Alcotest.(check bool) "126+1 ok" false (Bitvec.add_nsw_overflows (bv ~w:8 126) (bv ~w:8 1));
+        Alcotest.(check bool) "255+1 nuw" true (Bitvec.add_nuw_overflows (bv ~w:8 255) (bv ~w:8 1));
+        Alcotest.(check bool) "-1 + -1 nsw ok" false
+          (Bitvec.add_nsw_overflows (bv ~w:8 (-1)) (bv ~w:8 (-1))));
+    Alcotest.test_case "nsw/nuw mul" `Quick (fun () ->
+        Alcotest.(check bool) "16*8 i8 nsw" true (Bitvec.mul_nsw_overflows (bv ~w:8 16) (bv ~w:8 8));
+        Alcotest.(check bool) "11*11 i8 nsw ok" false
+          (Bitvec.mul_nsw_overflows (bv ~w:8 11) (bv ~w:8 11));
+        Alcotest.(check bool) "16*16 i8 nuw" true (Bitvec.mul_nuw_overflows (bv ~w:8 16) (bv ~w:8 16)));
+    Alcotest.test_case "width-64 edge cases" `Quick (fun () ->
+        let m = Bitvec.max_signed 64 in
+        Alcotest.(check bool) "max+1 nsw ovf" true (Bitvec.add_nsw_overflows m (Bitvec.one 64));
+        Alcotest.(check bool) "max*2 nsw ovf" true
+          (Bitvec.mul_nsw_overflows m (Bitvec.of_int ~width:64 2));
+        Alcotest.(check bool) "umax*1 nuw ok" false
+          (Bitvec.mul_nuw_overflows (Bitvec.max_unsigned 64) (Bitvec.one 64)));
+    Alcotest.test_case "popcount / power of two" `Quick (fun () ->
+        Alcotest.(check int) "popcount 0xaa" 4 (Bitvec.popcount (bv ~w:8 0xaa));
+        Alcotest.(check bool) "64 is pow2" true (Bitvec.is_power_of_two (bv ~w:8 64));
+        Alcotest.(check bool) "65 not" false (Bitvec.is_power_of_two (bv ~w:8 65)));
+    Alcotest.test_case "leading/trailing zeros" `Quick (fun () ->
+        Alcotest.(check int) "clz 1 @ i8" 7 (Bitvec.count_leading_zeros (bv ~w:8 1));
+        Alcotest.(check int) "ctz 8 @ i8" 3 (Bitvec.count_trailing_zeros (bv ~w:8 8));
+        Alcotest.(check int) "ctz 0 = width" 8 (Bitvec.count_trailing_zeros (bv ~w:8 0)));
+    Alcotest.test_case "extract / concat" `Quick (fun () ->
+        let x = bv ~w:8 0b10110100 in
+        check_i "bits 2..5 (13 prints as -3 @ i4)" "-3" (Bitvec.extract x ~hi:5 ~lo:2);
+        let hi = bv ~w:4 0b1011 and lo = bv ~w:4 0b0100 in
+        check_i "concat" "-76" (Bitvec.concat hi lo));
+    Alcotest.test_case "of_bits / to_bits roundtrip" `Quick (fun () ->
+        let x = bv ~w:8 0b10110100 in
+        Alcotest.(check bool) "roundtrip" true (Bitvec.equal x (Bitvec.of_bits (Bitvec.to_bits x))));
+    Alcotest.test_case "of_string" `Quick (fun () ->
+        check_i "decimal" "42" (Bitvec.of_string ~width:8 "42");
+        check_i "negative" "-1" (Bitvec.of_string ~width:8 "-1");
+        check_i "hex" "-86" (Bitvec.of_string ~width:8 "0xaa"));
+    Alcotest.test_case "exact predicates" `Quick (fun () ->
+        Alcotest.(check bool) "8/2 exact" true (Bitvec.udiv_exact (bv ~w:8 8) (bv ~w:8 2));
+        Alcotest.(check bool) "9/2 not" false (Bitvec.udiv_exact (bv ~w:8 9) (bv ~w:8 2));
+        Alcotest.(check bool) "lshr exact" true (Bitvec.lshr_exact (bv ~w:8 8) 3);
+        Alcotest.(check bool) "lshr inexact" false (Bitvec.lshr_exact (bv ~w:8 9) 3));
+  ]
+
+(* reference-model properties *)
+let genw = QCheck2.Gen.(int_range 1 30)
+
+let gen_pair =
+  QCheck2.Gen.(
+    genw >>= fun w ->
+    let bound = 1 lsl w in
+    pair (return w) (pair (int_bound (bound - 1)) (int_bound (bound - 1))))
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:500 gen_pair (fun (w, (a, b)) -> f w a b))
+
+let props =
+  [ prop "add = native add mod 2^w" (fun w a b ->
+        Bitvec.to_uint_exn (Bitvec.add (bv ~w a) (bv ~w b)) = mask w (a + b));
+    prop "sub = native sub mod 2^w" (fun w a b ->
+        Bitvec.to_uint_exn (Bitvec.sub (bv ~w a) (bv ~w b)) = mask w (a - b));
+    prop "mul = native mul mod 2^w" (fun w a b ->
+        Bitvec.to_uint_exn (Bitvec.mul (bv ~w a) (bv ~w b)) = mask w (a * b));
+    prop "udiv = native" (fun w a b ->
+        b = 0 || Bitvec.to_uint_exn (Bitvec.udiv (bv ~w a) (bv ~w b)) = a / b);
+    prop "urem = native" (fun w a b ->
+        b = 0 || Bitvec.to_uint_exn (Bitvec.urem (bv ~w a) (bv ~w b)) = a mod b);
+    prop "and/or/xor = native" (fun w a b ->
+        Bitvec.to_uint_exn (Bitvec.logand (bv ~w a) (bv ~w b)) = a land b
+        && Bitvec.to_uint_exn (Bitvec.logor (bv ~w a) (bv ~w b)) = a lor b
+        && Bitvec.to_uint_exn (Bitvec.logxor (bv ~w a) (bv ~w b)) = a lxor b);
+    prop "ult = native unsigned" (fun w a b -> Bitvec.ult (bv ~w a) (bv ~w b) = (a < b));
+    prop "slt = native signed" (fun w a b ->
+        let s v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        Bitvec.slt (bv ~w a) (bv ~w b) = (s a < s b));
+    prop "add_nsw_overflows = native" (fun w a b ->
+        let s v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        let sum = s a + s b in
+        Bitvec.add_nsw_overflows (bv ~w a) (bv ~w b)
+        = (sum > (1 lsl (w - 1)) - 1 || sum < -(1 lsl (w - 1))));
+    prop "mul_nsw_overflows = native" (fun w a b ->
+        let s v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        let p = s a * s b in
+        Bitvec.mul_nsw_overflows (bv ~w a) (bv ~w b)
+        = (p > (1 lsl (w - 1)) - 1 || p < -(1 lsl (w - 1))));
+    prop "mul_nuw_overflows = native" (fun w a b ->
+        Bitvec.mul_nuw_overflows (bv ~w a) (bv ~w b) = (a * b >= 1 lsl w));
+    prop "concat/extract inverse" (fun w a b ->
+        if 2 * w > 64 then true
+        else begin
+          let c = Bitvec.concat (bv ~w a) (bv ~w b) in
+          Bitvec.to_uint_exn (Bitvec.extract c ~hi:(w - 1) ~lo:0) = b
+          && Bitvec.to_uint_exn (Bitvec.extract c ~hi:((2 * w) - 1) ~lo:w) = a
+        end);
+    prop "sext preserves signed value" (fun w a _ ->
+        if w >= 60 then true
+        else begin
+          let s v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+          Int64.to_int (Bitvec.to_sint64 (Bitvec.sext (bv ~w a) ~width:(w + 4))) = s a
+        end);
+  ]
+
+let () = Alcotest.run "bitvec" [ ("unit", unit_tests); ("properties", props) ]

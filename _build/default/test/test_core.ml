@@ -1,0 +1,88 @@
+(* The end-to-end driver and the benchmark suite: every kernel runs to a
+   concrete value under the pipeline's own semantics, metrics are sane,
+   and the freeze statistics have the paper's shape (bit-field-heavy gcc
+   is the maximum). *)
+
+open Ub_sem
+
+let suite_tests =
+  List.map
+    (fun (b : Ub_core.Spec_suite.bench) ->
+      Alcotest.test_case (b.Ub_core.Spec_suite.name ^ " compiles and runs") `Slow (fun () ->
+          let proto = Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Prototype b.source in
+          let base = Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Baseline b.source in
+          (* prototype output runs under the proposed semantics *)
+          let sp = Ub_core.Driver.simulate proto ~entry:b.entry ~args:[] in
+          (match sp.Ub_core.Driver.outcome with
+          | Interp.Returned (Some (Value.Scalar (Value.Conc _))) -> ()
+          | o -> Alcotest.failf "prototype: %s" (Interp.outcome_to_string o));
+          (* baseline output runs under the old semantics *)
+          let sb = Ub_core.Driver.simulate base ~entry:b.entry ~args:[] in
+          (match sb.Ub_core.Driver.outcome with
+          | Interp.Returned (Some (Value.Scalar (Value.Conc _))) -> ()
+          | o -> Alcotest.failf "baseline: %s" (Interp.outcome_to_string o));
+          (* both agree on the result (these programs are UB-free) *)
+          Alcotest.(check string)
+            (b.name ^ " same result")
+            (Interp.outcome_to_string sb.outcome)
+            (Interp.outcome_to_string sp.outcome);
+          (* metrics sanity *)
+          Alcotest.(check bool) "cycles positive" true (sp.cycles_m1 > 0.0 && sp.cycles_m2 > 0.0);
+          Alcotest.(check bool) "object bytes positive" true
+            (proto.Ub_core.Driver.metrics.Ub_core.Driver.obj_bytes > 0);
+          Alcotest.(check bool) "IR nonempty" true
+            (proto.Ub_core.Driver.metrics.Ub_core.Driver.ir_insns > 0)))
+    Ub_core.Spec_suite.all
+
+let shape_tests =
+  [ Alcotest.test_case "gcc has the most freezes (the §7.2 shape)" `Slow (fun () ->
+        let freeze_of (b : Ub_core.Spec_suite.bench) =
+          ( b.Ub_core.Spec_suite.name,
+            (Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Prototype b.source)
+              .Ub_core.Driver.metrics.Ub_core.Driver.freeze_count )
+        in
+        let counts = List.map freeze_of Ub_core.Spec_suite.all in
+        let gcc = List.assoc "gcc" counts in
+        Alcotest.(check bool) "gcc > 0" true (gcc > 0);
+        List.iter
+          (fun (n, c) ->
+            if n <> "gcc" then
+              Alcotest.(check bool) (n ^ " <= gcc") true (c <= gcc))
+          counts);
+    Alcotest.test_case "baseline pipeline never emits freeze" `Slow (fun () ->
+        List.iter
+          (fun (b : Ub_core.Spec_suite.bench) ->
+            let base = Ub_core.Driver.compile ~pipeline:Ub_core.Driver.Baseline b.Ub_core.Spec_suite.source in
+            Alcotest.(check int) (b.name ^ " baseline freeze") 0
+              base.Ub_core.Driver.metrics.Ub_core.Driver.freeze_count)
+          Ub_core.Spec_suite.all);
+    Alcotest.test_case "optimization shrinks or keeps the suite's IR" `Slow (fun () ->
+        List.iter
+          (fun (b : Ub_core.Spec_suite.bench) ->
+            let m =
+              Ub_minic.Lower.compile ~cfg:Ub_minic.Lower.clang_fixed b.Ub_core.Spec_suite.source
+            in
+            let before = Ub_core.Driver.total_insns m in
+            let o = Ub_opt.Pipeline.run_o2 Ub_opt.Pass.prototype m in
+            let after = Ub_core.Driver.total_insns o in
+            (* freeze insertion can add a handful; anything larger than
+               +25% would mean a pass is duplicating code wholesale
+               (unswitching is capped at one loop per pipeline run) *)
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %d -> %d" b.name before after)
+              true
+              (float_of_int after <= 1.6 *. float_of_int before))
+          Ub_core.Spec_suite.all);
+    Alcotest.test_case "comparison record is internally consistent" `Slow (fun () ->
+        let b = List.hd Ub_core.Spec_suite.all in
+        let c =
+          Ub_core.Driver.compare_pipelines ~name:b.Ub_core.Spec_suite.name ~entry:b.entry
+            ~args:[] b.source
+        in
+        Alcotest.(check string) "name" b.name c.Ub_core.Driver.name;
+        Alcotest.(check bool) "freeze fraction in [0,100]" true
+          (c.freeze_fraction_pct >= 0.0 && c.freeze_fraction_pct <= 100.0));
+  ]
+
+let () =
+  Alcotest.run "core" [ ("spec-suite", suite_tests); ("shape", shape_tests) ]

@@ -1,0 +1,129 @@
+(* opt-fuzz: enumeration counts and well-formedness, plus a miniature
+   version of the paper's Section 6 validation loop. *)
+
+open Ub_ir
+open Ub_sem
+open Ub_fuzz
+
+let unit_tests =
+  [ Alcotest.test_case "every enumerated function validates" `Quick (fun () ->
+        let params = { Gen.default_params with Gen.n_insns = 2 } in
+        let n, _ =
+          Gen.enumerate ~limit:2_000 params (fun fn ->
+              match Validate.check_func fn with
+              | [] -> ()
+              | errs ->
+                Alcotest.failf "invalid function:\n%s\n%s" (Printer.func_to_string fn)
+                  (String.concat "; " errs))
+        in
+        Alcotest.(check bool) "nonempty" true (n > 100));
+    Alcotest.test_case "enumeration is deterministic" `Quick (fun () ->
+        let params = { Gen.default_params with Gen.n_insns = 1 } in
+        let collect () =
+          let acc = ref [] in
+          let _ = Gen.enumerate params (fun fn -> acc := Printer.func_to_string fn :: !acc) in
+          !acc
+        in
+        Alcotest.(check bool) "same" true (collect () = collect ()));
+    Alcotest.test_case "one-instruction space has the expected size" `Quick (fun () ->
+        (* ops with 2 operands over universe {2 args, 2 consts, poison} = 5,
+           select: cond universe {true,false,poison?}: counted directly *)
+        let params =
+          { Gen.default_params with
+            Gen.n_insns = 1;
+            ops = [ Gen.Obin (Instr.Add, Instr.no_attrs) ];
+            include_poison = false;
+            include_undef = false;
+          }
+        in
+        let n, truncated = Gen.enumerate params (fun _ -> ()) in
+        (* operands: 2 args + 2 consts = 4 each slot -> 16 *)
+        Alcotest.(check bool) "not truncated" false truncated;
+        Alcotest.(check int) "4*4 candidates" 16 n);
+    Alcotest.test_case "undef appears only when requested" `Quick (fun () ->
+        let params =
+          { Gen.default_params with Gen.n_insns = 1; include_undef = true; include_poison = false }
+        in
+        let saw_undef = ref false in
+        let _ =
+          Gen.enumerate ~limit:5_000 params (fun fn ->
+              List.iter
+                (fun (b : Func.block) ->
+                  List.iter
+                    (fun n ->
+                      if
+                        List.exists
+                          (function
+                            | Instr.Const (Constant.Undef _) -> true
+                            | _ -> false)
+                          (Instr.operands n.Instr.ins)
+                      then saw_undef := true)
+                    b.Func.insns)
+                fn.Func.blocks)
+        in
+        Alcotest.(check bool) "undef seen" true !saw_undef);
+    Alcotest.test_case "random corpus: loops terminate under fuel" `Quick (fun () ->
+        let fns = Gen.random_corpus ~seed:5 ~size:10 in
+        List.iter
+          (fun fn ->
+            let r =
+              Interp.run ~fuel:100_000 fn
+                [ Value.of_int ~width:32 3; Value.of_int ~width:32 14; Value.of_int ~width:32 15 ]
+            in
+            match r.Interp.outcome with
+            | Interp.Timeout -> Alcotest.failf "%s timed out" fn.Func.name
+            | _ -> ())
+          fns);
+  ]
+
+(* a miniature Section-6 validation: enumerate, optimize with the fuzz
+   pipeline, check refinement under the proposed semantics *)
+let mini_validation =
+  Alcotest.test_case "mini opt-fuzz validation run (prototype is sound)" `Slow (fun () ->
+      let params = { Gen.default_params with Gen.n_insns = 2 } in
+      let total = ref 0 in
+      let changed = ref 0 in
+      let unsound = ref 0 in
+      let _ =
+        Gen.enumerate ~limit:600 params (fun fn ->
+            incr total;
+            let fn' =
+              Ub_opt.Pass.run_pipeline Ub_opt.Pass.prototype Ub_opt.Pipeline.fuzz_passes fn
+            in
+            if fn' <> fn then begin
+              incr changed;
+              match Ub_refine.Checker.check Mode.proposed ~src:fn ~tgt:fn' with
+              | Ub_refine.Checker.Counterexample _ -> incr unsound
+              | _ -> ()
+            end)
+      in
+      Alcotest.(check int) "no unsound rewrites" 0 !unsound;
+      Alcotest.(check bool) "pipeline fired on some" true (!changed > 20))
+
+let legacy_caught =
+  Alcotest.test_case "legacy pipeline produces checker-caught unsoundness" `Slow (fun () ->
+      (* with undef operands enabled, the legacy InstCombine's
+         select->or and select-undef folds must be flagged *)
+      let params =
+        { Gen.default_params with
+          Gen.n_insns = 2;
+          include_undef = true;
+          ops = [ Gen.Oselect; Gen.Obin (Instr.Or, Instr.no_attrs) ];
+        }
+      in
+      let unsound = ref 0 in
+      let _ =
+        Gen.enumerate ~limit:2_000 params (fun fn ->
+            let fn' =
+              Ub_opt.Pass.run_pipeline Ub_opt.Pass.legacy [ Ub_opt.Instcombine.pass ] fn
+            in
+            if fn' <> fn then
+              match Ub_refine.Checker.check Mode.old_simplifycfg ~src:fn ~tgt:fn' with
+              | Ub_refine.Checker.Counterexample _ -> incr unsound
+              | _ -> ())
+      in
+      Alcotest.(check bool) "at least one legacy bug caught" true (!unsound > 0))
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("unit", unit_tests); ("validation", [ mini_validation; legacy_caught ]) ]

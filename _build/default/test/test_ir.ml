@@ -1,0 +1,225 @@
+(* IR structure: parser/printer round-trips, the validator's acceptance
+   of good IR and rejection of each class of bad IR, and Func
+   utilities. *)
+
+open Ub_ir
+
+let parse = Parser.parse_func_string
+
+let clean_sample =
+  {|define i32 @loop(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}|}
+
+let roundtrip_once src =
+  let fn = parse src in
+  let printed = Printer.func_to_string fn in
+  let fn2 = parse printed in
+  Alcotest.(check bool) "roundtrip fixpoint" true (fn = fn2)
+
+let unit_tests =
+  [ Alcotest.test_case "parse+print roundtrip (loop)" `Quick (fun () -> roundtrip_once clean_sample);
+    Alcotest.test_case "clean sample validates" `Quick (fun () ->
+        Alcotest.(check (list string)) "no errors" [] (Validate.check_func (parse clean_sample)));
+    Alcotest.test_case "rich instruction mix parses" `Quick (fun () ->
+        let fn =
+          parse
+            {|define i32 @g(i32 %a, i32* %p) {
+entry:
+  %v = load <2 x i16>, <2 x i16>* null
+  %e = extractelement <2 x i16> %v, i32 0
+  %z = zext i16 %e to i32
+  %fr = freeze <2 x i16> %v
+  store <2 x i16> %fr, <2 x i16>* null
+  ret i32 %z
+}|}
+        in
+        roundtrip_once (Printer.func_to_string fn));
+    Alcotest.test_case "undef and poison constants" `Quick (fun () ->
+        let fn =
+          parse
+            {|define i8 @h() {
+e:
+  %x = add i8 undef, poison
+  ret i8 %x
+}|}
+        in
+        match (List.hd fn.Func.blocks).Func.insns with
+        | [ { Instr.ins = Instr.Binop (_, _, _, a, b); _ } ] ->
+          Alcotest.(check bool) "undef" true (a = Instr.Const (Constant.Undef (Types.Int 8)));
+          Alcotest.(check bool) "poison" true (b = Instr.Const (Constant.Poison (Types.Int 8)))
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        let fn = parse "; header\ndefine i8 @c() { ; trailing\ne:\n ret i8 1 ; done\n}" in
+        Alcotest.(check string) "name" "c" fn.Func.name);
+    Alcotest.test_case "parse error is reported" `Quick (fun () ->
+        match parse "define i8 @bad() { e: ret i9000 1 }" with
+        | exception Parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "types" `Quick (fun () ->
+        Alcotest.(check int) "bitwidth vec" 32 (Types.bitwidth (Types.Vec (2, Types.Int 16)));
+        Alcotest.(check int) "store size i1" 1 (Types.store_size (Types.Int 1));
+        Alcotest.(check int) "store size ptr" 4 (Types.store_size (Types.Ptr (Types.Int 8)));
+        Alcotest.(check bool) "bitcast ok" true
+          (Types.bitcast_compatible (Types.Int 32) (Types.Vec (2, Types.Int 16)));
+        Alcotest.(check string) "pp" "<4 x i8>*" (Types.to_string (Types.Ptr (Types.Vec (4, Types.Int 8)))));
+  ]
+
+(* validator rejection tests: each produces at least one error *)
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse src with
+      | exception Parser.Parse_error _ -> () (* also acceptable *)
+      | fn ->
+        Alcotest.(check bool)
+          (name ^ " rejected")
+          true
+          (Validate.check_func fn <> []))
+
+let validator_tests =
+  [ rejects "use before def"
+      {|define i8 @f() {
+e:
+  %x = add i8 %y, 1
+  %y = add i8 1, 1
+  ret i8 %x
+}|};
+    rejects "unknown register"
+      {|define i8 @f() {
+e:
+  %x = add i8 %nope, 1
+  ret i8 %x
+}|};
+    rejects "double definition"
+      {|define i8 @f(i8 %a) {
+e:
+  %x = add i8 %a, 1
+  %x = add i8 %a, 2
+  ret i8 %x
+}|};
+    rejects "type mismatch"
+      {|define i8 @f(i16 %a) {
+e:
+  %x = add i8 %a, 1
+  ret i8 %x
+}|};
+    rejects "branch to unknown block"
+      {|define i8 @f(i1 %c) {
+e:
+  br i1 %c, label %t, label %nowhere
+t:
+  ret i8 1
+}|};
+    rejects "phi after non-phi"
+      {|define i8 @f(i1 %c) {
+e:
+  br i1 %c, label %t, label %t
+t:
+  %x = add i8 1, 1
+  %p = phi i8 [ 1, %e ]
+  ret i8 %p
+}|};
+    rejects "phi missing incoming"
+      {|define i8 @f(i1 %c) {
+e:
+  br i1 %c, label %m, label %u
+u:
+  br label %m
+m:
+  %p = phi i8 [ 1, %e ]
+  ret i8 %p
+}|};
+    rejects "ret type mismatch"
+      {|define i8 @f() {
+e:
+  ret i16 1
+}|};
+    rejects "def does not dominate use"
+      {|define i8 @f(i1 %c) {
+e:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i8 1, 1
+  br label %m
+b:
+  br label %m
+m:
+  %y = add i8 %x, 1
+  ret i8 %y
+}|};
+    rejects "nsw on udiv"
+      {|define i8 @f(i8 %a) {
+e:
+  %x = udiv nsw i8 %a, 2
+  ret i8 %x
+}|};
+    rejects "zext must widen"
+      {|define i8 @f(i16 %a) {
+e:
+  %x = zext i16 %a to i8
+  ret i8 %x
+}|};
+    rejects "branch into entry"
+      {|define i8 @f(i1 %c) {
+entry:
+  br label %entry
+}|};
+  ]
+
+(* Func utilities *)
+let func_tests =
+  [ Alcotest.test_case "predecessors" `Quick (fun () ->
+        let fn = parse clean_sample in
+        Alcotest.(check (list string)) "head preds" [ "entry"; "body" ] (Func.preds_of fn "head"));
+    Alcotest.test_case "use_count / replace_uses" `Quick (fun () ->
+        let fn = parse clean_sample in
+        Alcotest.(check int) "%i used thrice" 3 (Func.use_count fn "i");
+        let fn' = Func.replace_uses fn ~v:"i" ~by:(Instr.Const (Constant.of_int ~width:32 7)) in
+        Alcotest.(check int) "%i unused now" 0 (Func.use_count fn' "i"));
+    Alcotest.test_case "num_insns and freeze count" `Quick (fun () ->
+        let fn =
+          parse {|define i8 @f(i8 %x) {
+e:
+  %a = freeze i8 %x
+  %b = add i8 %a, 1
+  ret i8 %b
+}|}
+        in
+        Alcotest.(check int) "3 insns (incl. term)" 3 (Func.num_insns fn);
+        Alcotest.(check int) "1 freeze" 1 (Func.num_freeze fn));
+    Alcotest.test_case "fresh_var avoids collisions" `Quick (fun () ->
+        let fn = parse clean_sample in
+        let v = Func.fresh_var fn "i" in
+        Alcotest.(check bool) "fresh" true (Func.def_ty fn v = None));
+  ]
+
+(* property: printer/parser roundtrip over the random corpus *)
+let corpus_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random corpus roundtrips and validates" ~count:60
+       QCheck2.Gen.(int_range 0 10_000)
+       (fun seed ->
+         let fns = Ub_fuzz.Gen.random_corpus ~seed ~size:3 in
+         List.for_all
+           (fun fn ->
+             Validate.check_func fn = []
+             && Parser.parse_func_string (Printer.func_to_string fn) = fn)
+           fns))
+
+let () =
+  Alcotest.run "ir"
+    [ ("unit", unit_tests);
+      ("validator-rejects", validator_tests);
+      ("func-utils", func_tests);
+      ("properties", [ corpus_roundtrip ]);
+    ]

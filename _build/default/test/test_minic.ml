@@ -1,0 +1,157 @@
+(* Mini-C: language features against expected results, and the
+   Section 5.3 bit-field story in both Clang configurations. *)
+
+open Ub_ir
+open Ub_sem
+
+let run ?(cfg = Ub_minic.Lower.clang_fixed) ?(mode = Mode.proposed) ?(entry = "main") src =
+  let m = Ub_minic.Lower.compile ~cfg src in
+  List.iter
+    (fun f ->
+      match Validate.check_func f with
+      | [] -> ()
+      | errs -> Alcotest.failf "@%s invalid: %s" f.Func.name (String.concat "; " errs))
+    m.Func.funcs;
+  let fn = Func.find_func_exn m entry in
+  Interp.outcome_to_string (Interp.run ~mode ~module_:m ~fuel:2_000_000 fn []).Interp.outcome
+
+let expect name src result =
+  Alcotest.test_case name `Quick (fun () -> Alcotest.(check string) name result (run src))
+
+let language_tests =
+  [ expect "arithmetic and precedence" "int main() { return 2 + 3 * 4 - 10 / 2; }" "ret 9";
+    expect "unary ops" "int main() { return -5 + ~0 + !0 + !7; }" "ret -5";
+    expect "comparisons yield 0/1"
+      "int main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (3 != 3) + (5 == 5); }" "ret 3";
+    expect "shifts" "int main() { return (1 << 6) + (256 >> 4); }" "ret 80";
+    expect "bitwise" "int main() { return (12 & 10) + (12 | 10) + (12 ^ 10); }" "ret 28";
+    expect "ternary" "int main() { int x = 7; return x > 3 ? 10 : 20; }" "ret 10";
+    expect "short-circuit and" "int main() { int x = 0; return (x != 0 && 1 / x > 0) ? 1 : 2; }"
+      "ret 2";
+    expect "short-circuit or" "int main() { int x = 0; return (x == 0 || 1 / x > 0) ? 5 : 6; }"
+      "ret 5";
+    expect "while loop" "int main() { int i = 0; int s = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+      "ret 45";
+    expect "for loop with step" "int main() { int s = 0; for (int i = 0; i < 20; i = i + 3) s = s + 1; return s; }"
+      "ret 7";
+    expect "nested if/else"
+      "int main() { int x = 5; if (x > 10) { return 1; } else { if (x > 3) { return 2; } else { return 3; } } }"
+      "ret 2";
+    expect "early return in loop"
+      "int main() { for (int i = 0; i < 100; i = i + 1) { if (i * i > 50) return i; } return 0; }"
+      "ret 8";
+    expect "function calls and recursion"
+      "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); } int main() { return fib(12); }"
+      "ret 144";
+    expect "arrays" "int main() { int a[10]; for (int i = 0; i < 10; i = i + 1) a[i] = i * i; return a[7]; }"
+      "ret 49";
+    expect "narrow types wrap via casts"
+      "int main() { int8 x = 100; int8 y = (int8)(x + x); return y; }" "ret -56";
+    expect "int16 truncation wraps"
+      "int main() { int16 a = 30000; int16 b = (int16)(a + 10000); return b; }" "ret -25536";
+    expect "int64 arithmetic"
+      "int main() { int64 a = 100000; int64 b = a * a; return (int)(b % 1000000007); }" "ret 999999937";
+    expect "compound assignment" "int main() { int x = 10; x += 5; x *= 2; x -= 3; return x; }" "ret 27";
+    expect "uninitialized local is deferred UB only if used"
+      "int main() { int x; int y = 3; if (y > 10) { return x; } return y; }" "ret 3";
+    expect "plain struct fields"
+      "struct point { int x; int y; }; int main() { struct point p; p.x = 3; p.y = 4; return p.x * p.x + p.y * p.y; }"
+      "ret 25";
+  ]
+
+let bitfield_src =
+  {|
+struct flags {
+  int a : 3;
+  int b : 5;
+  int c : 8;
+  int d : 16;
+};
+int main() {
+  struct flags f;
+  f.a = 5;
+  f.b = 19;
+  f.c = 200;
+  f.d = 40000;
+  return f.a + f.b * 10 + f.c * 1000 + (f.d >> 8);
+}
+|}
+
+let bitfield_tests =
+  [ Alcotest.test_case "bit-fields pack and read back (fixed clang)" `Quick (fun () ->
+        Alcotest.(check string) "value" "ret 200351" (run bitfield_src));
+    Alcotest.test_case "legacy lowering poisons neighbours (the 5.3 bug)" `Quick (fun () ->
+        Alcotest.(check string) "poisoned" "ret poison"
+          (run ~cfg:Ub_minic.Lower.clang_legacy bitfield_src));
+    Alcotest.test_case "legacy lowering is fine under old (undef) semantics" `Quick (fun () ->
+        Alcotest.(check string) "works by luck" "ret 200351"
+          (run ~cfg:Ub_minic.Lower.clang_legacy ~mode:Mode.old_unswitch bitfield_src));
+    Alcotest.test_case "fixed lowering emits freeze, legacy does not" `Quick (fun () ->
+        let count cfg =
+          let m = Ub_minic.Lower.compile ~cfg bitfield_src in
+          List.fold_left (fun a f -> a + Func.num_freeze f) 0 m.Func.funcs
+        in
+        Alcotest.(check int) "legacy 0" 0 (count Ub_minic.Lower.clang_legacy);
+        Alcotest.(check int) "fixed 4 (one per store)" 4 (count Ub_minic.Lower.clang_fixed));
+    Alcotest.test_case "overwriting a bit-field preserves others" `Quick (fun () ->
+        Alcotest.(check string) "ok" "ret 73"
+          (run
+             {|
+struct s { int a : 4; int b : 4; };
+int main() {
+  struct s x;
+  x.a = 9;
+  x.b = 4;
+  x.a = 9;
+  return x.a + x.b * 16;
+}
+|}));
+    Alcotest.test_case "bit-fields spanning multiple words" `Quick (fun () ->
+        Alcotest.(check string) "ok" "ret 300"
+          (run
+             {|
+struct wide { int a : 20; int b : 20; };
+int main() {
+  struct wide w;
+  w.a = 100;
+  w.b = 200;
+  return w.a + w.b;
+}
+|}));
+  ]
+
+let fig1_tests =
+  [ Alcotest.test_case "Figure 1: invariant x+1 loop" `Quick (fun () ->
+        Alcotest.(check string) "fills array" "ret 55"
+          (run
+             {|
+int main() {
+  int a[10];
+  int x = 4;
+  int n = 10;
+  for (int i = 0; i < n; i = i + 1) { a[i] = x + 1; }
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+  return s + 5;
+}
+|}));
+    Alcotest.test_case "Figure 2: conditional init is safe when guarded" `Quick (fun () ->
+        Alcotest.(check string) "guarded use" "ret 42"
+          (run
+             {|
+int f() { return 42; }
+int g(int v) { return v; }
+int main() {
+  int cond = 1;
+  int cond2 = 1;
+  int x;
+  if (cond) { x = f(); }
+  if (cond2) { return g(x); }
+  return 0;
+}
+|}));
+  ]
+
+let () =
+  Alcotest.run "minic"
+    [ ("language", language_tests); ("bitfields", bitfield_tests); ("paper-figures", fig1_tests) ]

@@ -1,0 +1,244 @@
+(* The refinement checker: known-verdict pairs from the paper, agreement
+   between the SAT path and the enumeration path, and self-refinement. *)
+
+open Ub_ir
+open Ub_sem
+open Ub_refine
+
+let f = Parser.parse_func_string
+
+let expect_refines name mode src tgt =
+  Alcotest.test_case name `Quick (fun () ->
+      match Checker.check mode ~src:(f src) ~tgt:(f tgt) with
+      | Checker.Refines -> ()
+      | v -> Alcotest.failf "%s: expected refines, got %s" name (Checker.verdict_to_string v))
+
+let expect_cex name mode src tgt =
+  Alcotest.test_case name `Quick (fun () ->
+      match Checker.check mode ~src:(f src) ~tgt:(f tgt) with
+      | Checker.Counterexample _ -> ()
+      | v -> Alcotest.failf "%s: expected cex, got %s" name (Checker.verdict_to_string v))
+
+let id2 = {|define i2 @f(i2 %x) {
+e:
+  ret i2 %x
+}|}
+
+let known_pairs =
+  [ expect_refines "identity refines itself" Mode.proposed id2 id2;
+    expect_refines "x+0 -> x" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %y = add i2 %x, 0
+  ret i2 %y
+}|}
+      id2;
+    expect_cex "x -> x+1 is not refinement" Mode.proposed id2
+      {|define i2 @f(i2 %x) {
+e:
+  %y = add i2 %x, 1
+  ret i2 %y
+}|};
+    expect_refines "anything refines UB source" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %y = udiv i2 1, 0
+  ret i2 %y
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 3
+}|};
+    expect_cex "introducing UB is not refinement" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 0
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  %y = udiv i2 1, 0
+  ret i2 0
+}|};
+    expect_refines "poison source covers any value" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %y = add nsw i2 2, 2
+  ret i2 %y
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 1
+}|};
+    expect_cex "concrete does not cover poison" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 1
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  %y = add nsw i2 2, 2
+  ret i2 %y
+}|};
+    expect_refines "freeze removal when input can't be poison" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %f = freeze i2 %x
+  %a = and i2 %f, 1
+  %y = freeze i2 %a
+  ret i2 %y
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  %f = freeze i2 %x
+  %a = and i2 %f, 1
+  ret i2 %a
+}|};
+    expect_cex "freeze removal is wrong when input may be poison" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %a = and i2 %x, 1
+  %y = freeze i2 %a
+  ret i2 %y
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  %a = and i2 %x, 1
+  ret i2 %a
+}|};
+    (* and/or are strict in poison, unlike undef *)
+    expect_cex "0 does not cover and x,0 (x may be poison)" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 0
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  %y = and i2 %x, 0
+  ret i2 %y
+}|};
+    expect_refines "and x,0 -> 0 forward direction" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %y = and i2 %x, 0
+  ret i2 %y
+}|}
+      {|define i2 @f(i2 %x) {
+e:
+  ret i2 0
+}|};
+    (* undef-specific: x -> undef is legal (undef covers), undef -> x not *)
+    expect_refines "freeze poison refines poison source" Mode.proposed
+      {|define i2 @f() {
+e:
+  ret i2 poison
+}|}
+      {|define i2 @f() {
+e:
+  %y = freeze i2 poison
+  ret i2 %y
+}|};
+    expect_cex "unfreezing is not refinement" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  %y = freeze i2 %x
+  ret i2 %y
+}|}
+      id2;
+    (* control flow *)
+    expect_refines "branch simplification on constant" Mode.proposed
+      {|define i2 @f(i2 %x) {
+e:
+  br i1 true, label %t, label %u
+t:
+  ret i2 %x
+u:
+  ret i2 0
+}|}
+      id2;
+    expect_refines "dead arm removal keeps UB profile" Mode.old_gvn
+      {|define i2 @f(i1 %c, i2 %x) {
+e:
+  br i1 %c, label %t, label %u
+t:
+  ret i2 %x
+u:
+  ret i2 %x
+}|}
+      {|define i2 @f(i1 %c, i2 %x) {
+e:
+  br i1 %c, label %t, label %u
+t:
+  ret i2 %x
+u:
+  ret i2 %x
+}|};
+    expect_cex "dropping a branch drops its UB (old-gvn, reversed)" Mode.old_gvn
+      {|define i2 @f(i1 %c, i2 %x) {
+e:
+  ret i2 %x
+}|}
+      {|define i2 @f(i1 %c, i2 %x) {
+e:
+  br i1 %c, label %t, label %t
+t:
+  ret i2 %x
+}|};
+  ]
+
+(* agreement between the SAT checker and the enumeration checker over the
+   opt-fuzz space with random pass-like mutations *)
+let mutate (rng : Ub_support.Prng.t) (fn : Func.t) : Func.t =
+  (* a crude random rewrite: replace a random instruction's result with
+     one of its operands, or drop an attribute, or swap operands *)
+  let blocks =
+    List.map
+      (fun (b : Func.block) ->
+        { b with
+          Func.insns =
+            List.map
+              (fun n ->
+                if Ub_support.Prng.chance rng ~num:1 ~den:3 then
+                  match n.Instr.ins with
+                  | Instr.Binop (op, attrs, ty, a, b') when Ub_support.Prng.bool rng ->
+                    { n with Instr.ins = Instr.Binop (op, attrs, ty, b', a) }
+                  | Instr.Binop (op, _, ty, a, b') ->
+                    { n with Instr.ins = Instr.Binop (op, Instr.no_attrs, ty, a, b') }
+                  | ins -> { n with Instr.ins }
+                else n)
+              b.Func.insns;
+        })
+      fn.Func.blocks
+  in
+  { fn with Func.blocks }
+
+let checkers_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"SAT and enumeration checkers agree" ~count:60
+       QCheck2.Gen.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Ub_support.Prng.create ~seed in
+         (* build a tiny random straight-line function over i2 *)
+         let params = { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } in
+         let fns = ref [] in
+         let _ = Ub_fuzz.Gen.enumerate ~limit:400 params (fun f -> fns := f :: !fns) in
+         let fns = Array.of_list !fns in
+         let src = fns.(Ub_support.Prng.int rng (Array.length fns)) in
+         let tgt = mutate rng src in
+         List.for_all
+           (fun mode ->
+             let sat = Checker.check_sat mode ~src ~tgt in
+             match sat with
+             | Checker.Unknown _ -> true
+             | _ -> (
+               match
+                 Enum_check.check ~mode ~src ~tgt ()
+               with
+               | Enum_check.Refines -> sat = Checker.Refines
+               | Enum_check.Counterexample _ -> (
+                 match sat with Checker.Counterexample _ -> true | _ -> false)
+               | Enum_check.Unknown _ -> true))
+           [ Mode.proposed; Mode.old_unswitch; Mode.old_gvn ]))
+
+let () =
+  Alcotest.run "refine"
+    [ ("known-pairs", known_pairs); ("cross-validation", [ checkers_agree ]) ]

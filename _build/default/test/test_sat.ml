@@ -1,0 +1,87 @@
+(* The CDCL solver: unit cases and exhaustive cross-checking against
+   brute force on random instances. *)
+
+open Ub_sat
+
+let brute nvars clauses =
+  let n = 1 lsl nvars in
+  let rec try_ i =
+    if i >= n then None
+    else begin
+      let model = Array.init nvars (fun v -> (i lsr v) land 1 = 1) in
+      if Solver.model_satisfies model clauses then Some model else try_ (i + 1)
+    end
+  in
+  try_ 0
+
+let unit_tests =
+  [ Alcotest.test_case "trivially sat" `Quick (fun () ->
+        match Solver.solve_clauses ~nvars:2 [ [ Solver.pos 0 ]; [ Solver.neg 1 ] ] with
+        | Solver.Sat m ->
+          Alcotest.(check bool) "v0" true m.(0);
+          Alcotest.(check bool) "v1" false m.(1)
+        | Solver.Unsat -> Alcotest.fail "should be sat");
+    Alcotest.test_case "trivially unsat" `Quick (fun () ->
+        match Solver.solve_clauses ~nvars:1 [ [ Solver.pos 0 ]; [ Solver.neg 0 ] ] with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "should be unsat");
+    Alcotest.test_case "empty clause unsat" `Quick (fun () ->
+        match Solver.solve_clauses ~nvars:1 [ [] ] with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "should be unsat");
+    Alcotest.test_case "pigeonhole 3->2 unsat" `Quick (fun () ->
+        (* pigeon i in hole j: var 2i+j, i<3, j<2 *)
+        let v i j = Solver.pos ((2 * i) + j) in
+        let nv i j = Solver.neg ((2 * i) + j) in
+        let clauses =
+          [ [ v 0 0; v 0 1 ]; [ v 1 0; v 1 1 ]; [ v 2 0; v 2 1 ] ]
+          @ List.concat_map
+              (fun j ->
+                [ [ nv 0 j; nv 1 j ]; [ nv 0 j; nv 2 j ]; [ nv 1 j; nv 2 j ] ])
+              [ 0; 1 ]
+        in
+        match Solver.solve_clauses ~nvars:6 clauses with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "pigeonhole should be unsat");
+    Alcotest.test_case "xor chain sat" `Quick (fun () ->
+        (* x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1 => x2 = 1 *)
+        let xor1 a b =
+          [ [ Solver.pos a; Solver.pos b ]; [ Solver.neg a; Solver.neg b ] ]
+        in
+        match
+          Solver.solve_clauses ~nvars:3 ((xor1 0 1 @ xor1 1 2) @ [ [ Solver.pos 0 ] ])
+        with
+        | Solver.Sat m ->
+          Alcotest.(check bool) "x2 follows" true m.(2);
+          Alcotest.(check bool) "x1 follows" false m.(1)
+        | Solver.Unsat -> Alcotest.fail "should be sat");
+  ]
+
+let random_cnf =
+  QCheck2.Gen.(
+    int_range 1 9 >>= fun nvars ->
+    int_range 1 40 >>= fun nclauses ->
+    let lit = map2 (fun v s -> if s then Solver.pos v else Solver.neg v) (int_bound (nvars - 1)) bool in
+    let clause = list_size (int_range 1 4) lit in
+    pair (return nvars) (list_size (return nclauses) clause))
+
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"agrees with brute force" ~count:800 random_cnf
+         (fun (nvars, clauses) ->
+           match (Solver.solve_clauses ~nvars clauses, brute nvars clauses) with
+           | Solver.Sat m, Some _ -> Solver.model_satisfies m clauses
+           | Solver.Unsat, None -> true
+           | Solver.Sat _, None | Solver.Unsat, Some _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"learned clauses don't break repeat solving" ~count:100
+         random_cnf
+         (fun (nvars, clauses) ->
+           let r1 = Solver.solve_clauses ~nvars clauses in
+           let r2 = Solver.solve_clauses ~nvars clauses in
+           match (r1, r2) with
+           | Solver.Sat _, Solver.Sat _ | Solver.Unsat, Solver.Unsat -> true
+           | _ -> false));
+  ]
+
+let () = Alcotest.run "sat" [ ("unit", unit_tests); ("properties", props) ]

@@ -1,0 +1,256 @@
+(* Semantics: the Figure 5 rules, mode differences, undef/poison
+   propagation, memory, ty-up/ty-down, and behaviour enumeration. *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+
+let parse = Parser.parse_func_string
+let vi ?(w = 8) i = Value.of_int ~width:w i
+let poison = Value.Scalar Value.Poison
+let undef = Value.Scalar Value.Undef
+
+let run ?(mode = Mode.proposed) ?oracle src args =
+  let fn = parse src in
+  (Interp.run ~mode ?oracle fn args).Interp.outcome
+
+let check_ret name expected outcome =
+  Alcotest.(check string) name expected (Interp.outcome_to_string outcome)
+
+let simple op = Printf.sprintf {|define i8 @f(i8 %%a, i8 %%b) {
+e:
+  %%x = %s i8 %%a, %%b
+  ret i8 %%x
+}|} op
+
+let arith_tests =
+  [ Alcotest.test_case "add nsw overflow is poison" `Quick (fun () ->
+        check_ret "127+1" "ret poison" (run (simple "add nsw") [ vi 127; vi 1 ]);
+        check_ret "126+1" "ret 127" (run (simple "add nsw") [ vi 126; vi 1 ]));
+    Alcotest.test_case "plain add wraps" `Quick (fun () ->
+        check_ret "127+1" "ret -128" (run (simple "add") [ vi 127; vi 1 ]));
+    Alcotest.test_case "poison is strict through arithmetic" `Quick (fun () ->
+        check_ret "poison+1" "ret poison" (run (simple "add") [ poison; vi 1 ]);
+        check_ret "and poison" "ret poison" (run (simple "and") [ poison; vi 0 ]));
+    Alcotest.test_case "division by zero is UB" `Quick (fun () ->
+        check_ret "1/0" "UB: division by zero" (run (simple "udiv") [ vi 1; vi 0 ]));
+    Alcotest.test_case "division by poison is UB (default modes)" `Quick (fun () ->
+        check_ret "1/poison" "UB: division by poison" (run (simple "udiv") [ vi 1; poison ]));
+    Alcotest.test_case "sdiv INT_MIN/-1 is UB" `Quick (fun () ->
+        check_ret "min/-1" "UB: sdiv overflow (INT_MIN / -1)"
+          (run (simple "sdiv") [ vi (-128); vi (-1) ]));
+    Alcotest.test_case "exact violation is poison" `Quick (fun () ->
+        check_ret "9 exact/ 2" "ret poison" (run (simple "udiv exact") [ vi 9; vi 2 ]);
+        check_ret "8 exact/ 2" "ret 4" (run (simple "udiv exact") [ vi 8; vi 2 ]));
+    Alcotest.test_case "oversized shift deferred UB" `Quick (fun () ->
+        check_ret "shl by 9 (proposed: poison)" "ret poison" (run (simple "shl") [ vi 1; vi 9 ]);
+        (* old modes: undef *)
+        check_ret "shl by 9 (old: undef)" "ret undef"
+          (run ~mode:Mode.old_unswitch (simple "shl") [ vi 1; vi 9 ]));
+    Alcotest.test_case "undef constant means poison in proposed mode" `Quick (fun () ->
+        check_ret "undef+1 (proposed)" "ret poison"
+          (run {|define i8 @f() {
+e:
+  %x = add i8 undef, 1
+  ret i8 %x
+}|} []));
+    Alcotest.test_case "undef materializes per use (old)" `Quick (fun () ->
+        (* x+x with x=undef can be odd under old semantics: enumerate *)
+        let fn = parse {|define i2 @f(i2 %x) {
+e:
+  %y = add i2 %x, %x
+  ret i2 %y
+}|} in
+        let behs = Interp.Behaviors.enumerate ~mode:Mode.old_unswitch fn [ undef ] in
+        let values =
+          List.filter_map
+            (fun b ->
+              match b.Interp.Behaviors.b_outcome with
+              | Interp.Returned (Some (Value.Scalar (Value.Conc bv))) ->
+                Some (Bitvec.to_uint_exn bv)
+              | _ -> None)
+            behs
+        in
+        Alcotest.(check bool) "odd result possible" true (List.mem 1 values || List.mem 3 values));
+  ]
+
+let branch_select_tests =
+  [ Alcotest.test_case "branch on poison: UB vs nondet" `Quick (fun () ->
+        let src = {|define i8 @f(i1 %c) {
+e:
+  br i1 %c, label %t, label %u
+t:
+  ret i8 1
+u:
+  ret i8 2
+}|} in
+        check_ret "proposed" "UB: branch on poison" (run src [ poison ]);
+        let behs = Interp.Behaviors.enumerate ~mode:Mode.old_unswitch (parse src) [ poison ] in
+        Alcotest.(check int) "old-unswitch: both arms" 2 (List.length behs));
+    Alcotest.test_case "select semantics per mode" `Quick (fun () ->
+        let src = {|define i8 @f(i1 %c, i8 %a, i8 %b) {
+e:
+  %x = select i1 %c, i8 %a, i8 %b
+  ret i8 %x
+}|} in
+        (* poison condition *)
+        check_ret "conditional: poison" "ret poison" (run src [ poison; vi 1; vi 2 ]);
+        check_ret "ub-cond: UB" "UB: select on poison condition"
+          (run ~mode:Mode.old_gvn src [ poison; vi 1; vi 2 ]);
+        (* non-chosen poison arm is ignored under conditional *)
+        check_ret "conditional ignores non-chosen" "ret 1" (run src [ vi ~w:1 1; vi 1; poison ]);
+        (* ...but poisons the result under arith *)
+        check_ret "arith taints" "ret poison"
+          (run ~mode:Mode.old_langref src [ vi ~w:1 1; vi 1; poison ]));
+    Alcotest.test_case "freeze determinism within a run" `Quick (fun () ->
+        let src = {|define i8 @f(i8 %x) {
+e:
+  %f = freeze i8 %x
+  %y = sub i8 %f, %f
+  ret i8 %y
+}|} in
+        (* freeze picks once: f - f = 0 on every path *)
+        let fn = parse src in
+        let behs = Interp.Behaviors.enumerate ~mode:Mode.proposed ~max_width_bits:8 fn [ poison ] in
+        List.iter
+          (fun b -> check_ret "f-f=0" "ret 0" b.Interp.Behaviors.b_outcome)
+          behs);
+    Alcotest.test_case "phi forwards poison only on the taken edge" `Quick (fun () ->
+        let src = {|define i8 @f(i1 %c, i8 %a) {
+e:
+  br i1 %c, label %t, label %u
+t:
+  br label %m
+u:
+  br label %m
+m:
+  %x = phi i8 [ %a, %t ], [ 5, %u ]
+  ret i8 %x
+}|} in
+        check_ret "poison via t" "ret poison" (run src [ vi ~w:1 1; poison ]);
+        check_ret "constant via u" "ret 5" (run src [ vi ~w:1 0; poison ]));
+  ]
+
+let memory_tests =
+  [ Alcotest.test_case "store/load roundtrip" `Quick (fun () ->
+        let src = {|define i16 @f() {
+e:
+  %p = call i16* @malloc(i32 8)
+  store i16 -12345, i16* %p
+  %v = load i16, i16* %p
+  ret i16 %v
+}|} in
+        check_ret "roundtrip" "ret -12345" (run src []));
+    Alcotest.test_case "load of uninitialized memory" `Quick (fun () ->
+        let src = {|define i8 @f() {
+e:
+  %p = call i8* @malloc(i32 4)
+  %v = load i8, i8* %p
+  ret i8 %v
+}|} in
+        check_ret "proposed: poison" "ret poison" (run src []);
+        check_ret "old: undef" "ret undef" (run ~mode:Mode.old_unswitch src []));
+    Alcotest.test_case "out-of-bounds access is UB" `Quick (fun () ->
+        let src = {|define i8 @f() {
+e:
+  %p = call i8* @malloc(i32 2)
+  %q = getelementptr i8, i8* %p, i32 5
+  %v = load i8, i8* %q
+  ret i8 %v
+}|} in
+        check_ret "oob" "UB: load from invalid address" (run src []));
+    Alcotest.test_case "load/store through poison pointer is UB" `Quick (fun () ->
+        let src = {|define i8 @f(i8* %p) {
+e:
+  %v = load i8, i8* %p
+  ret i8 %v
+}|} in
+        check_ret "poison ptr" "UB: load from poison pointer"
+          (run src [ Value.Scalar Value.Poison ]));
+    Alcotest.test_case "vector load tracks poison per lane (5.4)" `Quick (fun () ->
+        let src = {|define i16 @f() {
+e:
+  %p = call i16* @malloc(i32 4)
+  store i16 7, i16* %p
+  %pv = bitcast i16* %p to <2 x i16>*
+  %v = load <2 x i16>, <2 x i16>* %pv
+  %e = extractelement <2 x i16> %v, i32 0
+  ret i16 %e
+}|} in
+        (* second lane is uninitialized (poison) but lane 0 survives *)
+        check_ret "lane isolation" "ret 7" (run src []));
+    Alcotest.test_case "integer widened load is contaminated (the 5.4 bug)" `Quick (fun () ->
+        let src = {|define i16 @f() {
+e:
+  %p = call i16* @malloc(i32 4)
+  store i16 7, i16* %p
+  %pw = bitcast i16* %p to i32*
+  %w = load i32, i32* %pw
+  %t = trunc i32 %w to i16
+  ret i16 %t
+}|} in
+        check_ret "contaminated" "ret poison" (run src []));
+    Alcotest.test_case "gep inbounds overflow is poison" `Quick (fun () ->
+        let src = {|define i8* @f(i8* %p) {
+e:
+  %q = getelementptr inbounds i8, i8* %p, i32 2147483647
+  %r = getelementptr inbounds i8, i8* %q, i32 2147483647
+  ret i8* %r
+}|} in
+        let fn = parse src in
+        let mem = Memory.create () in
+        let base = Memory.alloc mem ~size:4 in
+        let r = Interp.run ~mem fn [ Value.Scalar (Value.Conc base) ] in
+        check_ret "poison gep" "ret poison" r.Interp.outcome);
+  ]
+
+let ty_updown_tests =
+  [ Alcotest.test_case "ty_down/ty_up roundtrip on concrete" `Quick (fun () ->
+        let v = Value.Vector [| Value.Conc (Bitvec.of_int ~width:16 513); Value.Conc (Bitvec.of_int ~width:16 77) |] in
+        let ty = Types.Vec (2, Types.Int 16) in
+        let v' = Value.ty_up ~mode:Mode.proposed ty (Value.ty_down ty v) in
+        Alcotest.(check bool) "roundtrip" true (Value.equal v v'));
+    Alcotest.test_case "bitcast spreads lane poison (Fig 5)" `Quick (fun () ->
+        let v = Value.Vector [| Value.Poison; Value.Conc (Bitvec.of_int ~width:16 3) |] in
+        let r =
+          Value.bitcast ~mode:Mode.proposed ~from:(Types.Vec (2, Types.Int 16))
+            ~to_:(Types.Int 32) v
+        in
+        Alcotest.(check bool) "whole word poison" true (Value.is_poison r));
+    Alcotest.test_case "bitcast keeps clean lanes" `Quick (fun () ->
+        let v = Value.Scalar (Value.Conc (Bitvec.of_int ~width:32 0x00070003)) in
+        match Value.bitcast ~mode:Mode.proposed ~from:(Types.Int 32) ~to_:(Types.Vec (2, Types.Int 16)) v with
+        | Value.Vector [| Value.Conc a; Value.Conc b |] ->
+          Alcotest.(check int) "lane0" 3 (Bitvec.to_uint_exn a);
+          Alcotest.(check int) "lane1" 7 (Bitvec.to_uint_exn b)
+        | _ -> Alcotest.fail "bad shape");
+    Alcotest.test_case "covers order" `Quick (fun () ->
+        let conc = Value.Scalar (Value.Conc (Bitvec.of_int ~width:8 3)) in
+        Alcotest.(check bool) "poison covers conc" true (Value.covers ~src:poison ~tgt:conc);
+        Alcotest.(check bool) "undef covers conc" true (Value.covers ~src:undef ~tgt:conc);
+        Alcotest.(check bool) "undef !covers poison" false (Value.covers ~src:undef ~tgt:poison);
+        Alcotest.(check bool) "conc !covers undef" false (Value.covers ~src:conc ~tgt:undef);
+        Alcotest.(check bool) "conc covers self" true (Value.covers ~src:conc ~tgt:conc));
+  ]
+
+(* interpreter determinism given an oracle *)
+let determinism =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"runs are deterministic given a seed" ~count:50
+       QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 255))
+       (fun (seed, a) ->
+         let fns = Ub_fuzz.Gen.random_corpus ~seed ~size:1 in
+         let fn = List.hd fns in
+         let args = [ vi ~w:32 a; vi ~w:32 (a * 3); vi ~w:32 (a + 17) ] in
+         let r1 = Interp.run ~oracle:(Ub_sem.Oracle.of_prng (Prng.create ~seed:1)) fn args in
+         let r2 = Interp.run ~oracle:(Ub_sem.Oracle.of_prng (Prng.create ~seed:1)) fn args in
+         r1.Interp.outcome = r2.Interp.outcome))
+
+let () =
+  Alcotest.run "semantics"
+    [ ("arithmetic", arith_tests);
+      ("branch-select", branch_select_tests);
+      ("memory", memory_tests);
+      ("ty-up-down", ty_updown_tests);
+      ("properties", [ determinism ]);
+    ]

@@ -1,0 +1,157 @@
+(* Bit-blaster: circuit construction, Tseitin + solver integration, and
+   agreement with Bitvec on random inputs for every operation. *)
+
+open Ub_support
+open Ub_smt
+
+let unit_tests =
+  [ Alcotest.test_case "constant folding in smart constructors" `Quick (fun () ->
+        let ctx = Circuit.create_ctx () in
+        Alcotest.(check bool) "and false" true
+          (Circuit.is_false (Circuit.band ctx Circuit.btrue Circuit.bfalse));
+        Alcotest.(check bool) "x and not x" true
+          (let x = Circuit.fresh ctx in
+           Circuit.is_false (Circuit.band ctx x (Circuit.bnot ctx x)));
+        Alcotest.(check bool) "x xor x" true
+          (let x = Circuit.fresh ctx in
+           Circuit.is_false (Circuit.bxor ctx x x)));
+    Alcotest.test_case "cnf: simple equivalence" `Quick (fun () ->
+        let ctx = Circuit.create_ctx () in
+        let x = Circuit.fresh ctx and y = Circuit.fresh ctx in
+        (* (x and y) and (not x) is unsat *)
+        let root = Circuit.band ctx (Circuit.band ctx x y) (Circuit.bnot ctx x) in
+        (match Circuit.Cnf.solve ctx root with
+        | Circuit.Cnf.Unsat_r -> ()
+        | Circuit.Cnf.Sat_model _ -> Alcotest.fail "should be unsat"));
+    Alcotest.test_case "cnf: model extraction" `Quick (fun () ->
+        let ctx = Circuit.create_ctx () in
+        let a = Bvterm.fresh ctx ~width:8 in
+        (* a + 1 == 0 forces a = 255 *)
+        let sum = Bvterm.add ctx a (Bvterm.const ctx (Bitvec.of_int ~width:8 1)) in
+        let root = Bvterm.eq ctx sum (Bvterm.const ctx (Bitvec.zero 8)) in
+        match Circuit.Cnf.solve ctx root with
+        | Circuit.Cnf.Sat_model m ->
+          let v = ref 0 in
+          Array.iteri (fun i bit -> if Circuit.eval m.Circuit.Cnf.bool_of_input bit then v := !v lor (1 lsl i)) a;
+          Alcotest.(check int) "a = 255" 255 !v
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "should be sat");
+    Alcotest.test_case "udiv circuit guards against zero later" `Quick (fun () ->
+        let ctx = Circuit.create_ctx () in
+        let a = Bvterm.const ctx (Bitvec.of_int ~width:4 13) in
+        let b = Bvterm.const ctx (Bitvec.of_int ~width:4 3) in
+        let q, r = Bvterm.udiv_urem ctx a b in
+        let qv = ref 0 and rv = ref 0 in
+        Array.iteri (fun i bit -> if Circuit.eval (fun _ -> false) bit then qv := !qv lor (1 lsl i)) q;
+        Array.iteri (fun i bit -> if Circuit.eval (fun _ -> false) bit then rv := !rv lor (1 lsl i)) r;
+        Alcotest.(check int) "13/3" 4 !qv;
+        Alcotest.(check int) "13%3" 1 !rv);
+  ]
+
+(* exhaustive agreement with Bitvec for every op at small widths, plus
+   random checks at larger widths *)
+let eval_bv assign (sym : Bvterm.t) : int =
+  let v = ref 0 in
+  Array.iteri (fun i bit -> if Circuit.eval assign bit then v := !v lor (1 lsl i)) sym;
+  !v
+
+let agreement_test ~w name symf concf =
+  Alcotest.test_case (Printf.sprintf "%s agrees @ i%d (exhaustive)" name w) `Slow (fun () ->
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          let ctx = Circuit.create_ctx () in
+          let sa = Bvterm.fresh ctx ~width:w and sb = Bvterm.fresh ctx ~width:w in
+          let assign i = if i < w then (a lsr i) land 1 = 1 else (b lsr (i - w)) land 1 = 1 in
+          let sym = symf ctx sa sb in
+          let conc = concf (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b) in
+          if eval_bv assign sym <> Bitvec.to_uint_exn conc then
+            Alcotest.failf "%s(%d,%d) mismatch" name a b
+        done
+      done)
+
+let bool_agreement_test ~w name symf concf =
+  Alcotest.test_case (Printf.sprintf "%s agrees @ i%d (exhaustive)" name w) `Slow (fun () ->
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          let ctx = Circuit.create_ctx () in
+          let sa = Bvterm.fresh ctx ~width:w and sb = Bvterm.fresh ctx ~width:w in
+          let assign i = if i < w then (a lsr i) land 1 = 1 else (b lsr (i - w)) land 1 = 1 in
+          let sym = symf ctx sa sb in
+          let conc = concf (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b) in
+          if Circuit.eval assign sym <> conc then Alcotest.failf "%s(%d,%d) mismatch" name a b
+        done
+      done)
+
+let exhaustive_tests =
+  [ agreement_test ~w:3 "add" Bvterm.add Bitvec.add;
+    agreement_test ~w:3 "sub" Bvterm.sub Bitvec.sub;
+    agreement_test ~w:3 "mul" Bvterm.mul Bitvec.mul;
+    bool_agreement_test ~w:3 "ult" Bvterm.ult Bitvec.ult;
+    bool_agreement_test ~w:3 "slt" Bvterm.slt Bitvec.slt;
+    bool_agreement_test ~w:3 "eq" Bvterm.eq Bitvec.eq;
+    bool_agreement_test ~w:3 "add_nsw_ovf" Bvterm.add_nsw_overflows Bitvec.add_nsw_overflows;
+    bool_agreement_test ~w:3 "mul_nsw_ovf" Bvterm.mul_nsw_overflows Bitvec.mul_nsw_overflows;
+    bool_agreement_test ~w:3 "sub_nuw_ovf" Bvterm.sub_nuw_overflows Bitvec.sub_nuw_overflows;
+  ]
+
+(* the udiv test above needs b!=0 guarding: rewrite as explicit loop *)
+let div_tests =
+  [ Alcotest.test_case "udiv/sdiv/urem/srem exhaustive @ i4 (b != 0)" `Slow (fun () ->
+        let w = 4 in
+        for a = 0 to 15 do
+          for b = 1 to 15 do
+            let ctx = Circuit.create_ctx () in
+            let sa = Bvterm.const ctx (Bitvec.of_int ~width:w a) in
+            let sb = Bvterm.const ctx (Bitvec.of_int ~width:w b) in
+            let ba = Bitvec.of_int ~width:w a and bb = Bitvec.of_int ~width:w b in
+            let chk name sym conc =
+              if eval_bv (fun _ -> false) sym <> Bitvec.to_uint_exn conc then
+                Alcotest.failf "%s(%d,%d)" name a b
+            in
+            chk "udiv" (Bvterm.udiv ctx sa sb) (Bitvec.udiv ba bb);
+            chk "urem" (Bvterm.urem ctx sa sb) (Bitvec.urem ba bb);
+            chk "sdiv" (Bvterm.sdiv ctx sa sb) (Bitvec.sdiv ba bb);
+            chk "srem" (Bvterm.srem ctx sa sb) (Bitvec.srem ba bb)
+          done
+        done);
+    Alcotest.test_case "shifts exhaustive @ i4" `Slow (fun () ->
+        let w = 4 in
+        for a = 0 to 15 do
+          for n = 0 to 3 do
+            let ctx = Circuit.create_ctx () in
+            let sa = Bvterm.const ctx (Bitvec.of_int ~width:w a) in
+            let sn = Bvterm.const ctx (Bitvec.of_int ~width:w n) in
+            let ba = Bitvec.of_int ~width:w a in
+            let chk name sym conc =
+              if eval_bv (fun _ -> false) sym <> Bitvec.to_uint_exn conc then
+                Alcotest.failf "%s(%d,%d)" name a n
+            in
+            chk "shl" (Bvterm.shl ctx sa sn) (Bitvec.shl ba n);
+            chk "lshr" (Bvterm.lshr ctx sa sn) (Bitvec.lshr ba n);
+            chk "ashr" (Bvterm.ashr ctx sa sn) (Bitvec.ashr ba n)
+          done
+        done);
+  ]
+
+(* random agreement at width 16 through the SAT solver: assert the
+   circuit `op(a,b) != conc` is UNSAT for fixed a,b *)
+let solver_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"solver-checked agreement @ i16" ~count:40
+       QCheck2.Gen.(pair (int_bound 65535) (int_bound 65535))
+       (fun (a, b) ->
+         let ctx = Circuit.create_ctx () in
+         let sa = Bvterm.const ctx (Bitvec.of_int ~width:16 a) in
+         let sb = Bvterm.const ctx (Bitvec.of_int ~width:16 b) in
+         let sum = Bvterm.mul ctx sa sb in
+         let conc = Bitvec.mul (Bitvec.of_int ~width:16 a) (Bitvec.of_int ~width:16 b) in
+         let neq = Bvterm.ne ctx sum (Bvterm.const ctx conc) in
+         match Circuit.Cnf.solve ctx neq with
+         | Circuit.Cnf.Unsat_r -> true
+         | Circuit.Cnf.Sat_model _ -> false))
+
+let () =
+  Alcotest.run "smt"
+    [ ("unit", unit_tests);
+      ("exhaustive", exhaustive_tests @ div_tests);
+      ("solver", [ solver_agreement ]);
+    ]
