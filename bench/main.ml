@@ -17,6 +17,29 @@ let sep title =
   Printf.printf "==========================================================\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Execution config (-j / --cache / --timeout), shared by the matrix,  *)
+(* optfuzz and lnt experiments                                         *)
+(* ------------------------------------------------------------------ *)
+
+let jobs = ref 1
+let cache_dir = ref (None : string option)
+let timeout_s = ref (None : float option)
+
+(* one cache handle per run, shared across experiments *)
+let cache =
+  let handle = lazy (Option.map Ub_exec.Cache.open_dir !cache_dir) in
+  fun () -> Lazy.force handle
+
+let print_pool_stats (s : Ub_exec.Pool.stats) =
+  Format.printf "%a@." Ub_exec.Pool.pp_stats s
+
+let print_cache_stats ~hits ~misses =
+  if hits + misses > 0 then
+    Printf.printf "cache: %d hit(s), %d miss(es), %.1f%% hit rate\n" hits misses
+      (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+  else if !cache_dir <> None then print_endline "cache: no lookups"
+
+(* ------------------------------------------------------------------ *)
 (* F6: Figure 6 -- run-time change on the SPEC kernels, two machines   *)
 (* ------------------------------------------------------------------ *)
 
@@ -129,29 +152,83 @@ let size () =
 (* T-LNT: fraction of the corpus whose IR / asm changed                *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-function outcome of the legacy-vs-prototype diff, with a tiny
+   stable encoding for the persistent cache ("n" = no IR change, "i" =
+   IR changed only, "a" = IR and asm changed). *)
+let lnt_diff fn =
+  let base = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.legacy fn in
+  let proto = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.prototype fn in
+  if Printer.func_to_string base = Printer.func_to_string proto then `Unchanged
+  else begin
+    let ab = (Ub_backend.Compile.compile_func base).Ub_backend.Compile.asm in
+    let ap = (Ub_backend.Compile.compile_func proto).Ub_backend.Compile.asm in
+    if ab <> ap then `Asm_changed else `Ir_changed
+  end
+
+let lnt_encode = function `Unchanged -> "n" | `Ir_changed -> "i" | `Asm_changed -> "a"
+let lnt_decode = function
+  | "n" -> Some `Unchanged
+  | "i" -> Some `Ir_changed
+  | "a" -> Some `Asm_changed
+  | _ -> None
+
 let lnt () =
   sep "T-LNT | corpus diff fractions (paper: 26% IR changed; 82% of those\n       changed asm; 21% overall)";
-  let corpus = Ub_fuzz.Gen.random_corpus ~seed:2017 ~size:120 in
-  let total = List.length corpus in
-  let ir_changed = ref 0 in
-  let asm_changed = ref 0 in
-  List.iter
-    (fun fn ->
-      let base = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.legacy fn in
-      let proto = Ub_opt.Pipeline.run_o2_func Ub_opt.Pass.prototype fn in
-      if Printer.func_to_string base <> Printer.func_to_string proto then begin
-        incr ir_changed;
-        let ab = (Ub_backend.Compile.compile_func base).Ub_backend.Compile.asm in
-        let ap = (Ub_backend.Compile.compile_func proto).Ub_backend.Compile.asm in
-        if ab <> ap then incr asm_changed
-      end)
-    corpus;
+  let corpus = Array.of_list (Ub_fuzz.Gen.random_corpus ~seed:2017 ~size:120) in
+  let total = Array.length corpus in
+  let c = cache () in
+  let hits0 = match c with Some c -> Ub_exec.Cache.hits c | None -> 0 in
+  let misses0 = match c with Some c -> Ub_exec.Cache.misses c | None -> 0 in
+  let key_of fn =
+    Ub_exec.Cache.key ~parts:[ Printer.func_to_string fn; "lnt-legacy-vs-prototype-v1" ]
+  in
+  let cached =
+    Array.map
+      (fun fn ->
+        match c with
+        | None -> None
+        | Some cc -> Option.bind (Ub_exec.Cache.find cc (key_of fn)) lnt_decode)
+      corpus
+  in
+  let fresh_idx =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) cached)
+    |> List.filter_map (fun (i, v) -> if v = None then Some i else None)
+    |> Array.of_list
+  in
+  let fresh, pool =
+    Ub_exec.Pool.map_stats ~jobs:!jobs ?timeout_s:!timeout_s
+      (fun i -> lnt_diff corpus.(i))
+      fresh_idx
+  in
+  let outcomes = Array.make total `Unchanged in
+  Array.iteri (fun i v -> match v with Some o -> outcomes.(i) <- o | None -> ()) cached;
+  let crashed = ref 0 in
+  Array.iteri
+    (fun j r ->
+      let i = fresh_idx.(j) in
+      match r with
+      | Ub_exec.Pool.Done o ->
+        outcomes.(i) <- o;
+        (match c with Some cc -> Ub_exec.Cache.store cc (key_of corpus.(i)) (lnt_encode o) | None -> ())
+      | Ub_exec.Pool.Crashed _ | Ub_exec.Pool.Timed_out -> incr crashed)
+    fresh;
+  let ir_changed =
+    Array.fold_left (fun n o -> if o <> `Unchanged then n + 1 else n) 0 outcomes
+  in
+  let asm_changed =
+    Array.fold_left (fun n o -> if o = `Asm_changed then n + 1 else n) 0 outcomes
+  in
   let pct a b = 100.0 *. float_of_int a /. float_of_int b in
   Printf.printf "corpus: %d functions\n" total;
-  Printf.printf "different optimized IR : %d (%.0f%%)\n" !ir_changed (pct !ir_changed total);
-  if !ir_changed > 0 then
-    Printf.printf "of those, different asm: %d (%.0f%%)  -- %.0f%% overall\n" !asm_changed
-      (pct !asm_changed !ir_changed) (pct !asm_changed total)
+  if !crashed > 0 then Printf.printf "WARNING: %d function(s) crashed or timed out\n" !crashed;
+  Printf.printf "different optimized IR : %d (%.0f%%)\n" ir_changed (pct ir_changed total);
+  if ir_changed > 0 then
+    Printf.printf "of those, different asm: %d (%.0f%%)  -- %.0f%% overall\n" asm_changed
+      (pct asm_changed ir_changed) (pct asm_changed total);
+  print_pool_stats pool;
+  print_cache_stats
+    ~hits:(match c with Some c -> Ub_exec.Cache.hits c - hits0 | None -> 0)
+    ~misses:(match c with Some c -> Ub_exec.Cache.misses c - misses0 | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* T-OPTFUZZ: Section 6 validation                                     *)
@@ -160,23 +237,36 @@ let lnt () =
 let optfuzz () =
   sep "T-OPTFUZZ | opt-fuzz + checker validation (Section 6: all i2\n          3-instruction functions vs InstCombine/GVN/Reassoc/SCCP)";
   let run_validation name cfg mode params limit =
-    let total = ref 0 and changed = ref 0 and unsound = ref 0 and unknown = ref 0 in
+    (* enumerate + optimize in the parent (cheap); only the changed
+       pairs are real checking work, and those go through the pool and
+       the verdict cache *)
+    let total = ref 0 in
+    let pairs = ref [] in
     let _, truncated =
       Ub_fuzz.Gen.enumerate ~limit params (fun fn ->
           incr total;
           let fn' = Ub_opt.Pass.run_pipeline cfg Ub_opt.Pipeline.fuzz_passes fn in
-          if fn' <> fn then begin
-            incr changed;
-            match Ub_refine.Checker.check mode ~src:fn ~tgt:fn' with
-            | Ub_refine.Checker.Counterexample _ -> incr unsound
-            | Ub_refine.Checker.Unknown _ -> incr unknown
-            | Ub_refine.Checker.Refines -> ()
-          end)
+          if fn' <> fn then pairs := (fn, fn') :: !pairs)
     in
+    let pairs = Array.of_list (List.rev !pairs) in
+    let report =
+      Ub_refine.Sweep.check_pairs ~jobs:!jobs ?timeout_s:!timeout_s ?cache:(cache ()) mode
+        pairs
+    in
+    let unsound = ref 0 and unknown = ref 0 in
+    Array.iter
+      (function
+        | Ub_refine.Checker.Counterexample _ -> incr unsound
+        | Ub_refine.Checker.Unknown _ -> incr unknown
+        | Ub_refine.Checker.Refines -> ())
+      report.Ub_refine.Sweep.verdicts;
     Printf.printf "%-30s: %5d functions%s, %5d optimized, %3d UNSOUND, %d unknown\n" name
       !total
       (if truncated then " (truncated)" else "")
-      !changed !unsound !unknown
+      (Array.length pairs) !unsound !unknown;
+    print_pool_stats report.Ub_refine.Sweep.pool;
+    print_cache_stats ~hits:report.Ub_refine.Sweep.cache_hits
+      ~misses:report.Ub_refine.Sweep.cache_misses
   in
   let base_params = { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } in
   run_validation "prototype / proposed (2 ins)" Ub_opt.Pass.prototype Mode.proposed base_params
@@ -195,7 +285,10 @@ let optfuzz () =
 
 let matrix () =
   sep "T-MATRIX | transformation x semantics soundness matrix (Section 3)";
-  let results = Ub_refine.Matrix.run_all () in
+  let report =
+    Ub_refine.Matrix.run_all_exec ~jobs:!jobs ?timeout_s:!timeout_s ?cache:(cache ()) ()
+  in
+  let results = report.Ub_refine.Matrix.results in
   let mode_names = List.map (fun m -> m.Mode.name) Mode.all in
   Printf.printf "%-26s" "transformation";
   List.iter (fun m -> Printf.printf " %-14s" m) mode_names;
@@ -221,7 +314,10 @@ let matrix () =
       (fun (_, cs) -> List.filter (fun c -> c.Ub_refine.Matrix.agrees = Some false) cs)
       results
   in
-  Printf.printf "\ndisagreements with the paper's expectations: %d\n" (List.length mism)
+  Printf.printf "\ndisagreements with the paper's expectations: %d\n" (List.length mism);
+  print_pool_stats report.Ub_refine.Matrix.pool;
+  print_cache_stats ~hits:report.Ub_refine.Matrix.cache_hits
+    ~misses:report.Ub_refine.Matrix.cache_misses
 
 (* ------------------------------------------------------------------ *)
 (* T-WIDEN: Figure 3                                                   *)
@@ -321,8 +417,39 @@ let all =
     ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("bechamel", bechamel);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [experiments] [-j N] [--cache DIR] [--timeout SECONDS]\n\
+     experiments: %s (default: all)\n\
+     -j N           run matrix/optfuzz/lnt checking tasks on N forked workers\n\
+     --cache DIR    persist verdicts in DIR; warm reruns only pay for new pairs\n\
+     --timeout S    per-task timeout for pooled tasks (verdict: unknown)\n"
+    (String.concat " " (List.map fst all));
+  exit 2
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let rec parse args names =
+    match args with
+    | [] -> List.rev names
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest names
+      | _ -> usage ())
+    | "--cache" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest names
+    | "--timeout" :: s :: rest -> (
+      match float_of_string_opt s with
+      | Some s when s > 0.0 ->
+        timeout_s := Some s;
+        parse rest names
+      | _ -> usage ())
+    | name :: rest when List.mem_assoc name all -> parse rest (name :: names)
+    | _ -> usage ()
+  in
+  let requested = parse (List.tl (Array.to_list Sys.argv)) [] in
   let to_run = if requested = [] then all else List.filter (fun (n, _) -> List.mem n requested) all in
   print_endline "Taming Undefined Behavior in LLVM -- evaluation harness";
   print_endline "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";

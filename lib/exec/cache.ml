@@ -1,0 +1,73 @@
+(* A persistent on-disk verdict cache.  Entries are raw strings keyed by
+   a canonical hash; callers (e.g. [Ub_refine.Verdict_cache]) own the
+   value encoding.  Layout: one file per entry under [dir]/<k0k1>/<key>,
+   two hex characters of fan-out so huge sweeps do not produce a single
+   million-entry directory.  Writes go through a temp file + rename so a
+   killed run never leaves a torn entry, and concurrent writers of the
+   same key are idempotent (same key = same bytes). *)
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir dir =
+  mkdir_p dir;
+  { dir; hits = 0; misses = 0; stores = 0 }
+
+(* Canonical key: length-prefixed concatenation (a la netstrings) of the
+   components, hashed.  The length prefix is what makes the key
+   injective: ("ab","c") and ("a","bc") must not collide. *)
+let key ~(parts : string list) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path_of t k = Filename.concat (Filename.concat t.dir (String.sub k 0 2)) k
+
+let find t k : string option =
+  let path = path_of t k in
+  match open_in_bin path with
+  | exception Sys_error _ ->
+    t.misses <- t.misses + 1;
+    None
+  | ic ->
+    let v = In_channel.input_all ic in
+    close_in ic;
+    t.hits <- t.hits + 1;
+    Some v
+
+let store t k (v : string) : unit =
+  let path = path_of t k in
+  mkdir_p (Filename.dirname path);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc v;
+  close_out oc;
+  Sys.rename tmp path;
+  t.stores <- t.stores + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let stores t = t.stores
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let pp_stats ppf t =
+  Format.fprintf ppf "cache: %d hit(s), %d miss(es), %d store(s), %.1f%% hit rate" t.hits
+    t.misses t.stores (100.0 *. hit_rate t)

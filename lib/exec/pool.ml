@@ -1,0 +1,290 @@
+(* A fork-based worker pool for embarrassingly parallel, pure tasks
+   (refinement queries, corpus sweeps).  Tasks are sharded round-robin
+   across [jobs] workers; each worker is a forked child that streams
+   marshalled [(index, result)] records into a per-shard spool file, so
+
+     - a worker that segfaults, is OOM-killed or raises mid-shard loses
+       only the task it was on: the parent marks that one task [Crashed]
+       and respawns a worker for the remainder of the shard;
+     - a task that exceeds [timeout_s] is interrupted by SIGALRM inside
+       the child and reported as [Timed_out] without killing the worker;
+     - results are reassembled by original index, so the output array is
+       deterministic and independent of scheduling or [jobs].
+
+   With [jobs <= 1] no process is forked: tasks run in the calling
+   process with the same per-task exception/timeout envelope, so the
+   result array is identical to a parallel run (modulo genuine crashes,
+   which in-process necessarily take down the run). *)
+
+type 'b result = Done of 'b | Crashed of string | Timed_out
+
+type shard_stat = {
+  shard : int;
+  tasks : int;
+  crashed : int;
+  timed_out : int;
+  busy_s : float; (* sum of task run times inside the worker(s) *)
+  wall_s : float; (* parent-side spawn-to-reap wall clock *)
+  respawns : int; (* extra workers forked after a crash *)
+}
+
+type stats = {
+  jobs : int;
+  task_count : int;
+  wall_s : float; (* whole-pool wall clock *)
+  shards : shard_stat list;
+  utilization : float; (* total busy / (jobs * wall) *)
+}
+
+let result_map f = function
+  | Done v -> Done (f v)
+  | Crashed m -> Crashed m
+  | Timed_out -> Timed_out
+
+(* ------------------------------------------------------------------ *)
+(* The per-task envelope (used by both the child and the sequential    *)
+(* path): catch exceptions, enforce the timeout with ITIMER_REAL.      *)
+(* ------------------------------------------------------------------ *)
+
+exception Task_timeout
+
+let set_timer s =
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = s })
+
+let run_task ?timeout_s f x : _ result =
+  match timeout_s with
+  | None -> ( try Done (f x) with e -> Crashed (Printexc.to_string e))
+  | Some s ->
+    let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Task_timeout)) in
+    let r =
+      try
+        set_timer s;
+        let v = f x in
+        set_timer 0.0;
+        Done v
+      with
+      | Task_timeout -> Timed_out
+      | e ->
+        set_timer 0.0;
+        Crashed (Printexc.to_string e)
+    in
+    Sys.set_signal Sys.sigalrm old;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Worker protocol: a spool file of marshalled messages.               *)
+(* ------------------------------------------------------------------ *)
+
+type 'b msg = Res of int * 'b result | Busy of float
+
+let worker ?timeout_s f (tasks : (int * 'a) list) (path : string) : unit =
+  let oc = open_out_bin path in
+  let busy = ref 0.0 in
+  List.iter
+    (fun (idx, x) ->
+      let t0 = Unix.gettimeofday () in
+      let r = run_task ?timeout_s f x in
+      busy := !busy +. (Unix.gettimeofday () -. t0);
+      Marshal.to_channel oc (Res (idx, r) : _ msg) [];
+      flush oc)
+    tasks;
+  Marshal.to_channel oc (Busy !busy : _ msg) [];
+  flush oc;
+  close_out oc
+
+(* Read whatever the worker managed to write; a record truncated by a
+   mid-write crash shows up as End_of_file/Failure and is dropped. *)
+let read_spool path (tbl : (int, 'b result) Hashtbl.t) : float =
+  let busy = ref 0.0 in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    (try
+       while true do
+         match (Marshal.from_channel ic : 'b msg) with
+         | Res (idx, r) -> Hashtbl.replace tbl idx r
+         | Busy b -> busy := !busy +. b
+       done
+     with End_of_file | Failure _ -> ());
+    close_in ic
+  end;
+  !busy
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ('a, 'b) shard_state = {
+  id : int;
+  mutable pending : (int * 'a) list; (* (index, task) not yet resolved *)
+  mutable busy : float;
+  mutable wall : float;
+  mutable nrespawn : int;
+  resolved : (int, 'b result) Hashtbl.t;
+}
+
+let sequential ?timeout_s f (xs : 'a array) : 'b result array * stats =
+  let t0 = Unix.gettimeofday () in
+  let busy = ref 0.0 in
+  let results =
+    Array.map
+      (fun x ->
+        let s0 = Unix.gettimeofday () in
+        let r = run_task ?timeout_s f x in
+        busy := !busy +. (Unix.gettimeofday () -. s0);
+        r)
+      xs
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+  let shard =
+    { shard = 0;
+      tasks = Array.length xs;
+      crashed = count (function Crashed _ -> true | _ -> false);
+      timed_out = count (function Timed_out -> true | _ -> false);
+      busy_s = !busy;
+      wall_s = wall;
+      respawns = 0;
+    }
+  in
+  ( results,
+    { jobs = 1;
+      task_count = Array.length xs;
+      wall_s = wall;
+      shards = [ shard ];
+      utilization = (if wall > 0.0 then !busy /. wall else 1.0);
+    } )
+
+let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
+    'b result array * stats =
+  let n = Array.length xs in
+  if jobs <= 1 || n <= 1 then sequential ?timeout_s f xs
+  else begin
+    let jobs = min jobs n in
+    let t0 = Unix.gettimeofday () in
+    (* round-robin sharding: shard i owns indices i, i+jobs, ... *)
+    let shards =
+      Array.init jobs (fun i ->
+          let rec idxs k = if k >= n then [] else (k, xs.(k)) :: idxs (k + jobs) in
+          { id = i;
+            pending = idxs i;
+            busy = 0.0;
+            wall = 0.0;
+            nrespawn = 0;
+            resolved = Hashtbl.create 64;
+          })
+    in
+    let record_result sh idx (r : 'b result) = Hashtbl.replace sh.resolved idx r in
+    (* rounds: fork one worker per unfinished shard, reap, account, and
+       respawn past any crash point until every shard drains *)
+    let round = ref 0 in
+    while Array.exists (fun sh -> sh.pending <> []) shards do
+      let active = Array.to_list shards |> List.filter (fun sh -> sh.pending <> []) in
+      flush stdout;
+      flush stderr;
+      let spawned =
+        List.map
+          (fun sh ->
+            let path =
+              Filename.temp_file
+                (Printf.sprintf "ub_pool_%d_s%d_r%d" (Unix.getpid ()) sh.id !round)
+                ".spool"
+            in
+            let pid =
+              match Unix.fork () with
+              | 0 ->
+                (* child: compute the shard, then exit without running
+                   at_exit handlers inherited from the parent *)
+                (try worker ?timeout_s f sh.pending path with _ -> Unix._exit 2);
+                Unix._exit 0
+              | pid -> pid
+            in
+            (sh, path, pid, Unix.gettimeofday ()))
+          active
+      in
+      List.iter
+        (fun (sh, path, pid, spawn_t) ->
+          let _, status = Unix.waitpid [] pid in
+          sh.wall <- sh.wall +. (Unix.gettimeofday () -. spawn_t);
+          let tbl : (int, 'b result) Hashtbl.t = Hashtbl.create 64 in
+          sh.busy <- sh.busy +. read_spool path tbl;
+          (try Sys.remove path with Sys_error _ -> ());
+          let still_pending =
+            List.filter
+              (fun (idx, _) ->
+                match Hashtbl.find_opt tbl idx with
+                | Some r ->
+                  record_result sh idx r;
+                  false
+                | None -> true)
+              sh.pending
+          in
+          (match (status, still_pending) with
+          | Unix.WEXITED 0, [] -> sh.pending <- []
+          | Unix.WEXITED 0, rest ->
+            (* a clean exit must have resolved everything; if not, do not
+               loop forever: fail the stragglers *)
+            List.iter (fun (idx, _) -> record_result sh idx (Crashed "worker lost the task")) rest;
+            sh.pending <- []
+          | status, (idx, _) :: rest ->
+            (* the first unresolved task is the one the worker died on *)
+            record_result sh idx (Crashed (describe_status status));
+            sh.pending <- rest;
+            sh.nrespawn <- sh.nrespawn + 1
+          | status, [] ->
+            ignore status;
+            sh.pending <- []))
+        spawned;
+      incr round
+    done;
+    let results =
+      Array.init n (fun idx ->
+          let sh = shards.(idx mod jobs) in
+          match Hashtbl.find_opt sh.resolved idx with
+          | Some r -> r
+          | None -> Crashed "task lost by the pool")
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let shard_stats =
+      Array.to_list
+        (Array.map
+           (fun sh ->
+             let count p =
+               Hashtbl.fold (fun _ r n -> if p r then n + 1 else n) sh.resolved 0
+             in
+             { shard = sh.id;
+               tasks = Hashtbl.length sh.resolved;
+               crashed = count (function Crashed _ -> true | _ -> false);
+               timed_out = count (function Timed_out -> true | _ -> false);
+               busy_s = sh.busy;
+               wall_s = sh.wall;
+               respawns = sh.nrespawn;
+             })
+           shards)
+    in
+    let total_busy = List.fold_left (fun a s -> a +. s.busy_s) 0.0 shard_stats in
+    ( results,
+      { jobs;
+        task_count = n;
+        wall_s = wall;
+        shards = shard_stats;
+        utilization =
+          (if wall > 0.0 then total_busy /. (float_of_int jobs *. wall) else 1.0);
+      } )
+  end
+
+let map ?jobs ?timeout_s f xs = fst (map_stats ?jobs ?timeout_s f xs)
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "exec: %d worker(s), %d task(s), wall %.3fs, utilization %.1f%%"
+    s.jobs s.task_count s.wall_s (100.0 *. s.utilization);
+  List.iter
+    (fun sh ->
+      Format.fprintf ppf
+        "@\n  shard %d: %d task(s), busy %.3fs, wall %.3fs, %d crashed, %d timed out, %d respawn(s)"
+        sh.shard sh.tasks sh.busy_s sh.wall_s sh.crashed sh.timed_out sh.respawns)
+    s.shards

@@ -1,0 +1,57 @@
+(* Typed adapter between [Checker.verdict] and the raw-string
+   [Ub_exec.Cache].  The cache key is the canonical hash of
+
+     (printed source fn, printed target fn, semantics mode, checker kind
+      [, explicit input tuples])
+
+   where the functions are printed from their parsed form, so textual
+   noise in the original IR (whitespace, comment placement) cannot split
+   cache entries for the same function.  [Unknown] verdicts are never
+   cached: they depend on resource budgets, and a later run with a
+   bigger budget (or a fixed encoder) should get the chance to do
+   better. *)
+
+open Ub_ir
+open Ub_sem
+
+let magic = "UBVC1\n"
+
+(* The checker-kind component of the key.  Bump when a checker's verdict
+   semantics change incompatibly. *)
+let combined_kind = "combined-v1"
+let sat_kind = "sat-v1"
+let enum_kind = "enum-v1"
+
+let key ?(inputs : Value.t list list option) ~(mode : Mode.t) ~(kind : string)
+    ~(src : Func.t) ~(tgt : Func.t) () : string =
+  let parts =
+    [ Printer.func_to_string src;
+      Printer.func_to_string tgt;
+      mode.Mode.name;
+      kind;
+      (match inputs with
+      | None -> ""
+      | Some ts ->
+        String.concat ";"
+          (List.map (fun args -> String.concat "," (List.map Value.to_string args)) ts));
+    ]
+  in
+  Ub_exec.Cache.key ~parts
+
+let encode (v : Checker.verdict) : string = magic ^ Marshal.to_string v []
+
+let decode (s : string) : Checker.verdict option =
+  let m = String.length magic in
+  if String.length s > m && String.sub s 0 m = magic then
+    try Some (Marshal.from_string s m : Checker.verdict) with _ -> None
+  else None
+
+let cacheable = function Checker.Unknown _ -> false | Checker.Refines | Checker.Counterexample _ -> true
+
+let find (cache : Ub_exec.Cache.t) k : Checker.verdict option =
+  match Ub_exec.Cache.find cache k with
+  | None -> None
+  | Some s -> decode s
+
+let store (cache : Ub_exec.Cache.t) k (v : Checker.verdict) : unit =
+  if cacheable v then Ub_exec.Cache.store cache k (encode v)

@@ -150,4 +150,231 @@ let props =
         end);
   ]
 
-let () = Alcotest.run "bitvec" [ ("unit", unit_tests); ("properties", props) ]
+(* ------------------------------------------------------------------ *)
+(* Edge widths (1, 2, 63, 64) vs a wide-arithmetic reference model     *)
+(* ------------------------------------------------------------------ *)
+
+(* The native-int reference above stops at width 30; the nsw/nuw/exact
+   predicates have their own 128-bit limb tricks inside [Bitvec], so at
+   widths 63/64 they need an INDEPENDENT oracle.  This one is a tiny
+   schoolbook bignum over 16-bit limbs: sums and products are computed
+   exactly and compared against the 2^(w-1)/2^w bounds, with signed
+   values modelled as (sign, magnitude). *)
+module Wide = struct
+  let limbs = 12 (* 192 bits: plenty for 64x64 products *)
+  let base = 1 lsl 16
+
+  type nat = int array (* little-endian 16-bit limbs, fixed length *)
+
+  let zero () : nat = Array.make limbs 0
+
+  let of_u64 (x : int64) : nat =
+    let a = zero () in
+    for i = 0 to 3 do
+      a.(i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical x (16 * i)) 0xFFFFL)
+    done;
+    a
+
+  let pow2 k : nat =
+    let a = zero () in
+    a.(k / 16) <- 1 lsl (k mod 16);
+    a
+
+  let cmp (a : nat) (b : nat) : int =
+    let r = ref 0 in
+    for i = limbs - 1 downto 0 do
+      if !r = 0 then r := compare a.(i) b.(i)
+    done;
+    !r
+
+  let is_zero_n (a : nat) = Array.for_all (fun l -> l = 0) a
+
+  let add (a : nat) (b : nat) : nat =
+    let r = zero () and carry = ref 0 in
+    for i = 0 to limbs - 1 do
+      let s = a.(i) + b.(i) + !carry in
+      r.(i) <- s mod base;
+      carry := s / base
+    done;
+    assert (!carry = 0);
+    r
+
+  (* a - b, requires a >= b *)
+  let sub (a : nat) (b : nat) : nat =
+    assert (cmp a b >= 0);
+    let r = zero () and borrow = ref 0 in
+    for i = 0 to limbs - 1 do
+      let d = a.(i) - b.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    r
+
+  let mul (a : nat) (b : nat) : nat =
+    let r = zero () in
+    for i = 0 to limbs - 1 do
+      if a.(i) <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to limbs - 1 - i do
+          let p = (a.(i) * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p mod base;
+          carry := p / base
+        done;
+        assert (!carry = 0)
+      end
+    done;
+    r
+
+  (* signed values as (sign, magnitude); sign of zero is +1 *)
+  type sint = { sg : int; mag : nat }
+
+  let s_of_bv bv =
+    let s = Bitvec.to_sint64 bv in
+    if Int64.compare s 0L >= 0 then { sg = 1; mag = of_u64 s }
+    else { sg = -1; mag = of_u64 (Int64.neg s) }
+    (* Int64.neg min_int is min_int, whose UNSIGNED reading is 2^63:
+       exactly the magnitude we want *)
+
+  let u_of_bv bv = of_u64 (Bitvec.to_uint64 bv)
+
+  let s_add x y =
+    if x.sg = y.sg then { sg = x.sg; mag = add x.mag y.mag }
+    else begin
+      let c = cmp x.mag y.mag in
+      if c = 0 then { sg = 1; mag = zero () }
+      else if c > 0 then { sg = x.sg; mag = sub x.mag y.mag }
+      else { sg = y.sg; mag = sub y.mag x.mag }
+    end
+
+  let s_neg x = if is_zero_n x.mag then x else { x with sg = -x.sg }
+  let s_mul x y =
+    let mag = mul x.mag y.mag in
+    { sg = (if is_zero_n mag then 1 else x.sg * y.sg); mag }
+
+  (* does a signed value fit in [-2^(w-1), 2^(w-1)-1]? *)
+  let s_fits ~w x =
+    if is_zero_n x.mag then true
+    else if x.sg > 0 then cmp x.mag (pow2 (w - 1)) < 0
+    else cmp x.mag (pow2 (w - 1)) <= 0
+
+  (* does an unsigned value fit in [0, 2^w-1]? *)
+  let u_fits ~w x = cmp x (pow2 w) < 0
+end
+
+let edge_widths = [ 1; 2; 63; 64 ]
+
+let edge_values w =
+  let open Bitvec in
+  let base =
+    [ zero w; one w; all_ones w; max_signed w; min_signed w;
+      sub (max_signed w) (one w); add (min_signed w) (one w); sub (all_ones w) (one w);
+    ]
+  in
+  let extra = if w >= 3 then [ of_int ~width:w 2; of_int ~width:w (-2) ] else [] in
+  List.sort_uniq Bitvec.compare_raw (base @ extra)
+
+let random_values w n =
+  let rng = Ub_support.Prng.create ~seed:(0xb17 + w) in
+  List.init n (fun _ -> Ub_support.Prng.bitvec rng ~width:w)
+
+let pairs_for w =
+  let edges = edge_values w in
+  let edge_pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) edges) edges in
+  let rng = Ub_support.Prng.create ~seed:(0xcafe + w) in
+  let rand_pairs =
+    List.init 200 (fun _ ->
+        (Ub_support.Prng.bitvec rng ~width:w, Ub_support.Prng.bitvec rng ~width:w))
+  in
+  edge_pairs @ rand_pairs
+
+let edge_pair_case w =
+  Alcotest.test_case (Printf.sprintf "nsw/nuw/exact vs wide model @ i%d" w) `Quick
+    (fun () ->
+      List.iter
+        (fun (a, b) ->
+          let ctx name =
+            Printf.sprintf "%s @ i%d with a=%s b=%s" name w (Bitvec.to_string a)
+              (Bitvec.to_string b)
+          in
+          let sa = Wide.s_of_bv a and sb = Wide.s_of_bv b in
+          let ua = Wide.u_of_bv a and ub = Wide.u_of_bv b in
+          Alcotest.(check bool) (ctx "add nsw")
+            (not (Wide.s_fits ~w (Wide.s_add sa sb)))
+            (Bitvec.add_nsw_overflows a b);
+          Alcotest.(check bool) (ctx "add nuw")
+            (not (Wide.u_fits ~w (Wide.add ua ub)))
+            (Bitvec.add_nuw_overflows a b);
+          Alcotest.(check bool) (ctx "sub nsw")
+            (not (Wide.s_fits ~w (Wide.s_add sa (Wide.s_neg sb))))
+            (Bitvec.sub_nsw_overflows a b);
+          Alcotest.(check bool) (ctx "sub nuw") (Wide.cmp ua ub < 0)
+            (Bitvec.sub_nuw_overflows a b);
+          Alcotest.(check bool) (ctx "mul nsw")
+            (not (Wide.s_fits ~w (Wide.s_mul sa sb)))
+            (Bitvec.mul_nsw_overflows a b);
+          Alcotest.(check bool) (ctx "mul nuw")
+            (not (Wide.u_fits ~w (Wide.mul ua ub)))
+            (Bitvec.mul_nuw_overflows a b);
+          Alcotest.(check bool) (ctx "sdiv overflow")
+            (Bitvec.is_min_signed a && Bitvec.is_all_ones b)
+            (Bitvec.sdiv_overflows a b);
+          if not (Bitvec.is_zero b) then begin
+            (* exact division: b divides a with no remainder *)
+            Alcotest.(check bool) (ctx "udiv exact")
+              (Int64.equal (Int64.unsigned_rem (Bitvec.to_uint64 a) (Bitvec.to_uint64 b)) 0L)
+              (Bitvec.udiv_exact a b);
+            let sdiv_exact_ref =
+              if Bitvec.is_min_signed a && Bitvec.is_all_ones b then false
+              else Int64.equal (Int64.rem (Bitvec.to_sint64 a) (Bitvec.to_sint64 b)) 0L
+            in
+            Alcotest.(check bool) (ctx "sdiv exact") sdiv_exact_ref (Bitvec.sdiv_exact a b)
+          end)
+        (pairs_for w))
+
+let edge_shift_case w =
+  Alcotest.test_case (Printf.sprintf "shl nsw/nuw + shr exact vs wide model @ i%d" w)
+    `Quick (fun () ->
+      let shifts =
+        List.sort_uniq compare [ 0; 1; w / 2; w - 1 ]
+        |> List.filter (fun n -> n >= 0 && n < w)
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun n ->
+              let ctx name =
+                Printf.sprintf "%s @ i%d with a=%s n=%d" name w (Bitvec.to_string a) n
+              in
+              let sa = Wide.s_of_bv a and ua = Wide.u_of_bv a in
+              let p2n = Wide.pow2 n in
+              Alcotest.(check bool) (ctx "shl nsw")
+                (not (Wide.s_fits ~w (Wide.s_mul sa { Wide.sg = 1; mag = p2n })))
+                (Bitvec.shl_nsw_overflows a n);
+              Alcotest.(check bool) (ctx "shl nuw")
+                (not (Wide.u_fits ~w (Wide.mul ua p2n)))
+                (Bitvec.shl_nuw_overflows a n);
+              (* lshr/ashr exact: no one-bits shifted out, i.e. 2^n | a *)
+              let divisible =
+                n = 0
+                || Int64.equal
+                     (Int64.logand (Bitvec.to_uint64 a)
+                        (Int64.sub (Int64.shift_left 1L n) 1L))
+                     0L
+              in
+              Alcotest.(check bool) (ctx "lshr exact") divisible (Bitvec.lshr_exact a n);
+              Alcotest.(check bool) (ctx "ashr exact") divisible (Bitvec.ashr_exact a n))
+            shifts)
+        (edge_values w @ random_values w 100))
+
+let edge_tests =
+  List.concat_map (fun w -> [ edge_pair_case w; edge_shift_case w ]) edge_widths
+
+let () =
+  Alcotest.run "bitvec"
+    [ ("unit", unit_tests); ("properties", props); ("edge-widths", edge_tests) ]

@@ -1,0 +1,153 @@
+(* Differential property test: the SAT-based checker must agree with the
+   enumeration ground truth ([Enum_check]) on random transform pairs in
+   EVERY semantics mode.  This is the repo's standing defense against
+   encoder bugs: enumeration computes complete behaviour sets directly
+   from the interpreter, so any divergence is a bug in the SAT encoding
+   (or a genuine semantics-mode subtlety worth a matrix entry).
+
+   Deterministic: pairs are generated from a fixed seed via the repo
+   PRNG, so a failure reproduces byte-for-byte; on disagreement the
+   offending IR pair is printed in full. *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+open Ub_refine
+
+let n_pairs = 500
+let seed = 20170617 (* PLDI 2017, deterministic *)
+
+(* ------------------------------------------------------------------ *)
+(* Pair generation: a fuzzed function + a pass-like random mutation    *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_pool params limit =
+  let fns = ref [] in
+  let _ = Ub_fuzz.Gen.enumerate ~limit params (fun f -> fns := f :: !fns) in
+  Array.of_list !fns
+
+let plain_pool =
+  lazy
+    (enumerate_pool { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } 2_500)
+
+let undef_pool =
+  lazy
+    (enumerate_pool
+       { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2; include_undef = true }
+       2_500)
+
+(* Replacement operands for a width-typed slot: arguments, small
+   constants, poison.  Mutating towards these is how we manufacture
+   both sound rewrites (x -> x) and unsound ones (x -> 1, y -> poison). *)
+let replacements (fn : Func.t) : Instr.operand list =
+  let ity = Types.Int 2 in
+  List.map (fun (a, _) -> Instr.Var a) fn.Func.args
+  @ [ Instr.Const (Constant.of_int ~width:2 0);
+      Instr.Const (Constant.of_int ~width:2 1);
+      Instr.Const (Constant.Poison ity);
+    ]
+
+let mutate_insn (rng : Prng.t) (fn : Func.t) (n : Instr.named) : Instr.named =
+  match n.Instr.ins with
+  | Instr.Binop (op, attrs, ty, a, b) -> (
+    match Prng.int rng 4 with
+    | 0 -> { n with Instr.ins = Instr.Binop (op, attrs, ty, b, a) }
+    | 1 -> { n with Instr.ins = Instr.Binop (op, Instr.no_attrs, ty, a, b) }
+    | 2 when op = Instr.Add || op = Instr.Sub || op = Instr.Mul ->
+      { n with Instr.ins = Instr.Binop (op, Instr.nsw_only, ty, a, b) }
+    | _ ->
+      let r = Prng.choose_list rng (replacements fn) in
+      if Prng.bool rng then { n with Instr.ins = Instr.Binop (op, attrs, ty, r, b) }
+      else { n with Instr.ins = Instr.Binop (op, attrs, ty, a, r) })
+  | Instr.Icmp (pred, ty, a, b) ->
+    if Prng.bool rng then { n with Instr.ins = Instr.Icmp (pred, ty, b, a) }
+    else
+      let r = Prng.choose_list rng (replacements fn) in
+      { n with Instr.ins = Instr.Icmp (pred, ty, a, r) }
+  | Instr.Select (c, ty, a, b) ->
+    if Prng.bool rng then { n with Instr.ins = Instr.Select (c, ty, b, a) }
+    else
+      let r = Prng.choose_list rng (replacements fn) in
+      { n with Instr.ins = Instr.Select (c, ty, r, b) }
+  | Instr.Freeze (ty, _) when Prng.bool rng ->
+    (* drop the freeze: forward its operand (frequently unsound) *)
+    let r = Prng.choose_list rng (replacements fn) in
+    { n with Instr.ins = Instr.Freeze (ty, r) }
+  | _ -> n
+
+let mutate (rng : Prng.t) (fn : Func.t) : Func.t =
+  let blocks =
+    List.map
+      (fun (b : Func.block) ->
+        { b with
+          Func.insns =
+            List.map
+              (fun n ->
+                if Prng.chance rng ~num:1 ~den:2 then mutate_insn rng fn n else n)
+              b.Func.insns;
+        })
+      fn.Func.blocks
+  in
+  let fn' = { fn with Func.blocks } in
+  (* a mutation that breaks well-formedness is discarded: self-refinement
+     of the unmutated function is still a meaningful (sound) pair *)
+  if Validate.check_func fn' = [] then fn' else fn
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                           *)
+(* ------------------------------------------------------------------ *)
+
+let show_disagreement mode src tgt sat enum =
+  Printf.sprintf
+    "SAT and enumeration disagree under %s\n--- source ---\n%s\n--- target ---\n%s\nSAT:  %s\nenum: %s"
+    mode.Mode.name
+    (Printer.func_to_string src)
+    (Printer.func_to_string tgt)
+    (Checker.verdict_to_string sat)
+    (match enum with
+    | Enum_check.Refines -> "refines"
+    | Enum_check.Counterexample { witness; _ } -> "COUNTEREXAMPLE: " ^ witness
+    | Enum_check.Unknown r -> "unknown: " ^ r)
+
+let run_differential () =
+  let rng = Prng.create ~seed in
+  let checked = ref 0 and decisive = ref 0 in
+  for _ = 1 to n_pairs do
+    let pool = if Prng.chance rng ~num:1 ~den:3 then undef_pool else plain_pool in
+    let src = Prng.choose_array rng (Lazy.force pool) in
+    let tgt = mutate rng src in
+    incr checked;
+    List.iter
+      (fun (mode : Mode.t) ->
+        let sat = Checker.check_sat mode ~src ~tgt in
+        match sat with
+        | Checker.Unknown _ -> () (* outside the encodable/budget fragment *)
+        | _ -> (
+          let enum = Enum_check.check ~mode ~src ~tgt () in
+          match (sat, enum) with
+          | _, Enum_check.Unknown _ -> ()
+          | Checker.Refines, Enum_check.Refines
+          | Checker.Counterexample _, Enum_check.Counterexample _ ->
+            incr decisive
+          | _ -> Alcotest.fail (show_disagreement mode src tgt sat enum)))
+      Mode.all
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "ran %d pairs (>= %d)" !checked n_pairs)
+    true (!checked >= n_pairs);
+  (* the property is vacuous if nearly everything lands in Unknown *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d decisive agreements out of %d pair-modes" !decisive
+       (!checked * List.length Mode.all))
+    true
+    (!decisive * 2 >= !checked)
+
+let () =
+  Alcotest.run "differential"
+    [ ( "sat-vs-enumeration",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d random pairs agree in all %d modes" n_pairs
+               (List.length Mode.all))
+            `Quick run_differential;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* The exec layer: worker-pool determinism, crash isolation, per-task
+   timeouts, and the persistent cache's key/store/find contract. *)
+
+open Ub_exec
+
+let int_results = Array.init 50 (fun i -> i)
+
+let pool_tests =
+  [ Alcotest.test_case "parallel map matches sequential" `Quick (fun () ->
+        let f x = (x * x) + 1 in
+        let seq = Pool.map ~jobs:1 f int_results in
+        let par = Pool.map ~jobs:4 f int_results in
+        Alcotest.(check bool) "same results" true (seq = par);
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Pool.Done v -> Alcotest.(check int) "value" (f i) v
+            | _ -> Alcotest.fail "expected Done")
+          par);
+    Alcotest.test_case "an exception crashes only its own task" `Quick (fun () ->
+        let f x = if x = 17 then failwith "boom" else x in
+        let rs = Pool.map ~jobs:3 f int_results in
+        Array.iteri
+          (fun i r ->
+            match (i, r) with
+            | 17, Pool.Crashed msg ->
+              Alcotest.(check bool) "message mentions boom" true
+                (Ub_support.Util.string_contains ~needle:"boom" msg)
+            | 17, _ -> Alcotest.fail "task 17 should have crashed"
+            | _, Pool.Done v -> Alcotest.(check int) "value" i v
+            | _, _ -> Alcotest.fail "healthy task lost")
+          rs);
+    Alcotest.test_case "a dying worker loses only the task it was on" `Quick (fun () ->
+        (* SIGKILL is not catchable: this is the segfault/OOM-kill case.
+           The pool must respawn and finish the rest of the shard. *)
+        let f x =
+          if x = 5 then begin
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+            x
+          end
+          else x
+        in
+        let rs = Pool.map ~jobs:2 f (Array.init 20 (fun i -> i)) in
+        Array.iteri
+          (fun i r ->
+            match (i, r) with
+            | 5, Pool.Crashed msg ->
+              Alcotest.(check bool) "killed by signal" true
+                (Ub_support.Util.string_contains ~needle:"signal" msg)
+            | 5, _ -> Alcotest.fail "task 5 should have crashed"
+            | _, Pool.Done v -> Alcotest.(check int) "value" i v
+            | _, _ -> Alcotest.failf "task %d lost to the crash" i)
+          rs);
+    Alcotest.test_case "a slow task times out without killing the worker" `Quick (fun () ->
+        let f x = if x = 2 then Unix.sleepf 5.0 else () in
+        let rs = Pool.map ~jobs:2 ~timeout_s:0.2 f (Array.init 6 (fun i -> i)) in
+        Array.iteri
+          (fun i r ->
+            match (i, r) with
+            | 2, Pool.Timed_out -> ()
+            | 2, _ -> Alcotest.fail "task 2 should have timed out"
+            | _, Pool.Done () -> ()
+            | _, _ -> Alcotest.failf "task %d affected by the timeout" i)
+          rs);
+    Alcotest.test_case "stats account for every task" `Quick (fun () ->
+        let rs, stats = Pool.map_stats ~jobs:3 (fun x -> x) int_results in
+        Alcotest.(check int) "task_count" (Array.length int_results) stats.Pool.task_count;
+        Alcotest.(check int) "shards cover all tasks" (Array.length rs)
+          (List.fold_left (fun a s -> a + s.Pool.tasks) 0 stats.Pool.shards);
+        Alcotest.(check bool) "utilization sane" true
+          (stats.Pool.utilization >= 0.0 && stats.Pool.utilization <= 1.01));
+  ]
+
+let with_tmp_cache k =
+  let dir = Filename.temp_file "ub_cache_test" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> k (Cache.open_dir dir))
+
+let cache_tests =
+  [ Alcotest.test_case "store/find roundtrip" `Quick (fun () ->
+        with_tmp_cache (fun c ->
+            let k = Cache.key ~parts:[ "src"; "tgt"; "mode"; "kind" ] in
+            Alcotest.(check (option string)) "miss before store" None (Cache.find c k);
+            Cache.store c k "verdict-bytes";
+            Alcotest.(check (option string)) "hit after store" (Some "verdict-bytes")
+              (Cache.find c k);
+            Alcotest.(check int) "one hit" 1 (Cache.hits c);
+            Alcotest.(check int) "one miss" 1 (Cache.misses c)));
+    Alcotest.test_case "keys are injective on part boundaries" `Quick (fun () ->
+        Alcotest.(check bool) "ab|c vs a|bc" false
+          (Cache.key ~parts:[ "ab"; "c" ] = Cache.key ~parts:[ "a"; "bc" ]);
+        Alcotest.(check bool) "same parts same key" true
+          (Cache.key ~parts:[ "x"; "y" ] = Cache.key ~parts:[ "x"; "y" ]));
+    Alcotest.test_case "cache persists across handles" `Quick (fun () ->
+        with_tmp_cache (fun c ->
+            let k = Cache.key ~parts:[ "persistent" ] in
+            Cache.store c k "v1";
+            let reopened = Cache.open_dir c.Cache.dir in
+            Alcotest.(check (option string)) "visible to a fresh handle" (Some "v1")
+              (Cache.find reopened k)));
+  ]
+
+(* the verdict cache: decisive verdicts roundtrip, unknowns are skipped *)
+let verdict_tests =
+  [ Alcotest.test_case "decisive verdicts roundtrip, unknown is not cached" `Quick (fun () ->
+        with_tmp_cache (fun c ->
+            let open Ub_refine in
+            let k1 = Cache.key ~parts:[ "1" ] and k2 = Cache.key ~parts:[ "2" ] in
+            Verdict_cache.store c k1 Checker.Refines;
+            Alcotest.(check bool) "refines roundtrips" true
+              (Verdict_cache.find c k1 = Some Checker.Refines);
+            Verdict_cache.store c k2 (Checker.Unknown "budget");
+            Alcotest.(check bool) "unknown not cached" true (Verdict_cache.find c k2 = None)));
+  ]
+
+let () =
+  Alcotest.run "exec"
+    [ ("pool", pool_tests); ("cache", cache_tests); ("verdict-cache", verdict_tests) ]

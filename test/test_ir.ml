@@ -216,10 +216,45 @@ let corpus_roundtrip =
              && Parser.parse_func_string (Printer.func_to_string fn) = fn)
            fns))
 
+(* the same property at scale, deterministic: for ~1000 fuzz-generated
+   functions (loopy i32 corpus + exhaustive small i2 space), parsing the
+   printed text must succeed, revalidate cleanly, and reprint to the
+   exact same string — i.e. print is a fixpoint of parse . print *)
+let bulk_roundtrip =
+  Alcotest.test_case "1000+ fuzzed functions roundtrip exactly" `Quick (fun () ->
+      let corpus = ref (Ub_fuzz.Gen.random_corpus ~seed:424242 ~size:700) in
+      let params = { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } in
+      let _ =
+        Ub_fuzz.Gen.enumerate ~limit:300 params (fun fn -> corpus := fn :: !corpus)
+      in
+      let n = ref 0 in
+      List.iter
+        (fun fn ->
+          incr n;
+          let printed = Printer.func_to_string fn in
+          let reparsed =
+            try Parser.parse_func_string printed
+            with Parser.Parse_error e ->
+              Alcotest.failf "printed IR fails to parse (%s):\n%s" e printed
+          in
+          (match Validate.check_func reparsed with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "reparsed IR fails validation (%s):\n%s"
+              (String.concat "; " errs) printed);
+          let reprinted = Printer.func_to_string reparsed in
+          if reprinted <> printed then
+            Alcotest.failf "print is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s"
+              printed reprinted)
+        !corpus;
+      Alcotest.(check bool)
+        (Printf.sprintf "checked %d functions (>= 1000)" !n)
+        true (!n >= 1000))
+
 let () =
   Alcotest.run "ir"
     [ ("unit", unit_tests);
       ("validator-rejects", validator_tests);
       ("func-utils", func_tests);
-      ("properties", [ corpus_roundtrip ]);
+      ("properties", [ corpus_roundtrip; bulk_roundtrip ]);
     ]
