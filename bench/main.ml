@@ -24,6 +24,15 @@ let sep title =
 let jobs = ref 1
 let cache_dir = ref (None : string option)
 let timeout_s = ref (None : float option)
+let shrink = ref false
+let corpus_dir = ref (None : string option)
+let inject_bug = ref false
+
+(* no-silent-caps: every pooled task that was dropped past the --timeout
+   budget (or crashed) is counted here, reported per experiment, and
+   turns the whole run into a non-zero exit — a "covered" total that
+   silently excluded timed-out pairs is not a covered total *)
+let dropped_total = ref 0
 
 (* one cache handle per run, shared across experiments *)
 let cache =
@@ -38,6 +47,59 @@ let print_cache_stats ~hits ~misses =
     Printf.printf "cache: %d hit(s), %d miss(es), %.1f%% hit rate\n" hits misses
       (100.0 *. float_of_int hits /. float_of_int (hits + misses))
   else if !cache_dir <> None then print_endline "cache: no lookups"
+
+let note_dropped ~experiment (pool : Ub_exec.Pool.stats) =
+  let dropped =
+    List.fold_left
+      (fun n (s : Ub_exec.Pool.shard_stat) ->
+        n + s.Ub_exec.Pool.timed_out + s.Ub_exec.Pool.crashed)
+      0 pool.Ub_exec.Pool.shards
+  in
+  if dropped > 0 then
+    Printf.printf "DROPPED: %d task(s) in %s fell past the --timeout budget or crashed\n"
+      dropped experiment;
+  dropped_total := !dropped_total + dropped
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* A minimized witness on disk is a re-parsable module — the source
+   renamed @src, the target renamed @tgt — behind a ';' metadata header
+   the lexer skips, so `ubc check <witness> src tgt` replays it. *)
+let write_witness ~dir ~name ~mode_name ~(red : Ub_refine.Reduce.reduction) =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".ll") in
+  let oc = open_out path in
+  Printf.fprintf oc "; minimized counterexample: %s\n" name;
+  Printf.fprintf oc "; mode: %s\n" mode_name;
+  Printf.fprintf oc "; %s\n\n"
+    (Format.asprintf "%a" Ub_shrink.Reduce.pp_stats red.Ub_refine.Reduce.stats);
+  output_string oc
+    (Printer.func_to_string { red.Ub_refine.Reduce.red_src with Func.name = "src" });
+  output_string oc "\n";
+  output_string oc (Printer.func_to_string { red.Ub_refine.Reduce.red_tgt with Func.name = "tgt" });
+  close_out oc;
+  path
+
+let report_reduction ~label (red : Ub_refine.Reduce.reduction) =
+  let s = red.Ub_refine.Reduce.stats in
+  Printf.printf "  shrink %-32s: %3d -> %2d insns (%.0f%%), %d oracle call(s)\n" label
+    s.Ub_shrink.Reduce.initial_insns s.Ub_shrink.Reduce.final_insns
+    (100.0
+    *. float_of_int s.Ub_shrink.Reduce.final_insns
+    /. float_of_int (max 1 s.Ub_shrink.Reduce.initial_insns))
+    s.Ub_shrink.Reduce.oracle_calls
+
+let emit_witness ~label ~mode_name red =
+  report_reduction ~label red;
+  match !corpus_dir with
+  | None -> ()
+  | Some dir ->
+    let path = write_witness ~dir ~name:label ~mode_name ~red in
+    Printf.printf "    witness: %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* F6: Figure 6 -- run-time change on the SPEC kernels, two machines   *)
@@ -226,6 +288,7 @@ let lnt () =
     Printf.printf "of those, different asm: %d (%.0f%%)  -- %.0f%% overall\n" asm_changed
       (pct asm_changed ir_changed) (pct asm_changed total);
   print_pool_stats pool;
+  note_dropped ~experiment:"lnt" pool;
   print_cache_stats
     ~hits:(match c with Some c -> Ub_exec.Cache.hits c - hits0 | None -> 0)
     ~misses:(match c with Some c -> Ub_exec.Cache.misses c - misses0 | None -> 0)
@@ -236,7 +299,7 @@ let lnt () =
 
 let optfuzz () =
   sep "T-OPTFUZZ | opt-fuzz + checker validation (Section 6: all i2\n          3-instruction functions vs InstCombine/GVN/Reassoc/SCCP)";
-  let run_validation name cfg mode params limit =
+  let run_validation ~slug name cfg mode params limit =
     (* enumerate + optimize in the parent (cheap); only the changed
        pairs are real checking work, and those go through the pool and
        the verdict cache *)
@@ -265,17 +328,50 @@ let optfuzz () =
       (if truncated then " (truncated)" else "")
       (Array.length pairs) !unsound !unknown;
     print_pool_stats report.Ub_refine.Sweep.pool;
+    note_dropped ~experiment:name report.Ub_refine.Sweep.pool;
     print_cache_stats ~hits:report.Ub_refine.Sweep.cache_hits
-      ~misses:report.Ub_refine.Sweep.cache_misses
+      ~misses:report.Ub_refine.Sweep.cache_misses;
+    if !shrink && !unsound > 0 then begin
+      let failing =
+        Array.to_list (Array.mapi (fun i v -> (i, v)) report.Ub_refine.Sweep.verdicts)
+        |> List.filter_map (fun (i, v) ->
+               match v with
+               | Ub_refine.Checker.Counterexample _ -> Some pairs.(i)
+               | _ -> None)
+        |> Array.of_list
+      in
+      Printf.printf "shrinking %d unsound pair(s)...\n%!" (Array.length failing);
+      let reductions, pool =
+        Ub_refine.Reduce.minimize_corpus ~jobs:!jobs ?timeout_s:!timeout_s
+          ?cache:(cache ()) mode failing
+      in
+      Array.iteri
+        (fun i red ->
+          let label = Printf.sprintf "%s-%03d" slug i in
+          match red with
+          | None -> Printf.printf "  shrink %-32s: dropped (crash or timeout)\n" label
+          | Some red -> emit_witness ~label ~mode_name:mode.Mode.name red)
+        reductions;
+      note_dropped ~experiment:(name ^ " (shrink)") pool
+    end
   in
   let base_params = { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 2 } in
-  run_validation "prototype / proposed (2 ins)" Ub_opt.Pass.prototype Mode.proposed base_params
+  run_validation ~slug:"proto2" "prototype / proposed (2 ins)" Ub_opt.Pass.prototype
+    Mode.proposed base_params 4_000;
+  run_validation ~slug:"proto3" "prototype / proposed (3 ins)" Ub_opt.Pass.prototype
+    Mode.proposed
+    { base_params with Ub_fuzz.Gen.n_insns = 3 }
     4_000;
-  run_validation "prototype / proposed (3 ins)" Ub_opt.Pass.prototype Mode.proposed
-    { base_params with Ub_fuzz.Gen.n_insns = 3 } 4_000;
   let undef_params = { base_params with Ub_fuzz.Gen.include_undef = true } in
-  run_validation "LEGACY / old-simplifycfg" Ub_opt.Pass.legacy Mode.old_simplifycfg undef_params
-    4_000;
+  run_validation ~slug:"legacy" "LEGACY / old-simplifycfg" Ub_opt.Pass.legacy
+    Mode.old_simplifycfg undef_params 4_000;
+  if !inject_bug then begin
+    print_endline "(--inject-bug: the deliberately unsound shl x,1 -> shl nsw x,1 rewrite";
+    print_endline " is enabled below; it must report UNSOUND pairs for --shrink to minimize)";
+    run_validation ~slug:"injected" "INJECTED-BUG / proposed (2 ins)"
+      { Ub_opt.Pass.prototype with Ub_opt.Pass.inject_bug = true }
+      Mode.proposed base_params 4_000
+  end;
   print_endline "(the legacy pipeline's unsound rewrites are the Section 3 bugs;";
   print_endline " the prototype must report zero)"
 
@@ -316,8 +412,33 @@ let matrix () =
   in
   Printf.printf "\ndisagreements with the paper's expectations: %d\n" (List.length mism);
   print_pool_stats report.Ub_refine.Matrix.pool;
+  note_dropped ~experiment:"matrix" report.Ub_refine.Matrix.pool;
   print_cache_stats ~hits:report.Ub_refine.Matrix.cache_hits
-    ~misses:report.Ub_refine.Matrix.cache_misses
+    ~misses:report.Ub_refine.Matrix.cache_misses;
+  if !shrink then begin
+    Printf.printf "\nshrinking counterexample cells...\n%!";
+    List.iter
+      (fun ((e : Ub_refine.Matrix.entry), cells) ->
+        List.iter
+          (fun (c : Ub_refine.Matrix.cell) ->
+            match (c.Ub_refine.Matrix.verdict, Mode.find c.Ub_refine.Matrix.mode_name) with
+            | Ub_refine.Checker.Counterexample _, Some mode -> begin
+              let src = Parser.parse_func_string e.Ub_refine.Matrix.src in
+              let tgt = Parser.parse_func_string e.Ub_refine.Matrix.tgt in
+              let label =
+                Printf.sprintf "matrix-%s-%s" e.Ub_refine.Matrix.id mode.Mode.name
+              in
+              match
+                Ub_refine.Reduce.minimize_cex ?inputs:e.Ub_refine.Matrix.inputs
+                  ?cache:(cache ()) mode ~src ~tgt
+              with
+              | None -> Printf.printf "  shrink %-32s: cell did not reproduce\n" label
+              | Some red -> emit_witness ~label ~mode_name:mode.Mode.name red
+            end
+            | _ -> ())
+          cells)
+      results
+  end
 
 (* ------------------------------------------------------------------ *)
 (* T-WIDEN: Figure 3                                                   *)
@@ -420,10 +541,16 @@ let all =
 let usage () =
   Printf.eprintf
     "usage: main.exe [experiments] [-j N] [--cache DIR] [--timeout SECONDS]\n\
+    \                [--shrink] [--corpus DIR] [--inject-bug]\n\
      experiments: %s (default: all)\n\
      -j N           run matrix/optfuzz/lnt checking tasks on N forked workers\n\
      --cache DIR    persist verdicts in DIR; warm reruns only pay for new pairs\n\
-     --timeout S    per-task timeout for pooled tasks (verdict: unknown)\n"
+     --timeout S    per-task timeout for pooled tasks (verdict: unknown);\n\
+    \                dropped tasks are reported and fail the run\n\
+     --shrink       minimize every counterexample matrix/optfuzz find\n\
+     --corpus DIR   write minimized witnesses under DIR as re-parsable .ll files\n\
+     --inject-bug   optfuzz: also validate a deliberately unsound rewrite\n\
+    \                (shl x,1 -> shl nsw x,1) so --shrink has a bug to minimize\n"
     (String.concat " " (List.map fst all));
   exit 2
 
@@ -446,6 +573,15 @@ let () =
         timeout_s := Some s;
         parse rest names
       | _ -> usage ())
+    | "--shrink" :: rest ->
+      shrink := true;
+      parse rest names
+    | "--corpus" :: dir :: rest ->
+      corpus_dir := Some dir;
+      parse rest names
+    | "--inject-bug" :: rest ->
+      inject_bug := true;
+      parse rest names
     | name :: rest when List.mem_assoc name all -> parse rest (name :: names)
     | _ -> usage ()
   in
@@ -453,4 +589,11 @@ let () =
   let to_run = if requested = [] then all else List.filter (fun (n, _) -> List.mem n requested) all in
   print_endline "Taming Undefined Behavior in LLVM -- evaluation harness";
   print_endline "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter (fun (_, f) -> f ()) to_run;
+  if !dropped_total > 0 then begin
+    Printf.printf
+      "\nFAILURE: %d task(s) dropped past the --timeout budget or crashed;\n\
+       the totals above are incomplete\n"
+      !dropped_total;
+    exit 1
+  end

@@ -3,6 +3,8 @@
      ubc compile [-pipeline legacy|prototype] [-emit ir|asm] FILE.c|FILE.ll
      ubc run     [-mode MODE] FILE.c|FILE.ll [-entry main]
      ubc check   [-mode MODE] SRC.ll TGT.ll        (refinement checking)
+     ubc reduce  [-mode MODE] [-o OUT] SRC.ll [TGT.ll]
+                                                    (counterexample shrinking)
      ubc modes                                      (list semantics modes)   *)
 
 open Cmdliner
@@ -114,6 +116,64 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Does TGT refine SRC under the given semantics mode?")
     Term.(const run $ mode_arg $ file_arg $ tgt_arg)
 
+let reduce_cmd =
+  let tgt_arg =
+    Arg.(value & pos 1 (some file) None
+           & info [] ~docv:"TGT"
+               ~doc:"Target function file. Omit it when FILE already holds both \
+                     functions (source first, target second), e.g. a witness \
+                     written by 'bench --corpus'.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+           & info [ "o" ] ~docv:"OUT" ~doc:"Also write the minimized witness module to $(docv).")
+  in
+  let run mode file tgt out =
+    let src, tgt =
+      match tgt with
+      | Some t ->
+        let one p = List.hd (Parser.parse_module (read_file p)).Func.funcs in
+        (one file, one t)
+      | None -> (
+        match (Parser.parse_module (read_file file)).Func.funcs with
+        | src :: tgt :: _ -> (src, tgt)
+        | _ ->
+          prerr_endline
+            "ubc reduce: FILE must contain two functions (source, then target) when TGT is omitted";
+          exit 2)
+    in
+    match Ub_refine.Reduce.minimize_cex mode ~src ~tgt with
+    | None ->
+      Printf.printf "nothing to reduce: pair is not a counterexample under %s (%s)\n"
+        mode.Ub_sem.Mode.name
+        (Ub_refine.Checker.verdict_to_string (Ub_refine.Checker.check mode ~src ~tgt));
+      1
+    | Some r ->
+      let header =
+        Printf.sprintf "; minimized counterexample\n; mode: %s\n; %s\n; verdict: %s\n\n"
+          mode.Ub_sem.Mode.name
+          (Format.asprintf "%a" Ub_shrink.Reduce.pp_stats r.Ub_refine.Reduce.stats)
+          (Ub_refine.Checker.verdict_to_string r.Ub_refine.Reduce.verdict)
+      in
+      let text =
+        Printer.func_to_string { r.Ub_refine.Reduce.red_src with Func.name = "src" }
+        ^ "\n"
+        ^ Printer.func_to_string { r.Ub_refine.Reduce.red_tgt with Func.name = "tgt" }
+      in
+      print_string (header ^ text);
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (header ^ text);
+        close_out oc);
+      0
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Minimize a failing transform pair to a small counterexample witness.")
+    Term.(const run $ mode_arg $ file_arg $ tgt_arg $ out_arg)
+
 let modes_cmd =
   let run () =
     List.iter (fun m -> print_endline (Ub_sem.Mode.describe m)) Ub_sem.Mode.all;
@@ -123,4 +183,4 @@ let modes_cmd =
 
 let () =
   let info = Cmd.info "ubc" ~doc:"The taming-undefined-behavior compiler driver." in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; check_cmd; modes_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; check_cmd; reduce_cmd; modes_cmd ]))

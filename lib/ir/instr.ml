@@ -145,6 +145,39 @@ let map_term_labels f = function
   | Cond_br (c, a, b) -> Cond_br (c, f a, f b)
   | (Ret _ | Ret_void | Unreachable) as t -> t
 
+(* Map the type annotations of an instruction, retyping the embedded
+   constants in lockstep via [fc] (the shrink engine's width-narrowing
+   and vector-shortening passes rewrite both together).  Operand
+   variables are untouched. *)
+let map_types fty fc ins =
+  let fop = function Const c -> Const (fc c) | Var _ as v -> v in
+  match ins with
+  | Binop (op, at, ty, a, b) -> Binop (op, at, fty ty, fop a, fop b)
+  | Icmp (p, ty, a, b) -> Icmp (p, fty ty, fop a, fop b)
+  | Select (c, ty, a, b) -> Select (fop c, fty ty, fop a, fop b)
+  | Conv (op, from, x, to_) -> Conv (op, fty from, fop x, fty to_)
+  | Bitcast (from, x, to_) -> Bitcast (fty from, fop x, fty to_)
+  | Freeze (ty, x) -> Freeze (fty ty, fop x)
+  | Phi (ty, incoming) -> Phi (fty ty, List.map (fun (v, l) -> (fop v, l)) incoming)
+  | Gep g ->
+    Gep
+      { g with
+        pointee = fty g.pointee;
+        base = fop g.base;
+        indices = List.map (fun (t, v) -> (fty t, fop v)) g.indices
+      }
+  | Load (ty, p) -> Load (fty ty, fop p)
+  | Store (ty, v, p) -> Store (fty ty, fop v, fop p)
+  | Call (r, name, args) ->
+    Call (Option.map fty r, name, List.map (fun (t, v) -> (fty t, fop v)) args)
+  | Extractelement (ty, v, i) -> Extractelement (fty ty, fop v, fop i)
+  | Insertelement (ty, v, e, i) -> Insertelement (fty ty, fop v, fop e, fop i)
+
+let map_term_types fty fc = function
+  | Ret (ty, x) -> Ret (fty ty, (match x with Const c -> Const (fc c) | v -> v))
+  | Cond_br (c, a, b) -> Cond_br ((match c with Const cc -> Const (fc cc) | v -> v), a, b)
+  | (Ret_void | Br _ | Unreachable) as t -> t
+
 (* Does this instruction touch memory or have side effects (and hence must
    not be speculated, duplicated or removed freely)? *)
 let has_side_effects = function

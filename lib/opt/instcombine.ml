@@ -77,6 +77,14 @@ let rule (cfg : Pass.config) (fn : Func.t) (named : Instr.named) : Pass.rewrite 
     when (match conc two with Some bv -> Bitvec.equal bv (Bitvec.of_int ~width:(Bitvec.width bv) 2) | None -> false)
          && (cfg.Pass.legacy_bugs || cfg.Pass.freeze) ->
     Pass.Replace_ins (Binop (Add, { attrs with exact = false }, ty, x, x))
+  (* INJECTED BUG (inject_bug only, never in a real pipeline): claim
+     shl x,1 cannot overflow and stamp nsw on it.  The stale-flag bug
+     class of Section 10.2 — the flag manufactures poison the source
+     never had.  Exists so the shrink engine and the CI smoke have a
+     known-unsound rewrite to minimize. *)
+  | Binop (Shl, attrs, ty, x, one)
+    when cfg.Pass.inject_bug && is_one one && not attrs.nsw ->
+    Pass.Replace_ins (Binop (Shl, { attrs with nsw = true }, ty, x, one))
   (* mul x, 2^k -> shl x, k *)
   | Binop (Mul, _, ty, x, c)
     when (match conc c with

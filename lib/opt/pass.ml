@@ -22,6 +22,9 @@ type config = {
   jt_handles_freeze : bool;
   inliner_freeze_free : bool;
   scev_freeze_aware : bool;
+  inject_bug : bool;
+      (* test-only: enable a deliberately unsound InstCombine rewrite so
+         the shrink engine and its CI smoke have a bug to minimize *)
 }
 
 (* The baseline: LLVM as the paper found it. *)
@@ -32,6 +35,7 @@ let legacy =
     jt_handles_freeze = false;
     inliner_freeze_free = false;
     scev_freeze_aware = false;
+    inject_bug = false;
   }
 
 (* The paper's prototype: freeze everywhere a fix needs it, unsound
@@ -45,6 +49,7 @@ let prototype =
     jt_handles_freeze = false;
     inliner_freeze_free = true;
     scev_freeze_aware = false;
+    inject_bug = false;
   }
 
 (* A fully freeze-aware future pipeline (Section 10 upside). *)

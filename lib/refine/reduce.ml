@@ -1,0 +1,166 @@
+(* Counterexample minimization for the refinement checkers: the glue
+   between the generic [Ub_shrink.Reduce] engine and this library's
+   oracles.  Two predicates are provided:
+
+   - [not_refined]: the combined checker reports a concrete
+     counterexample for (src, tgt) under a mode — the opt-fuzz and
+     matrix "UNSOUND" cells;
+   - [sat_enum_disagree]: the SAT path and the enumeration path return
+     contradictory definite verdicts — the differential-testing oracle.
+
+   Both are exception-safe (a raising checker counts as "predicate does
+   not hold", so reduction never escapes the failure class it started
+   from) and both route every query through the PR 1 verdict cache when
+   one is supplied, making large reductions replayable: a re-run of the
+   same reduction is pure cache hits.  [minimize_corpus] fans a batch
+   of reductions out over the [Ub_exec.Pool] workers. *)
+
+open Ub_ir
+open Ub_sem
+
+(* Reduction makes hundreds of oracle calls, so the SAT path runs on a
+   deliberately small budget: functions with much nondeterministic
+   choice punt to enumeration immediately (the reduction corpora are
+   narrow-width, so enumeration is microseconds) instead of paying for
+   a universal expansion per candidate.  Budget-limited *definite*
+   verdicts agree with full-budget ones, so they share the cache kind;
+   [Unknown] is never cached either way. *)
+let reduce_universal_bits = 6
+let reduce_conflicts = 50_000
+
+let check_cached ?cache ?inputs ?max_universal_bits ?max_conflicts (mode : Mode.t) ~src
+    ~tgt : Checker.verdict =
+  let run () = Checker.check ?inputs ?max_universal_bits ?max_conflicts mode ~src ~tgt in
+  match cache with
+  | None -> run ()
+  | Some c -> (
+    let k = Verdict_cache.key ?inputs ~mode ~kind:Verdict_cache.combined_kind ~src ~tgt () in
+    match Verdict_cache.find c k with
+    | Some v -> v
+    | None ->
+      let v = run () in
+      Verdict_cache.store c k v;
+      v)
+
+let not_refined ?cache ?inputs ?(max_universal_bits = reduce_universal_bits)
+    ?(max_conflicts = reduce_conflicts) (mode : Mode.t) ~src ~tgt : bool =
+  match
+    (try check_cached ?cache ?inputs ~max_universal_bits ~max_conflicts mode ~src ~tgt
+     with _ -> Checker.Unknown "checker raised")
+  with
+  | Checker.Counterexample _ -> true
+  | Checker.Refines | Checker.Unknown _ -> false
+
+(* The two stand-alone verdicts, separately cached under their own kind
+   tags so they never alias the combined checker's entries. *)
+let sat_enum_disagree ?cache (mode : Mode.t) ~src ~tgt : bool =
+  let get kind f =
+    try
+      match cache with
+      | None -> f ()
+      | Some c -> (
+        let k = Verdict_cache.key ~mode ~kind ~src ~tgt () in
+        match Verdict_cache.find c k with
+        | Some v -> v
+        | None ->
+          let v = f () in
+          Verdict_cache.store c k v;
+          v)
+    with _ -> Checker.Unknown "checker raised"
+  in
+  let sat = get Verdict_cache.sat_kind (fun () -> Checker.check_sat mode ~src ~tgt) in
+  let enum =
+    get Verdict_cache.enum_kind (fun () ->
+        match Enum_check.check ~mode ~src ~tgt () with
+        | Enum_check.Refines -> Checker.Refines
+        | Enum_check.Counterexample { args; witness } ->
+          Checker.Counterexample { args; witness }
+        | Enum_check.Unknown r -> Checker.Unknown r)
+  in
+  match (sat, enum) with
+  | Checker.Refines, Checker.Counterexample _
+  | Checker.Counterexample _, Checker.Refines ->
+    true
+  | _ -> false
+
+type reduction = {
+  red_src : Func.t;
+  red_tgt : Func.t;
+  stats : Ub_shrink.Reduce.stats;
+  verdict : Checker.verdict; (* re-check of the minimized pair *)
+}
+
+let verdict_class = function
+  | Checker.Refines -> `Refines
+  | Checker.Counterexample _ -> `Counterexample
+  | Checker.Unknown _ -> `Unknown
+
+(* Minimize a failing transform pair under the "still a counterexample"
+   oracle.  [None] when the pair is not a counterexample to begin with
+   (nothing to reduce — returning the input unchanged would let a
+   reducer bug silently "fix" a report).
+
+   [preserve] lists extra modes whose verdict *class* every candidate
+   must keep: reducing a mode-specific bug can otherwise drift into a
+   different bug class (e.g. an old-undef counterexample degenerating
+   into a poison bug that the proposed semantics also rejects), which
+   would make the witness lie about which semantics it indicts. *)
+let minimize_cex ?cache ?inputs ?max_steps ?(preserve : Mode.t list = [])
+    (mode : Mode.t) ~(src : Func.t) ~(tgt : Func.t) : reduction option =
+  if not (not_refined ?cache ?inputs mode ~src ~tgt) then None
+  else begin
+    let class_under m ~src ~tgt =
+      verdict_class
+        (try
+           check_cached ?cache ?inputs ~max_universal_bits:reduce_universal_bits
+             ~max_conflicts:reduce_conflicts m ~src ~tgt
+         with _ -> Checker.Unknown "checker raised")
+    in
+    let profile = List.map (fun m -> (m, class_under m ~src ~tgt)) preserve in
+    let oracle s t =
+      not_refined ?cache ?inputs mode ~src:s ~tgt:t
+      && List.for_all (fun (m, cls) -> class_under m ~src:s ~tgt:t = cls) profile
+    in
+    let (red_src, red_tgt), stats =
+      Ub_shrink.Reduce.minimize_pair ?max_steps ~oracle (src, tgt)
+    in
+    Some
+      { red_src;
+        red_tgt;
+        stats;
+        verdict = check_cached ?cache ?inputs mode ~src:red_src ~tgt:red_tgt;
+      }
+  end
+
+(* Same engine under the differential oracle. *)
+let minimize_disagreement ?cache ?max_steps (mode : Mode.t) ~(src : Func.t)
+    ~(tgt : Func.t) : reduction option =
+  if not (sat_enum_disagree ?cache mode ~src ~tgt) then None
+  else begin
+    let (red_src, red_tgt), stats =
+      Ub_shrink.Reduce.minimize_pair ?max_steps
+        ~oracle:(fun s t -> sat_enum_disagree ?cache mode ~src:s ~tgt:t)
+        (src, tgt)
+    in
+    Some
+      { red_src;
+        red_tgt;
+        stats;
+        verdict = check_cached ?cache mode ~src:red_src ~tgt:red_tgt;
+      }
+  end
+
+(* Batch reduction over the worker pool: one task per failing pair.
+   Result order matches the input; a crashed or timed-out reduction
+   degrades to [None] for its pair only. *)
+let minimize_corpus ?(jobs = 1) ?timeout_s ?cache ?max_steps (mode : Mode.t)
+    (pairs : (Func.t * Func.t) array) : reduction option array * Ub_exec.Pool.stats =
+  let results, pool =
+    Ub_exec.Pool.map_stats ~jobs ?timeout_s
+      (fun (src, tgt) -> minimize_cex ?cache ?max_steps mode ~src ~tgt)
+      pairs
+  in
+  ( Array.map
+      (function Ub_exec.Pool.Done r -> r | Ub_exec.Pool.Crashed _ | Ub_exec.Pool.Timed_out -> None)
+      results,
+    pool )
