@@ -27,6 +27,10 @@ let timeout_s = ref (None : float option)
 let shrink = ref false
 let corpus_dir = ref (None : string option)
 let inject_bug = ref false
+let solver_out = ref "BENCH_solver.json"
+let solver_baseline = ref "bench/solver_baseline.tsv"
+let solver_save_baseline = ref (None : string option)
+let solver_budget_failed = ref false
 
 (* no-silent-caps: every pooled task that was dropped past the --timeout
    budget (or crashed) is counted here, reported per experiment, and
@@ -483,6 +487,18 @@ exit:
     Ub_backend.Target.profiles
 
 (* ------------------------------------------------------------------ *)
+(* T-SOLVER: the decision-procedure benchmark (see solver_bench.ml)    *)
+(* ------------------------------------------------------------------ *)
+
+let solver () =
+  sep "T-SOLVER | solver-stack benchmark (seeded checker-query corpus)";
+  let ok =
+    Solver_bench.run ~jobs:!jobs ?timeout_s:!timeout_s ~out:!solver_out
+      ~baseline:!solver_baseline ?save_baseline_to:!solver_save_baseline ()
+  in
+  if not ok then solver_budget_failed := true
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per measured table         *)
 (* ------------------------------------------------------------------ *)
 
@@ -535,7 +551,8 @@ let bechamel () =
 
 let all =
   [ ("f6", f6); ("ct", compile_time); ("mem", memory); ("size", size); ("lnt", lnt);
-    ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("bechamel", bechamel);
+    ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("solver", solver);
+    ("bechamel", bechamel);
   ]
 
 let usage () =
@@ -550,7 +567,11 @@ let usage () =
      --shrink       minimize every counterexample matrix/optfuzz find\n\
      --corpus DIR   write minimized witnesses under DIR as re-parsable .ll files\n\
      --inject-bug   optfuzz: also validate a deliberately unsound rewrite\n\
-    \                (shl x,1 -> shl nsw x,1) so --shrink has a bug to minimize\n"
+    \                (shl x,1 -> shl nsw x,1) so --shrink has a bug to minimize\n\
+     --solver-out F          solver: write the benchmark JSON to F (default BENCH_solver.json)\n\
+     --solver-baseline F     solver: compare against the recorded baseline TSV\n\
+    \                         (default bench/solver_baseline.tsv)\n\
+     --solver-save-baseline F  solver: also record this run as a baseline TSV\n"
     (String.concat " " (List.map fst all));
   exit 2
 
@@ -582,6 +603,15 @@ let () =
     | "--inject-bug" :: rest ->
       inject_bug := true;
       parse rest names
+    | "--solver-out" :: f :: rest ->
+      solver_out := f;
+      parse rest names
+    | "--solver-baseline" :: f :: rest ->
+      solver_baseline := f;
+      parse rest names
+    | "--solver-save-baseline" :: f :: rest ->
+      solver_save_baseline := Some f;
+      parse rest names
     | name :: rest when List.mem_assoc name all -> parse rest (name :: names)
     | _ -> usage ()
   in
@@ -595,5 +625,9 @@ let () =
       "\nFAILURE: %d task(s) dropped past the --timeout budget or crashed;\n\
        the totals above are incomplete\n"
       !dropped_total;
+    exit 1
+  end;
+  if !solver_budget_failed then begin
+    print_endline "\nFAILURE: solver benchmark quer(ies) exceeded the conflict budget";
     exit 1
   end

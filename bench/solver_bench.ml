@@ -1,0 +1,501 @@
+(* T-SOLVER | the solver benchmark harness behind `bench solver`.
+
+   Runs a fixed, seeded corpus of refinement-checker queries — the
+   Section 3 matrix under two semantics modes, an enumerated opt-fuzz
+   slice, and handcrafted wide-width identities (i8..i32) — straight
+   through [Checker.check_sat], recording per-query wall time and the
+   decision-procedure counters (conflicts / decisions / propagations,
+   CNF vars / clauses, circuit nodes, peak learned-DB size).
+
+   Results go to BENCH_solver.json.  When a baseline recording exists
+   (bench/solver_baseline.tsv, captured before the PR-3 solver
+   overhaul), the JSON embeds it and reports the geometric-mean
+   speedup against it — this file is the perf trajectory of the
+   solver stack.  Tasks run through [Ub_exec.Pool], so `-j`/`--timeout`
+   apply. *)
+
+open Ub_ir
+open Ub_sem
+
+type query = {
+  qname : string;
+  qmode : string; (* Mode.name *)
+  qsrc : Func.t;
+  qtgt : Func.t;
+}
+
+type record = {
+  rname : string;
+  rmode : string;
+  rverdict : string; (* "refines" | "counterexample" | "unknown" *)
+  rbudget_exceeded : bool;
+  rwall_s : float;
+  rnodes : int;
+  rvars : int;
+  rclauses : int;
+  rconflicts : int;
+  rdecisions : int;
+  rpropagations : int;
+  rlearned_peak : int;
+}
+
+(* Per-query conflict ceiling: generous for the corpus, and the number
+   the CI smoke asserts no query exceeds. *)
+let conflict_budget = 200_000
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fn = Parser.parse_func_string
+
+let handcrafted : (string * string * string * string) list =
+  (* (name, mode, src, tgt) — identities across widths; the sound ones
+     make the solver produce UNSAT proofs, which is where CDCL earns
+     its keep; a couple are deliberately refuted (SAT). *)
+  [ ( "mul2-to-add-i16", "proposed",
+      {|define i16 @f(i16 %x) {
+e:
+  %y = mul i16 %x, 2
+  ret i16 %y
+}|},
+      {|define i16 @f(i16 %x) {
+e:
+  %y = add i16 %x, %x
+  ret i16 %y
+}|} );
+    ( "mul-comm-i8", "proposed",
+      {|define i8 @f(i8 %a, i8 %b) {
+e:
+  %y = mul i8 %a, %b
+  ret i8 %y
+}|},
+      {|define i8 @f(i8 %a, i8 %b) {
+e:
+  %y = mul i8 %b, %a
+  ret i8 %y
+}|} );
+    ( "mul3-to-addchain-i8", "proposed",
+      {|define i8 @f(i8 %x) {
+e:
+  %y = mul i8 %x, 3
+  ret i8 %y
+}|},
+      {|define i8 @f(i8 %x) {
+e:
+  %t = add i8 %x, %x
+  %y = add i8 %t, %x
+  ret i8 %y
+}|} );
+    ( "reassoc-i16", "proposed",
+      {|define i16 @f(i16 %a, i16 %b, i16 %c) {
+e:
+  %t = add i16 %a, %b
+  %y = add i16 %t, %c
+  ret i16 %y
+}|},
+      {|define i16 @f(i16 %a, i16 %b, i16 %c) {
+e:
+  %t = add i16 %b, %c
+  %y = add i16 %a, %t
+  ret i16 %y
+}|} );
+    ( "shl1-to-mul2-i16", "proposed",
+      {|define i16 @f(i16 %x) {
+e:
+  %y = shl i16 %x, 1
+  ret i16 %y
+}|},
+      {|define i16 @f(i16 %x) {
+e:
+  %y = mul i16 %x, 2
+  ret i16 %y
+}|} );
+    ( "xor-cancel-i32", "proposed",
+      {|define i32 @f(i32 %a, i32 %b) {
+e:
+  %t = xor i32 %a, %b
+  %y = xor i32 %t, %b
+  ret i32 %y
+}|},
+      {|define i32 @f(i32 %a, i32 %b) {
+e:
+  ret i32 %a
+}|} );
+    ( "demorgan-i32", "proposed",
+      {|define i32 @f(i32 %a, i32 %b) {
+e:
+  %na = xor i32 %a, -1
+  %nb = xor i32 %b, -1
+  %y = and i32 %na, %nb
+  ret i32 %y
+}|},
+      {|define i32 @f(i32 %a, i32 %b) {
+e:
+  %o = or i32 %a, %b
+  %y = xor i32 %o, -1
+  ret i32 %y
+}|} );
+    ( "sub-to-neg-add-i16", "proposed",
+      {|define i16 @f(i16 %a, i16 %x) {
+e:
+  %y = sub i16 %a, %x
+  ret i16 %y
+}|},
+      {|define i16 @f(i16 %a, i16 %x) {
+e:
+  %n = sub i16 0, %x
+  %y = add i16 %a, %n
+  ret i16 %y
+}|} );
+    ( "select-min-flip-i16", "proposed",
+      {|define i16 @f(i16 %a, i16 %b) {
+e:
+  %c = icmp slt i16 %a, %b
+  %y = select i1 %c, i16 %a, i16 %b
+  ret i16 %y
+}|},
+      {|define i16 @f(i16 %a, i16 %b) {
+e:
+  %c = icmp sge i16 %a, %b
+  %y = select i1 %c, i16 %b, i16 %a
+  ret i16 %y
+}|} );
+    ( "icmp-add-nsw-i16", "proposed",
+      {|define i1 @f(i16 %x) {
+e:
+  %y = add nsw i16 %x, 1
+  %c = icmp slt i16 %x, %y
+  ret i1 %c
+}|},
+      {|define i1 @f(i16 %x) {
+e:
+  ret i1 1
+}|} );
+    (* refuted identities: the solver must find a model *)
+    ( "icmp-add-wrapping-i16-SAT", "proposed",
+      {|define i1 @f(i16 %x) {
+e:
+  %y = add i16 %x, 1
+  %c = icmp slt i16 %x, %y
+  ret i1 %c
+}|},
+      {|define i1 @f(i16 %x) {
+e:
+  ret i1 1
+}|} );
+    ( "mul2-to-add-undef-i8-SAT", "old-unswitch",
+      {|define i8 @f(i8 %x) {
+e:
+  %y = mul i8 %x, 2
+  ret i8 %y
+}|},
+      {|define i8 @f(i8 %x) {
+e:
+  %y = add i8 %x, %x
+  ret i8 %y
+}|} );
+  ]
+
+(* Enumerated opt-fuzz slice: every changed (fn, optimized fn) pair from
+   the first [limit] 3-instruction i2 functions, like T-OPTFUZZ does,
+   capped to keep the corpus bounded.  Enumeration order is
+   deterministic, so this is a fixed corpus. *)
+let fuzz_pairs () : query list =
+  let params =
+    { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 3 }
+  in
+  let pairs = ref [] in
+  let n = ref 0 in
+  let _ =
+    Ub_fuzz.Gen.enumerate ~limit:1_500 params (fun f ->
+        if !n < 40 then begin
+          let f' = Ub_opt.Pass.run_pipeline Ub_opt.Pass.prototype Ub_opt.Pipeline.fuzz_passes f in
+          if f' <> f then begin
+            incr n;
+            pairs :=
+              { qname = Printf.sprintf "optfuzz3-%03d" !n;
+                qmode = "proposed";
+                qsrc = f;
+                qtgt = f';
+              }
+              :: !pairs
+          end
+        end)
+  in
+  List.rev !pairs
+
+let corpus () : query list =
+  let matrix =
+    List.concat_map
+      (fun (e : Ub_refine.Matrix.entry) ->
+        (* enum-only entries (explicit inputs) are outside check_sat's
+           fragment; skip them rather than benchmark a constant-time
+           "not encodable" bailout *)
+        if e.Ub_refine.Matrix.inputs <> None then []
+        else
+          List.map
+            (fun mode_name ->
+              { qname = "matrix-" ^ e.Ub_refine.Matrix.id;
+                qmode = mode_name;
+                qsrc = fn e.Ub_refine.Matrix.src;
+                qtgt = fn e.Ub_refine.Matrix.tgt;
+              })
+            [ "proposed"; "old-langref" ])
+      Ub_refine.Matrix.all_entries
+  in
+  let hand =
+    List.map
+      (fun (name, mode, src, tgt) ->
+        { qname = name; qmode = mode; qsrc = fn src; qtgt = fn tgt })
+      handcrafted
+  in
+  matrix @ hand @ fuzz_pairs ()
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_query (q : query) : record =
+  let mode =
+    match Mode.find q.qmode with
+    | Some m -> m
+    | None -> invalid_arg ("solver bench: unknown mode " ^ q.qmode)
+  in
+  let stats = ref Ub_smt.Circuit.Cnf.no_stats in
+  let time_once () =
+    let t0 = Unix.gettimeofday () in
+    let verdict =
+      Ub_refine.Checker.check_sat ~max_conflicts:conflict_budget ~stats mode ~src:q.qsrc
+        ~tgt:q.qtgt
+    in
+    (Unix.gettimeofday () -. t0, verdict)
+  in
+  (* Sub-millisecond queries are at the mercy of a single GC pause or
+     scheduler hiccup; re-run those a few times and keep the minimum.
+     The checker is deterministic, so verdict and counters agree across
+     repetitions. *)
+  let wall0, verdict = time_once () in
+  let wall =
+    if wall0 >= 0.005 then wall0
+    else begin
+      let best = ref wall0 in
+      for _ = 1 to 4 do
+        let w, _ = time_once () in
+        if w < !best then best := w
+      done;
+      !best
+    end
+  in
+  let vstr, budget_exceeded =
+    match verdict with
+    | Ub_refine.Checker.Refines -> ("refines", false)
+    | Ub_refine.Checker.Counterexample _ -> ("counterexample", false)
+    | Ub_refine.Checker.Unknown r -> ("unknown", r = "SAT budget exceeded")
+  in
+  let s = !stats in
+  { rname = q.qname;
+    rmode = q.qmode;
+    rverdict = vstr;
+    rbudget_exceeded = budget_exceeded;
+    rwall_s = wall;
+    rnodes = s.Ub_smt.Circuit.Cnf.circuit_nodes;
+    rvars = s.Ub_smt.Circuit.Cnf.cnf_vars;
+    rclauses = s.Ub_smt.Circuit.Cnf.cnf_clauses;
+    rconflicts = s.Ub_smt.Circuit.Cnf.conflicts;
+    rdecisions = s.Ub_smt.Circuit.Cnf.decisions;
+    rpropagations = s.Ub_smt.Circuit.Cnf.propagations;
+    rlearned_peak = s.Ub_smt.Circuit.Cnf.learned_peak;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Baseline TSV (one line per query; easy to parse without a JSON dep)  *)
+(* ------------------------------------------------------------------ *)
+
+let record_to_tsv (r : record) : string =
+  Printf.sprintf "%s\t%s\t%s\t%.6f\t%d\t%d\t%d\t%d\t%d\t%d\t%d" r.rname r.rmode r.rverdict
+    r.rwall_s r.rnodes r.rvars r.rclauses r.rconflicts r.rdecisions r.rpropagations
+    r.rlearned_peak
+
+let record_of_tsv (line : string) : record option =
+  match String.split_on_char '\t' line with
+  | [ name; mode; verdict; wall; nodes; vars; clauses; confl; dec; prop; peak ] -> (
+    try
+      Some
+        { rname = name; rmode = mode; rverdict = verdict; rbudget_exceeded = false;
+          rwall_s = float_of_string wall; rnodes = int_of_string nodes;
+          rvars = int_of_string vars; rclauses = int_of_string clauses;
+          rconflicts = int_of_string confl; rdecisions = int_of_string dec;
+          rpropagations = int_of_string prop; rlearned_peak = int_of_string peak;
+        }
+    with _ -> None)
+  | _ -> None
+
+let save_baseline path (records : record list) =
+  let oc = open_out path in
+  output_string oc "# bench solver baseline: name mode verdict wall_s circuit_nodes cnf_vars cnf_clauses conflicts decisions propagations learned_peak\n";
+  List.iter (fun r -> output_string oc (record_to_tsv r ^ "\n")) records;
+  close_out oc
+
+let load_baseline path : record list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if line <> "" && line.[0] <> '#' then
+           match record_of_tsv line with
+           | Some r -> records := r :: !records
+           | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !records
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation + JSON                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let logs = List.map (fun x -> log (max x 1e-7)) xs in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+
+type summary = {
+  n : int;
+  wall_total : float;
+  wall_geomean : float;
+  vars_total : int;
+  clauses_total : int;
+  conflicts_total : int;
+  propagations_total : int;
+  learned_peak_max : int;
+  over_budget : int;
+}
+
+let summarize (records : record list) : summary =
+  { n = List.length records;
+    wall_total = List.fold_left (fun a r -> a +. r.rwall_s) 0.0 records;
+    wall_geomean = geomean (List.map (fun r -> r.rwall_s) records);
+    vars_total = List.fold_left (fun a r -> a + r.rvars) 0 records;
+    clauses_total = List.fold_left (fun a r -> a + r.rclauses) 0 records;
+    conflicts_total = List.fold_left (fun a r -> a + r.rconflicts) 0 records;
+    propagations_total = List.fold_left (fun a r -> a + r.rpropagations) 0 records;
+    learned_peak_max = List.fold_left (fun a r -> max a r.rlearned_peak) 0 records;
+    over_budget = List.fold_left (fun a r -> if r.rbudget_exceeded then a + 1 else a) 0 records;
+  }
+
+let json_of_record (r : record) : string =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"mode\":\"%s\",\"verdict\":\"%s\",\"wall_s\":%.6f,\"circuit_nodes\":%d,\"cnf_vars\":%d,\"cnf_clauses\":%d,\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_peak\":%d}"
+    r.rname r.rmode r.rverdict r.rwall_s r.rnodes r.rvars r.rclauses r.rconflicts
+    r.rdecisions r.rpropagations r.rlearned_peak
+
+let json_of_summary (s : summary) : string =
+  Printf.sprintf
+    "{\"queries\":%d,\"wall_s_total\":%.6f,\"wall_s_geomean\":%.6f,\"cnf_vars_total\":%d,\"cnf_clauses_total\":%d,\"conflicts_total\":%d,\"propagations_total\":%d,\"learned_peak_max\":%d,\"over_budget\":%d}"
+    s.n s.wall_total s.wall_geomean s.vars_total s.clauses_total s.conflicts_total
+    s.propagations_total s.learned_peak_max s.over_budget
+
+(* Pair up current and baseline records by (name, mode) and compute the
+   before/after ratios the acceptance criteria are stated in. *)
+let vs_baseline (current : record list) (baseline : record list) : string option =
+  let key r = (r.rname, r.rmode) in
+  let base = List.map (fun r -> (key r, r)) baseline in
+  let paired =
+    List.filter_map
+      (fun r -> Option.map (fun b -> (r, b)) (List.assoc_opt (key r) base))
+      current
+  in
+  if paired = [] then None
+  else begin
+    let speedups = List.map (fun ((r : record), b) -> b.rwall_s /. max r.rwall_s 1e-7) paired in
+    let sum f = List.fold_left (fun a p -> a + f p) 0 paired in
+    let b_vars = sum (fun (_, b) -> b.rvars) and c_vars = sum (fun (r, _) -> r.rvars) in
+    let b_cls = sum (fun (_, b) -> b.rclauses) and c_cls = sum (fun (r, _) -> r.rclauses) in
+    let shrink before now =
+      if before = 0 then 0.0
+      else 100.0 *. (1.0 -. (float_of_int now /. float_of_int before))
+    in
+    Some
+      (Printf.sprintf
+         "{\"paired_queries\":%d,\"wall_geomean_speedup\":%.3f,\"cnf_vars_shrink_pct\":%.1f,\"cnf_clauses_shrink_pct\":%.1f}"
+         (List.length paired) (geomean speedups) (shrink b_vars c_vars) (shrink b_cls c_cls))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point; returns false when a query blew the conflict budget.    *)
+(* ------------------------------------------------------------------ *)
+
+let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
+    ?save_baseline_to () : bool =
+  let queries = Array.of_list (corpus ()) in
+  Printf.printf "corpus: %d checker queries (matrix x 2 modes, opt-fuzz slice, wide-width identities)\n%!"
+    (Array.length queries);
+  let results, pool = Ub_exec.Pool.map_stats ~jobs ?timeout_s run_query queries in
+  let records =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Ub_exec.Pool.Done rec_ -> rec_
+           | Ub_exec.Pool.Crashed msg ->
+             Printf.printf "CRASH %s: %s\n" queries.(i).qname msg;
+             { rname = queries.(i).qname; rmode = queries.(i).qmode; rverdict = "crashed";
+               rbudget_exceeded = true; rwall_s = 0.0; rnodes = 0; rvars = 0; rclauses = 0;
+               rconflicts = 0; rdecisions = 0; rpropagations = 0; rlearned_peak = 0 }
+           | Ub_exec.Pool.Timed_out ->
+             { rname = queries.(i).qname; rmode = queries.(i).qmode; rverdict = "timeout";
+               rbudget_exceeded = true; rwall_s = 0.0; rnodes = 0; rvars = 0; rclauses = 0;
+               rconflicts = 0; rdecisions = 0; rpropagations = 0; rlearned_peak = 0 })
+         results)
+  in
+  let s = summarize records in
+  Printf.printf
+    "queries: %d  wall total: %.3fs  geomean: %.2fms\n\
+     cnf: %d vars, %d clauses (totals)  conflicts: %d  propagations: %d  peak learned DB: %d\n"
+    s.n s.wall_total (1000.0 *. s.wall_geomean) s.vars_total s.clauses_total
+    s.conflicts_total s.propagations_total s.learned_peak_max;
+  (match save_baseline_to with
+  | Some p ->
+    save_baseline p records;
+    Printf.printf "baseline recorded: %s\n" p
+  | None -> ());
+  let base = load_baseline baseline in
+  let vs = vs_baseline records base in
+  let oc = open_out out in
+  output_string oc "{\n  \"schema\": \"ubc-solver-bench-v1\",\n";
+  Printf.fprintf oc "  \"conflict_budget\": %d,\n" conflict_budget;
+  Printf.fprintf oc "  \"summary\": %s,\n" (json_of_summary s);
+  (match vs with
+  | Some j ->
+    Printf.fprintf oc "  \"vs_baseline\": %s,\n" j;
+    Printf.fprintf oc "  \"baseline_summary\": %s,\n" (json_of_summary (summarize base))
+  | None -> ());
+  output_string oc "  \"queries\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" (json_of_record r)
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  (match vs with
+  | Some j -> Printf.printf "vs baseline: %s\n" j
+  | None -> Printf.printf "(no baseline at %s; speedup not computed)\n" baseline);
+  Format.printf "%a@." Ub_exec.Pool.pp_stats pool;
+  if s.over_budget > 0 then begin
+    Printf.printf "BUDGET-EXCEEDED: %d quer(ies) passed the %d-conflict budget\n" s.over_budget
+      conflict_budget;
+    false
+  end
+  else begin
+    Printf.printf "BUDGET-OK: no query exceeded %d conflicts\n" conflict_budget;
+    true
+  end

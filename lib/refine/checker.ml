@@ -57,14 +57,19 @@ let constant_choices ctx (vals : Bitvec.t list) : Encode.choice_fn =
 let fresh_choices ctx : Encode.choice_fn =
   { Encode.choose = (fun ~width -> Bvterm.fresh ctx ~width) }
 
-(* All assignments to a list of widths, as lists of bitvecs. *)
-let rec assignments = function
-  | [] -> [ [] ]
+(* All assignments to a list of widths, as a lazy sequence of bitvec
+   lists: the 2^total_bits cross-product is produced one element at a
+   time, so memory stays flat right up to the max_universal_bits
+   ceiling instead of materializing the whole product. *)
+let rec assignments (widths : int list) : Bitvec.t list Seq.t =
+  match widths with
+  | [] -> Seq.return []
   | w :: rest ->
-    let tails = assignments rest in
-    List.concat_map (fun bv -> List.map (fun t -> bv :: t) tails) (Bitvec.all ~width:w)
+    Seq.concat_map
+      (fun bv -> Seq.map (fun tail -> bv :: tail) (assignments rest))
+      (List.to_seq (Bitvec.all ~width:w))
 
-let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode.t)
+let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) ?stats (mode : Mode.t)
     ~(src : Func.t) ~(tgt : Func.t) : verdict =
   if List.map snd src.args <> List.map snd tgt.args then Unknown "argument types differ"
   else if src.ret_ty <> tgt.ret_ty then Unknown "return types differ"
@@ -78,9 +83,10 @@ let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode
             let w = Encode.int_width ty in
             let sym =
               { Encode.v = Bvterm.fresh ~name:("arg_" ^ v) ctx ~width:w;
-                p = Circuit.fresh ~name:("poison_" ^ v) ctx;
+                p = Circuit.fresh ~name:(lazy ("poison_" ^ v)) ctx;
                 u =
-                  (if mode.Mode.undef_enabled then Circuit.fresh ~name:("undef_" ^ v) ctx
+                  (if mode.Mode.undef_enabled then
+                     Circuit.fresh ~name:(lazy ("undef_" ^ v)) ctx
                    else Circuit.bfalse);
               }
             in
@@ -93,7 +99,7 @@ let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode
       in
       (* pass 1: count source choices *)
       let widths = ref [] in
-      let _ = Encode.encode ctx mode (counting_choices ctx widths) ~args:src_args src in
+      let senc0 = Encode.encode ctx mode (counting_choices ctx widths) ~args:src_args src in
       let widths = List.rev !widths in
       let total_bits = Util.sum_int widths in
       if total_bits > max_universal_bits then
@@ -103,13 +109,6 @@ let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode
       else begin
         (* encode target once, with existential choices *)
         let tenc = Encode.encode ctx mode (fresh_choices ctx) ~args:tgt_args tgt in
-        (* encode source once per universal assignment *)
-        let sencs =
-          List.map
-            (fun assign ->
-              Encode.encode ctx mode (constant_choices ctx assign) ~args:src_args src)
-            (assignments widths)
-        in
         let covers (s : Encode.fenc) : Circuit.t =
           match (s.ret, tenc.ret) with
           | None, None -> Circuit.btrue
@@ -123,16 +122,29 @@ let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) (mode : Mode
                        (Bvterm.eq ctx rs.Encode.v rt.Encode.v))))
           | _ -> Circuit.bfalse
         in
-        let cex =
-          Circuit.big_and ctx
-            (List.map
-               (fun s ->
-                 Circuit.bnot ctx
-                   (Circuit.bor ctx s.Encode.ub
-                      (Circuit.band ctx (Circuit.bnot ctx tenc.ub) (covers s))))
-               sencs)
+        (* encode the source once per universal assignment, folding the
+           conjunction as the lazy cross-product is produced; shared
+           structure across the encodings hash-conses to shared nodes.
+           A choice-free source has exactly one universal assignment (the
+           empty one) and its encoding is the counting pass itself. *)
+        let sencs =
+          if widths = [] then Seq.return senc0
+          else
+            Seq.map
+              (fun assign ->
+                Encode.encode ctx mode (constant_choices ctx assign) ~args:src_args src)
+              (assignments widths)
         in
-        match Circuit.Cnf.solve ~max_conflicts ctx cex with
+        let cex =
+          Seq.fold_left
+            (fun acc s ->
+              Circuit.band ctx acc
+                (Circuit.bnot ctx
+                   (Circuit.bor ctx s.Encode.ub
+                      (Circuit.band ctx (Circuit.bnot ctx tenc.ub) (covers s)))))
+            Circuit.btrue sencs
+        in
+        match Circuit.Cnf.solve ~max_conflicts ?stats ctx cex with
         | Circuit.Cnf.Unsat_r -> Refines
         | Circuit.Cnf.Sat_model model ->
           (* extract argument values *)

@@ -1,11 +1,15 @@
-(* A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
-   learning, VSIDS branching, Luby restarts, and learned-clause
-   minimization by self-subsumption over the implication graph.
+(* A CDCL SAT solver: two-watched-literal propagation over growable
+   watch vectors, first-UIP clause learning, VSIDS branching through an
+   indexed binary max-heap, phase saving, Luby restarts, learned-clause
+   database reduction on a geometric schedule, and incremental solving
+   under assumptions.
 
    This is the decision-procedure substrate for the refinement checker
    (the paper uses Z3 via Alive; the container is sealed, so we carry our
-   own solver — see DESIGN.md).  Literal encoding: variable [v >= 0] maps
-   to literals [2v] (positive) and [2v+1] (negated). *)
+   own solver — see DESIGN.md section 9).  Literal encoding: variable
+   [v >= 0] maps to literals [2v] (positive) and [2v+1] (negated). *)
+
+open Ub_support
 
 type lit = int
 
@@ -21,14 +25,21 @@ type result = Sat of bool array | Unsat
 (* Truth values in the trail: 0 unassigned, 1 true, 2 false (of the
    positive literal). *)
 
-type clause = { lits : lit array; mutable activity : float; learned : bool }
+type clause = {
+  lits : lit array;
+  mutable activity : float;
+  learned : bool;
+  mutable deleted : bool; (* tombstone set by DB reduction *)
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learned = false; deleted = true }
 
 type t = {
   nvars : int;
   mutable clauses : clause list; (* original clauses, for debugging *)
-  (* watch lists indexed by literal *)
-  watches : clause list array;
+  watches : clause Vec.t array; (* watch vectors indexed by literal *)
   assign : int array; (* per var: 0 / 1 (true) / 2 (false) *)
+  phase : bool array; (* saved polarity per var (last assigned value) *)
   level : int array; (* decision level per var *)
   reason : clause option array; (* antecedent clause per var *)
   trail : int array; (* assigned literals in order *)
@@ -38,10 +49,20 @@ type t = {
   mutable qhead : int; (* propagation queue head *)
   activity : float array; (* VSIDS per var *)
   mutable var_inc : float;
+  heap : int array; (* binary max-heap of vars, ordered by activity *)
+  heap_pos : int array; (* var -> index in heap, -1 when absent *)
+  mutable heap_len : int;
+  mutable cla_inc : float; (* learned-clause activity increment *)
+  learnts : clause Vec.t; (* the learned-clause database *)
+  mutable max_learnts : float; (* reduction threshold (geometric) *)
   seen : bool array; (* scratch for conflict analysis *)
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int;
+  mutable num_clauses : int; (* problem clauses accepted by add_clause *)
+  mutable learned_peak : int; (* peak size of the learned DB *)
+  mutable db_reductions : int;
+  mutable root_unsat : bool; (* instance refuted at level 0: final for every later solve *)
 }
 
 exception Unsat_exn
@@ -49,8 +70,9 @@ exception Unsat_exn
 let create nvars =
   { nvars;
     clauses = [];
-    watches = Array.make (2 * nvars) [];
+    watches = Array.init (2 * nvars) (fun _ -> Vec.create dummy_clause);
     assign = Array.make nvars 0;
+    phase = Array.make nvars false;
     level = Array.make nvars 0;
     reason = Array.make nvars None;
     trail = Array.make (max 1 nvars) 0;
@@ -60,10 +82,20 @@ let create nvars =
     qhead = 0;
     activity = Array.make nvars 0.0;
     var_inc = 1.0;
+    heap = Array.make (max 1 nvars) 0;
+    heap_pos = Array.make (max 1 nvars) (-1);
+    heap_len = 0;
+    cla_inc = 1.0;
+    learnts = Vec.create ~capacity:64 dummy_clause;
+    max_learnts = 0.0;
     seen = Array.make nvars false;
     conflicts = 0;
     propagations = 0;
     decisions = 0;
+    num_clauses = 0;
+    learned_peak = 0;
+    db_reductions = 0;
+    root_unsat = false;
   }
 
 let value_lit (s : t) (l : lit) =
@@ -71,118 +103,222 @@ let value_lit (s : t) (l : lit) =
   let a = s.assign.(var_of l) in
   if a = 0 then 0 else if is_neg l then 3 - a else a
 
+(* ------------------------------------------------------------------ *)
+(* VSIDS order heap: a binary max-heap on [activity], with positions    *)
+(* tracked so a bumped var can sift up in place.                        *)
+(* ------------------------------------------------------------------ *)
+
+let heap_swap (s : t) i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vi) <- j;
+  s.heap_pos.(vj) <- i
+
+let rec heap_sift_up (s : t) i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(parent)) then begin
+      heap_swap s i parent;
+      heap_sift_up s parent
+    end
+  end
+
+let rec heap_sift_down (s : t) i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best)) then best := l;
+  if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best)) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_sift_down s !best
+  end
+
+let heap_insert (s : t) v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_sift_up s s.heap_pos.(v)
+  end
+
+let heap_pop (s : t) : int =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let last = s.heap.(s.heap_len) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_sift_down s 0
+  end;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Activities                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bump_var (s : t) v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    (* uniform rescale preserves the heap order *)
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_sift_up s s.heap_pos.(v)
+
+let decay_var_activity (s : t) = s.var_inc <- s.var_inc /. 0.95
+
+let bump_clause (s : t) (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity (s : t) = s.cla_inc <- s.cla_inc /. 0.999
+
+(* ------------------------------------------------------------------ *)
+(* Assignment                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let enqueue (s : t) (l : lit) (reason : clause option) =
   let v = var_of l in
   s.assign.(v) <- (if is_neg l then 2 else 1);
+  s.phase.(v) <- not (is_neg l);
   s.level.(v) <- s.decision_level;
   s.reason.(v) <- reason;
   s.trail.(s.trail_len) <- l;
   s.trail_len <- s.trail_len + 1
 
-let bump_var (s : t) v =
-  s.activity.(v) <- s.activity.(v) +. s.var_inc;
-  if s.activity.(v) > 1e100 then begin
-    for i = 0 to s.nvars - 1 do
-      s.activity.(i) <- s.activity.(i) *. 1e-100
-    done;
-    s.var_inc <- s.var_inc *. 1e-100
-  end
-
-let decay_var_activity (s : t) = s.var_inc <- s.var_inc /. 0.95
+let watch (s : t) (c : clause) (l : lit) =
+  (* watching literal l of c: insertion is keyed by (lnot l), the
+     literal whose becoming true falsifies l and requires a visit *)
+  Vec.push s.watches.(lnot l) c
 
 (* Add a clause; returns false if the instance is already unsat at level
-   0.  Duplicate and trivially-true clauses are simplified away. *)
+   0.  Duplicate literals and tautologies are simplified away with one
+   int-specialized sort and a single adjacent-pair scan: sorted as ints,
+   a duplicate is adjacent to its copy and a complementary pair [2v],
+   [2v+1] is adjacent too. *)
 let add_clause (s : t) (lits : lit list) : bool =
-  (* simplify: dedup, detect tautology, drop false-at-level-0 literals *)
-  let lits = List.sort_uniq compare lits in
-  if List.exists (fun l -> List.mem (lnot l) lits) lits then true
+  let arr = Array.of_list lits in
+  Array.sort (fun (a : int) b -> compare a b) arr;
+  let n = Array.length arr in
+  let taut = ref false in
+  let out = ref [] in
+  let m = ref 0 in
+  for i = n - 1 downto 0 do
+    let l = arr.(i) in
+    if i + 1 < n && arr.(i + 1) = l lxor 1 then taut := true;
+    if (i + 1 >= n || arr.(i + 1) <> l)
+       (* drop literals false at level 0 *)
+       && not (value_lit s l = 2 && s.level.(var_of l) = 0)
+    then begin
+      out := l :: !out;
+      incr m
+    end
+  done;
+  if !taut then true
   else begin
-    let lits = List.filter (fun l -> value_lit s l <> 2 || s.level.(var_of l) > 0) lits in
-    let lits = Array.of_list lits in
-    match Array.length lits with
-    | 0 -> false
+    let lits = Array.of_list !out in
+    match !m with
+    | 0 ->
+      s.root_unsat <- true;
+      false
     | 1 ->
       let l = lits.(0) in
       (match value_lit s l with
       | 1 -> true
-      | 2 -> false
+      | 2 ->
+        s.root_unsat <- true;
+        false
       | _ ->
+        s.num_clauses <- s.num_clauses + 1;
         enqueue s l None;
         true)
     | _ ->
-      let c = { lits; activity = 0.0; learned = false } in
+      s.num_clauses <- s.num_clauses + 1;
+      let c = { lits; activity = 0.0; learned = false; deleted = false } in
       s.clauses <- c :: s.clauses;
-      s.watches.(lnot lits.(0)) <- c :: s.watches.(lnot lits.(0));
-      s.watches.(lnot lits.(1)) <- c :: s.watches.(lnot lits.(1));
+      watch s c lits.(0);
+      watch s c lits.(1);
       true
   end
 
-(* Propagate until fixpoint; returns the conflicting clause if any. *)
+(* Debug/test view: the clauses currently watching literal [l]'s
+   falsification (i.e. visited when [lnot l] becomes true). *)
+let watchers (s : t) (l : lit) : clause list = Vec.to_list s.watches.(lnot l)
+
+(* Propagate until fixpoint; returns the conflicting clause if any.
+   Watch vectors are compacted in place: a clause keeps its slot unless
+   it found a new watch (it moved lists) or was deleted by DB reduction.
+   On conflict the unvisited tail is preserved verbatim, so watch lists
+   survive conflicts exactly. *)
 let propagate (s : t) : clause option =
   let conflict = ref None in
   while !conflict = None && s.qhead < s.trail_len do
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
-    (* literal l became true; visit clauses watching (lnot l)... we store
-       watches keyed by the literal that, when made FALSE, requires a
-       visit.  We keyed insertion by [lnot lits.(i)], i.e. watching
-       literal lits.(i); when l becomes true, lits containing (lnot l)
-       are affected: those are in watches.(l). *)
-    let watchers = s.watches.(l) in
-    s.watches.(l) <- [];
-    let rec process = function
-      | [] -> ()
-      | c :: rest -> (
-        if !conflict <> None then
-          (* put the remainder back untouched *)
-          s.watches.(l) <- c :: rest @ s.watches.(l)
+    (* literal l became true; visit clauses watching (lnot l) *)
+    let ws = s.watches.(l) in
+    let n = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    let falsified = lnot l in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        let lits = c.lits in
+        (* ensure the falsified literal is at position 1 *)
+        if lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if value_lit s lits.(0) = 1 then begin
+          (* clause already satisfied; keep watching *)
+          Vec.set ws !j c;
+          incr j
+        end
         else begin
-          let lits = c.lits in
-          let falsified = lnot l in
-          (* ensure falsified literal is at position 1 *)
-          if lits.(0) = falsified then begin
-            lits.(0) <- lits.(1);
-            lits.(1) <- falsified
-          end;
-          if value_lit s lits.(0) = 1 then begin
-            (* clause already satisfied; keep watching *)
-            s.watches.(l) <- c :: s.watches.(l);
-            process rest
+          (* look for a new watch *)
+          let len = Array.length lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if value_lit s lits.(!k) <> 2 then begin
+              let w = lits.(!k) in
+              lits.(!k) <- lits.(1);
+              lits.(1) <- w;
+              watch s c w;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* unit or conflict: stays on this watch list *)
+            Vec.set ws !j c;
+            incr j;
+            match value_lit s lits.(0) with
+            | 2 ->
+              conflict := Some c;
+              (* keep the unvisited tail on this list untouched *)
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            | 0 -> enqueue s lits.(0) (Some c)
+            | _ -> ()
           end
-          else begin
-            (* look for a new watch *)
-            let n = Array.length lits in
-            let found = ref false in
-            let i = ref 2 in
-            while (not !found) && !i < n do
-              if value_lit s lits.(!i) <> 2 then begin
-                let w = lits.(!i) in
-                lits.(!i) <- lits.(1);
-                lits.(1) <- w;
-                s.watches.(lnot w) <- c :: s.watches.(lnot w);
-                found := true
-              end;
-              incr i
-            done;
-            if !found then process rest
-            else begin
-              (* unit or conflict *)
-              s.watches.(l) <- c :: s.watches.(l);
-              match value_lit s lits.(0) with
-              | 2 ->
-                conflict := Some c;
-                (* keep the unvisited watchers on this list *)
-                s.watches.(l) <- rest @ s.watches.(l)
-              | 0 ->
-                enqueue s lits.(0) (Some c);
-                process rest
-              | _ -> process rest
-            end
-          end
-        end)
-    in
-    process watchers
+        end
+      end
+    done;
+    Vec.shrink ws !j
   done;
   !conflict
 
@@ -200,6 +336,7 @@ let analyze (s : t) (confl : clause) : lit array * int =
     (match !confl with
     | None -> assert false
     | Some c ->
+      if c.learned then bump_clause s c;
       Array.iter
         (fun q ->
           if q <> !p then begin
@@ -266,23 +403,63 @@ let backtrack (s : t) (level : int) =
     for i = s.trail_len - 1 downto s.trail_lim.(level) do
       let v = var_of s.trail.(i) in
       s.assign.(v) <- 0;
-      s.reason.(v) <- None
+      s.reason.(v) <- None;
+      heap_insert s v
     done;
     s.trail_len <- s.trail_lim.(level);
     s.qhead <- s.trail_len;
     s.decision_level <- level
   end
 
+(* A learned clause is locked while it is the antecedent of an
+   assignment on the trail; locked clauses are never reduced away. *)
+let locked (s : t) (c : clause) =
+  Array.length c.lits > 0
+  &&
+  match s.reason.(var_of c.lits.(0)) with Some r -> r == c | None -> false
+
+(* Learned-DB reduction: drop the low-activity half (sparing locked and
+   binary clauses), then compact every watch vector.  Called on a
+   geometric schedule: [max_learnts] grows 1.2x per reduction, so the
+   DB stays bounded while long refutations keep their useful lemmas. *)
+let reduce_db (s : t) =
+  s.db_reductions <- s.db_reductions + 1;
+  let n = Vec.length s.learnts in
+  let arr = Array.init n (fun i -> Vec.get s.learnts i) in
+  Array.sort (fun (a : clause) b -> compare a.activity b.activity) arr;
+  let to_drop = ref (n / 2) in
+  Array.iter
+    (fun c ->
+      if !to_drop > 0 && (not (locked s c)) && Array.length c.lits > 2 then begin
+        c.deleted <- true;
+        decr to_drop
+      end)
+    arr;
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
+  Array.iter (fun ws -> Vec.filter_in_place (fun c -> not c.deleted) ws) s.watches;
+  s.max_learnts <- s.max_learnts *. 1.2
+
+let learn (s : t) (lits : lit array) : clause =
+  let c = { lits; activity = 0.0; learned = true; deleted = false } in
+  Vec.push s.learnts c;
+  if Vec.length s.learnts > s.learned_peak then s.learned_peak <- Vec.length s.learnts;
+  bump_clause s c;
+  watch s c lits.(0);
+  watch s c lits.(1);
+  c
+
+(* Phase-saved branching: pick the highest-activity unassigned variable
+   and assign it its last saved polarity (initially false, matching the
+   zeros oracle bias). *)
 let pick_branch_var (s : t) : int option =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
+  let rec go () =
+    if s.heap_len = 0 then None
+    else begin
+      let v = heap_pop s in
+      if s.assign.(v) = 0 then Some v else go ()
     end
-  done;
-  if !best < 0 then None else Some !best
+  in
+  go ()
 
 (* Luby sequence for restarts. *)
 let rec luby i =
@@ -294,13 +471,42 @@ let rec luby i =
 
 exception Budget_exceeded
 
-let solve ?(max_conflicts = max_int) (s : t) : result =
+(* First assumption not currently satisfied: [`Next l] to assume, [`False]
+   when one is falsified (unsat under assumptions), [`Done] when all
+   hold.  Walked from the front at every decision so restarts and
+   backjumps re-establish assumptions automatically. *)
+let next_assumption (s : t) (assumptions : lit array) =
+  let n = Array.length assumptions in
+  let rec go i =
+    if i >= n then `Done
+    else
+      match value_lit s assumptions.(i) with
+      | 1 -> go (i + 1)
+      | 2 -> `False
+      | _ -> `Next assumptions.(i)
+  in
+  go 0
+
+(* Solve under optional [assumptions] (literals forced true for this
+   call only).  [Unsat] then means "unsat under these assumptions"; the
+   solver backtracks to level 0 afterwards and can be re-solved with
+   different assumptions without rebuilding the CNF. *)
+let solve_checked ~max_conflicts ~assumptions (s : t) : result =
+  let assumptions = Array.of_list assumptions in
+  (* (re)seed the order heap with every unassigned variable *)
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 then heap_insert s v
+  done;
+  if s.max_learnts = 0.0 then
+    s.max_learnts <- Float.max 2000.0 (float_of_int s.num_clauses);
   let restart_num = ref 0 in
   let result = ref None in
   (try
      (* top-level propagation of units added by add_clause *)
      (match propagate s with
-     | Some _ -> result := Some Unsat
+     | Some _ ->
+       s.root_unsat <- true;
+       result := Some Unsat
      | None -> ());
      while !result = None do
        incr restart_num;
@@ -314,50 +520,68 @@ let solve ?(max_conflicts = max_int) (s : t) : result =
               incr local_conflicts;
               if s.conflicts > max_conflicts then raise Budget_exceeded;
               if s.decision_level = 0 then begin
+                s.root_unsat <- true;
                 result := Some Unsat;
                 raise Exit
               end;
               let learned, blevel = analyze s confl in
               backtrack s blevel;
               decay_var_activity s;
+              decay_clause_activity s;
               if Array.length learned = 1 then enqueue s learned.(0) None
               else begin
-                let c = { lits = learned; activity = 0.0; learned = true } in
-                s.watches.(lnot learned.(0)) <- c :: s.watches.(lnot learned.(0));
-                s.watches.(lnot learned.(1)) <- c :: s.watches.(lnot learned.(1));
+                let c = learn s learned in
                 enqueue s learned.(0) (Some c)
               end;
+              if float_of_int (Vec.length s.learnts) >= s.max_learnts then reduce_db s;
               if !local_conflicts >= budget then begin
                 (* restart *)
                 backtrack s 0;
                 raise Exit
               end
             | None -> (
-              match pick_branch_var s with
-              | None ->
-                (* full assignment: SAT *)
-                result :=
-                  Some (Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1)));
+              match next_assumption s assumptions with
+              | `False ->
+                (* a violated assumption: every trail entry below is an
+                   assumption or implied, so this is final for the call *)
+                result := Some Unsat;
                 raise Exit
-              | Some v ->
-                s.decisions <- s.decisions + 1;
+              | `Next l ->
                 s.trail_lim.(s.decision_level) <- s.trail_len;
                 s.decision_level <- s.decision_level + 1;
-                (* phase: default false (matches zeros oracle bias) *)
-                enqueue s (neg v) None)
+                enqueue s l None
+              | `Done -> (
+                match pick_branch_var s with
+                | None ->
+                  (* full assignment: SAT *)
+                  result :=
+                    Some (Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1)));
+                  raise Exit
+                | Some v ->
+                  s.decisions <- s.decisions + 1;
+                  s.trail_lim.(s.decision_level) <- s.trail_len;
+                  s.decision_level <- s.decision_level + 1;
+                  enqueue s (lit_of ~negated:(not s.phase.(v)) v) None))
           done
         with Exit -> ())
      done
    with Budget_exceeded ->
      backtrack s 0;
      raise Budget_exceeded);
+  backtrack s 0;
   match !result with Some r -> r | None -> assert false
 
+(* [root_unsat] makes repeat calls (incremental solving under different
+   assumptions) sound: a level-0 refutation consumed the propagation
+   queue, so re-running the search would not rediscover the conflict. *)
+let solve ?(max_conflicts = max_int) ?(assumptions = []) (s : t) : result =
+  if s.root_unsat then Unsat else solve_checked ~max_conflicts ~assumptions s
+
 (* One-shot convenience: clauses as lists of literals. *)
-let solve_clauses ?max_conflicts ~nvars (clauses : lit list list) : result =
+let solve_clauses ?max_conflicts ?assumptions ~nvars (clauses : lit list list) : result =
   let s = create nvars in
   let ok = List.for_all (fun c -> add_clause s c) clauses in
-  if not ok then Unsat else solve ?max_conflicts s
+  if not ok then Unsat else solve ?max_conflicts ?assumptions s
 
 (* Check a model against clauses (used by tests and as a runtime
    self-check). *)
@@ -369,3 +593,22 @@ let model_satisfies (model : bool array) (clauses : lit list list) =
     clauses
 
 let stats s = (s.conflicts, s.decisions, s.propagations)
+
+(* Full counters, for the solver benchmark harness. *)
+type statistics = {
+  st_conflicts : int;
+  st_decisions : int;
+  st_propagations : int;
+  st_clauses : int; (* problem clauses accepted by add_clause *)
+  st_learned_peak : int; (* peak size of the learned-clause DB *)
+  st_db_reductions : int;
+}
+
+let statistics s =
+  { st_conflicts = s.conflicts;
+    st_decisions = s.decisions;
+    st_propagations = s.propagations;
+    st_clauses = s.num_clauses;
+    st_learned_peak = s.learned_peak;
+    st_db_reductions = s.db_reductions;
+  }

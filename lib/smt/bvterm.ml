@@ -12,8 +12,10 @@ let const ctx (bv : Bitvec.t) : t =
   ignore ctx;
   Array.init (Bitvec.width bv) (fun i -> Circuit.of_bool (Bitvec.get_bit bv i))
 
+(* Debug names are formatted lazily: one closure per bit instead of one
+   [sprintf] per bit — nothing reads the names on the hot path. *)
 let fresh ?(name = "v") ctx ~width : t =
-  Array.init width (fun i -> Circuit.fresh ~name:(Printf.sprintf "%s[%d]" name i) ctx)
+  Array.init width (fun i -> Circuit.fresh ~name:(lazy (Printf.sprintf "%s[%d]" name i)) ctx)
 
 let zero _ctx ~width = Array.make width Circuit.bfalse
 

@@ -1,7 +1,19 @@
-(* Boolean circuits with constant-folding smart constructors and a
-   Tseitin translation to CNF for the CDCL solver.  The refinement
-   checker builds one circuit per verification query; bit-blasted
-   bitvector arithmetic lives in [Bvterm] on top of this module. *)
+(* Boolean circuits with constant-folding smart constructors, structural
+   hash-consing, and a Tseitin translation to CNF for the CDCL solver.
+   The refinement checker builds one circuit per verification query;
+   bit-blasted bitvector arithmetic lives in [Bvterm] on top of this
+   module.
+
+   Hash-consing: [ctx] carries a table keyed on (constructor, child
+   ids), so constructing a gate structurally identical to an existing
+   one returns the existing node.  The checker encodes the source
+   function once per universal choice assignment; shared structure
+   across those encodings now collapses to shared nodes, and the
+   Tseitin translation (memoized on node id) emits one CNF definition
+   per distinct gate instead of one per occurrence.  Commutative gates
+   are canonicalized by child id and Xor never has a negated child
+   (Xor(¬x,y) = ¬Xor(x,y)), so cross-gate CSE catches reassociated and
+   re-polarized duplicates too. *)
 
 type t = { id : int; node : node }
 
@@ -15,41 +27,71 @@ and node =
   | Xor of t * t
   | Ite of t * t * t
 
+(* hash-cons key: constructor + child ids *)
+type hkey =
+  | KNot of int
+  | KAnd of int * int
+  | KOr of int * int
+  | KXor of int * int
+  | KIte of int * int * int
+
 type ctx = {
   mutable next_id : int;
   mutable next_input : int;
-  mutable inputs : (int * string) list; (* input index -> debug name *)
+  mutable inputs : (int * string Lazy.t) list; (* input index -> debug name *)
+  sharing : bool; (* hash-consing toggle (off only for measurement) *)
+  table : (hkey, t) Hashtbl.t;
 }
 
-let create_ctx () = { next_id = 2; next_input = 0; inputs = [] }
+let create_ctx ?(sharing = true) () =
+  { next_id = 2; next_input = 0; inputs = []; sharing; table = Hashtbl.create 64 }
 
 let mk ctx node =
   let id = ctx.next_id in
   ctx.next_id <- ctx.next_id + 1;
   { id; node }
 
+(* Hash-consing allocator: return the existing node for an identical
+   (constructor, children) application, if any. *)
+let hmk ctx key node =
+  if not ctx.sharing then mk ctx node
+  else
+    match Hashtbl.find_opt ctx.table key with
+    | Some t -> t
+    | None ->
+      let t = mk ctx node in
+      Hashtbl.add ctx.table key t;
+      t
+
 let btrue = { id = 0; node = True }
 let bfalse = { id = 1; node = False }
 let of_bool b = if b then btrue else bfalse
 
-let fresh ?(name = "b") ctx =
+(* Debug names are lazy: [Bvterm.fresh] allocates one input per bit and
+   the names are only ever rendered when a human asks. *)
+let fresh ?(name = lazy "b") ctx =
   let idx = ctx.next_input in
   ctx.next_input <- ctx.next_input + 1;
   ctx.inputs <- (idx, name) :: ctx.inputs;
   mk ctx (Input idx)
 
+let input_name ctx idx =
+  match List.assoc_opt idx ctx.inputs with Some n -> Lazy.force n | None -> "?"
+
 let is_true b = b.node = True
 let is_false b = b.node = False
 
 (* Smart constructors with local simplification.  Structural-equality
-   tests use ids (cheap physical-by-construction sharing). *)
+   tests use ids; with hash-consing these hit far more often (e.g. two
+   separately-built [bnot ctx x] are the same node, so And(x, ¬x) is
+   recognized wherever it appears). *)
 
 let rec bnot ctx a =
   match a.node with
   | True -> bfalse
   | False -> btrue
   | Not x -> x
-  | _ -> mk ctx (Not a)
+  | _ -> hmk ctx (KNot a.id) (Not a)
 
 and band ctx a b =
   if a.id = b.id then a
@@ -60,7 +102,15 @@ and band ctx a b =
     | False, _ | _, False -> bfalse
     | Not x, _ when x.id = b.id -> bfalse
     | _, Not y when y.id = a.id -> bfalse
-    | _ -> mk ctx (And (a, b))
+    (* one-level absorption: a ∧ (a ∧ y) = (a ∧ y), a ∧ (a ∨ y) = a *)
+    | And (x, y), _ when x.id = b.id || y.id = b.id -> a
+    | _, And (x, y) when x.id = a.id || y.id = a.id -> b
+    | Or (x, y), _ when x.id = b.id || y.id = b.id -> b
+    | _, Or (x, y) when x.id = a.id || y.id = a.id -> a
+    | _ ->
+      (* canonical child order for commutative gates *)
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      hmk ctx (KAnd (a.id, b.id)) (And (a, b))
 
 and bor ctx a b =
   if a.id = b.id then a
@@ -71,7 +121,14 @@ and bor ctx a b =
     | True, _ | _, True -> btrue
     | Not x, _ when x.id = b.id -> btrue
     | _, Not y when y.id = a.id -> btrue
-    | _ -> mk ctx (Or (a, b))
+    (* one-level absorption: a ∨ (a ∨ y) = (a ∨ y), a ∨ (a ∧ y) = a *)
+    | Or (x, y), _ when x.id = b.id || y.id = b.id -> a
+    | _, Or (x, y) when x.id = a.id || y.id = a.id -> b
+    | And (x, y), _ when x.id = b.id || y.id = b.id -> b
+    | _, And (x, y) when x.id = a.id || y.id = a.id -> a
+    | _ ->
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      hmk ctx (KOr (a.id, b.id)) (Or (a, b))
 
 and bxor ctx a b =
   if a.id = b.id then bfalse
@@ -81,8 +138,13 @@ and bxor ctx a b =
     | _, False -> a
     | True, _ -> bnot ctx b
     | _, True -> bnot ctx a
-    | Not x, Not y -> bxor ctx x y
-    | _ -> mk ctx (Xor (a, b))
+    (* negation normalization: Xor children are never Not nodes, so
+       x⊕y, ¬x⊕y, x⊕¬y, ¬x⊕¬y all share one Xor gate *)
+    | Not x, _ -> bnot ctx (bxor ctx x b)
+    | _, Not y -> bnot ctx (bxor ctx a y)
+    | _ ->
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      hmk ctx (KXor (a.id, b.id)) (Xor (a, b))
 
 and bite ctx c a b =
   if a.id = b.id then a
@@ -96,7 +158,9 @@ and bite ctx c a b =
     | _, False, _ -> band ctx (bnot ctx c) b
     | _, _, True -> bor ctx (bnot ctx c) a
     | _, _, False -> band ctx c a
-    | _ -> mk ctx (Ite (c, a, b))
+    (* condition-negation normalization shares the two muxes *)
+    | Not nc, _, _ -> bite ctx nc b a
+    | _ -> hmk ctx (KIte (c.id, a.id, b.id)) (Ite (c, a, b))
 
 let beq ctx a b = bnot ctx (bxor ctx a b)
 let bimplies ctx a b = bor ctx (bnot ctx a) b
@@ -114,7 +178,8 @@ module Cnf = struct
   type builder = {
     solver : Solver.t;
     node_var : (int, int) Hashtbl.t; (* circuit node id -> SAT var *)
-    input_var : (int, int) Hashtbl.t; (* input index -> SAT var *)
+    n_inputs : int; (* input index i maps to SAT var 1 + i *)
+    mutable next_var : int; (* next unused SAT variable *)
     mutable ok : bool; (* false once add_clause reported level-0 unsat *)
   }
 
@@ -125,7 +190,7 @@ module Cnf = struct
     match t.node with
     | True -> Solver.pos 0 (* var 0 is pinned true *)
     | False -> Solver.neg 0
-    | Input i -> Solver.pos (Hashtbl.find b.input_var i)
+    | Input i -> Solver.pos (1 + i)
     | Not x -> Solver.lnot (lit_of b x)
     | _ -> (
       match Hashtbl.find_opt b.node_var t.id with
@@ -161,12 +226,10 @@ module Cnf = struct
         out)
 
   and fresh_var b =
-    (* solver vars were preallocated; track a counter in the table *)
-    match Hashtbl.find_opt b.node_var (-1) with
-    | Some n ->
-      Hashtbl.replace b.node_var (-1) (n + 1);
-      n
-    | None -> assert false
+    (* solver vars were preallocated up to an upper bound; hand them out *)
+    let v = b.next_var in
+    b.next_var <- v + 1;
+    v
 
   type model = { bool_of_input : int -> bool }
 
@@ -174,37 +237,72 @@ module Cnf = struct
 
   exception Too_hard
 
+  (* Per-query counters for the solver benchmark harness ([bench solver]).
+     Filled into the [?stats] out-parameter of [solve] even when the
+     query raises [Too_hard]. *)
+  type stats = {
+    circuit_nodes : int; (* circuit nodes allocated in the context *)
+    cnf_vars : int; (* SAT variables actually used (const + inputs + Tseitin) *)
+    cnf_clauses : int; (* clauses accepted by the solver *)
+    conflicts : int;
+    decisions : int;
+    propagations : int;
+    learned_peak : int; (* peak learned-clause DB size *)
+  }
+
+  let no_stats =
+    { circuit_nodes = 0; cnf_vars = 0; cnf_clauses = 0; conflicts = 0; decisions = 0;
+      propagations = 0; learned_peak = 0 }
+
+  let record_stats (stats_out : stats ref option) (ctx : ctx) (b : builder) =
+    match stats_out with
+    | None -> ()
+    | Some r ->
+      let st = Ub_sat.Solver.statistics b.solver in
+      let used_vars = b.next_var in
+      r :=
+        { circuit_nodes = ctx.next_id;
+          cnf_vars = used_vars;
+          cnf_clauses = st.Ub_sat.Solver.st_clauses;
+          conflicts = st.Ub_sat.Solver.st_conflicts;
+          decisions = st.Ub_sat.Solver.st_decisions;
+          propagations = st.Ub_sat.Solver.st_propagations;
+          learned_peak = st.Ub_sat.Solver.st_learned_peak;
+        }
+
   (* Satisfiability of [root = true].  [max_conflicts] bounds solver
      effort; raises [Too_hard] when exceeded. *)
-  let solve ?(max_conflicts = 2_000_000) (ctx : ctx) (root : t) : solve_result =
+  let solve ?(max_conflicts = 2_000_000) ?stats (ctx : ctx) (root : t) : solve_result =
     (* var 0: constant true; then one var per input; then Tseitin vars.
        Upper bound on vars: 1 + inputs + nodes. *)
     let nvars = 1 + ctx.next_input + ctx.next_id in
     let solver = Ub_sat.Solver.create nvars in
     let b =
-      { solver; node_var = Hashtbl.create 256; input_var = Hashtbl.create 64; ok = true }
+      { solver; node_var = Hashtbl.create 16; n_inputs = ctx.next_input;
+        next_var = 1 + ctx.next_input; ok = true }
     in
-    Hashtbl.replace b.node_var (-1) (1 + ctx.next_input);
-    for i = 0 to ctx.next_input - 1 do
-      Hashtbl.replace b.input_var i (1 + i)
-    done;
     add b [ Ub_sat.Solver.pos 0 ];
     let root_lit = lit_of b root in
     add b [ root_lit ];
-    if not b.ok then Unsat_r
+    if not b.ok then begin
+      record_stats stats ctx b;
+      Unsat_r
+    end
     else begin
       match
-        try Ub_sat.Solver.solve ~max_conflicts solver
-        with Ub_sat.Solver.Budget_exceeded -> raise Too_hard
+        try
+          let r = Ub_sat.Solver.solve ~max_conflicts solver in
+          record_stats stats ctx b;
+          r
+        with Ub_sat.Solver.Budget_exceeded ->
+          record_stats stats ctx b;
+          raise Too_hard
       with
       | Ub_sat.Solver.Unsat -> Unsat_r
       | Ub_sat.Solver.Sat assignment ->
         Sat_model
           { bool_of_input =
-              (fun i ->
-                match Hashtbl.find_opt b.input_var i with
-                | Some v -> assignment.(v)
-                | None -> false);
+              (fun i -> if i >= 0 && i < b.n_inputs then assignment.(1 + i) else false);
           }
     end
 end

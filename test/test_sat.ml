@@ -3,6 +3,78 @@
 
 open Ub_sat
 
+(* A naive DPLL reference solver: unit propagation plus chronological
+   splitting, no learning, no heuristics.  Slow but obviously correct;
+   the CDCL solver must agree with it on instances too large for the
+   2^n brute-force check. *)
+let dpll nvars clauses =
+  let assign = Array.make (max 1 nvars) 0 in
+  let value l =
+    match assign.(Solver.var_of l) with
+    | 0 -> `Unk
+    | 1 -> if Solver.is_neg l then `False else `True
+    | _ -> if Solver.is_neg l then `True else `False
+  in
+  let set l = assign.(Solver.var_of l) <- (if Solver.is_neg l then 2 else 1) in
+  let rec go () =
+    let trail = ref [] in
+    let conflict = ref false in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      List.iter
+        (fun c ->
+          if not !conflict then begin
+            let sat = ref false and unk = ref [] in
+            List.iter
+              (fun l ->
+                match value l with
+                | `True -> sat := true
+                | `Unk -> unk := l :: !unk
+                | `False -> ())
+              c;
+            if not !sat then
+              match !unk with
+              | [] -> conflict := true
+              | [ l ] ->
+                set l;
+                trail := Solver.var_of l :: !trail;
+                progress := true
+              | _ -> ()
+          end)
+        clauses;
+      if !conflict then progress := false
+    done;
+    let result =
+      if !conflict then false
+      else begin
+        let next = ref (-1) in
+        (try
+           for v = 0 to nvars - 1 do
+             if assign.(v) = 0 then begin
+               next := v;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !next < 0 then true (* total assignment, every clause satisfied *)
+        else begin
+          let v = !next in
+          let branch b =
+            assign.(v) <- b;
+            let r = go () in
+            assign.(v) <- 0;
+            r
+          in
+          branch 1 || branch 2
+        end
+      end
+    in
+    List.iter (fun v -> assign.(v) <- 0) !trail;
+    result
+  in
+  go ()
+
 let brute nvars clauses =
   let n = 1 lsl nvars in
   let rec try_ i =
@@ -43,6 +115,52 @@ let unit_tests =
         match Solver.solve_clauses ~nvars:6 clauses with
         | Solver.Unsat -> ()
         | Solver.Sat _ -> Alcotest.fail "pigeonhole should be unsat");
+    Alcotest.test_case "watch lists survive a propagation conflict" `Quick (fun () ->
+        (* Four clauses all watch ~x0.  Deciding x0 makes clause 1 unit
+           (propagating x1), clause 2 a conflict, and leaves clauses 3-4
+           as the unvisited tail of the watch vector — the compaction in
+           [propagate] must copy that tail, not drop it. *)
+        let s = Solver.create 4 in
+        let ok =
+          List.for_all
+            (fun c -> Solver.add_clause s c)
+            [ [ Solver.neg 0; Solver.pos 1 ];
+              [ Solver.neg 0; Solver.neg 1 ];
+              [ Solver.neg 0; Solver.pos 2 ];
+              [ Solver.neg 0; Solver.pos 3 ];
+            ]
+        in
+        Alcotest.(check bool) "clauses accepted" true ok;
+        let before = Solver.watchers s (Solver.neg 0) in
+        Alcotest.(check int) "four clauses watch ~x0" 4 (List.length before);
+        s.Solver.trail_lim.(0) <- s.Solver.trail_len;
+        s.Solver.decision_level <- 1;
+        Solver.enqueue s (Solver.pos 0) None;
+        (match Solver.propagate s with
+        | None -> Alcotest.fail "expected a conflict"
+        | Some _ -> ());
+        let after = Solver.watchers s (Solver.neg 0) in
+        Alcotest.(check int) "watch list intact after conflict" 4 (List.length after);
+        List.iter2
+          (fun a b -> Alcotest.(check bool) "same clause in the same slot" true (a == b))
+          before after);
+    Alcotest.test_case "phase saving reproduces the model on re-solve" `Quick (fun () ->
+        let s = Solver.create 6 in
+        let clauses =
+          [ [ Solver.pos 0; Solver.pos 1 ];
+            [ Solver.neg 0; Solver.pos 2 ];
+            [ Solver.neg 2; Solver.pos 3; Solver.neg 4 ];
+            [ Solver.pos 4; Solver.pos 5 ];
+            [ Solver.neg 1; Solver.neg 5 ];
+          ]
+        in
+        let ok = List.for_all (fun c -> Solver.add_clause s c) clauses in
+        Alcotest.(check bool) "clauses accepted" true ok;
+        (match (Solver.solve s, Solver.solve s) with
+        | Solver.Sat m1, Solver.Sat m2 ->
+          Alcotest.(check bool) "first model valid" true (Solver.model_satisfies m1 clauses);
+          Alcotest.(check (array bool)) "saved phases reproduce the model" m1 m2
+        | _ -> Alcotest.fail "instance is satisfiable"));
     Alcotest.test_case "xor chain sat" `Quick (fun () ->
         (* x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1 => x2 = 1 *)
         let xor1 a b =
@@ -65,6 +183,27 @@ let random_cnf =
     let clause = list_size (int_range 1 4) lit in
     pair (return nvars) (list_size (return nclauses) clause))
 
+(* Larger instances than [random_cnf]: past brute force's comfort zone
+   but fine for the DPLL reference. *)
+let random_cnf_large =
+  QCheck2.Gen.(
+    int_range 1 12 >>= fun nvars ->
+    int_range 1 60 >>= fun nclauses ->
+    let lit =
+      map2 (fun v s -> if s then Solver.pos v else Solver.neg v) (int_bound (nvars - 1)) bool
+    in
+    let clause = list_size (int_range 1 5) lit in
+    pair (return nvars) (list_size (return nclauses) clause))
+
+let random_cnf_with_assumptions =
+  QCheck2.Gen.(
+    random_cnf_large >>= fun (nvars, clauses) ->
+    let lit =
+      map2 (fun v s -> if s then Solver.pos v else Solver.neg v) (int_bound (nvars - 1)) bool
+    in
+    list_size (int_range 0 4) lit >>= fun assumptions ->
+    return (nvars, clauses, assumptions))
+
 let props =
   [ QCheck_alcotest.to_alcotest
       (QCheck2.Test.make ~name:"agrees with brute force" ~count:800 random_cnf
@@ -82,6 +221,65 @@ let props =
            match (r1, r2) with
            | Solver.Sat _, Solver.Sat _ | Solver.Unsat, Solver.Unsat -> true
            | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"agrees with the DPLL reference" ~count:300 random_cnf_large
+         (fun (nvars, clauses) ->
+           match Solver.solve_clauses ~nvars clauses with
+           | Solver.Sat m -> Solver.model_satisfies m clauses && dpll nvars clauses
+           | Solver.Unsat -> not (dpll nvars clauses)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"assumptions behave like unit clauses" ~count:300
+         random_cnf_with_assumptions
+         (fun (nvars, clauses, assumptions) ->
+           let direct = Solver.solve_clauses ~nvars ~assumptions clauses in
+           let as_units =
+             Solver.solve_clauses ~nvars (clauses @ List.map (fun l -> [ l ]) assumptions)
+           in
+           match (direct, as_units) with
+           | Solver.Sat m, Solver.Sat _ ->
+             Solver.model_satisfies m clauses
+             && List.for_all
+                  (fun l ->
+                    let v = Solver.var_of l in
+                    if Solver.is_neg l then not m.(v) else m.(v))
+                  assumptions
+           | Solver.Unsat, Solver.Unsat -> true
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"every live clause is watched exactly twice after solving" ~count:200
+         random_cnf_large
+         (fun (nvars, clauses) ->
+           let s = Solver.create nvars in
+           let ok = List.for_all (fun c -> Solver.add_clause s c) clauses in
+           if ok then ignore (Solver.solve s);
+           let count_watches c =
+             let n = ref 0 in
+             Array.iter
+               (Ub_support.Vec.iter (fun c' -> if c' == c then incr n))
+               s.Solver.watches;
+             !n
+           in
+           let check_clause (c : Solver.clause) =
+             if c.Solver.deleted then count_watches c = 0
+             else Array.length c.Solver.lits < 2 || count_watches c = 2
+           in
+           List.for_all check_clause s.Solver.clauses
+           && List.for_all check_clause (Ub_support.Vec.to_list s.Solver.learnts)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"re-solving the same solver instance is stable" ~count:200
+         random_cnf_large
+         (fun (nvars, clauses) ->
+           let s = Solver.create nvars in
+           let ok = List.for_all (fun c -> Solver.add_clause s c) clauses in
+           if not ok then Solver.solve s = Solver.Unsat
+           else
+             match Solver.solve s with
+             | Solver.Unsat -> Solver.solve s = Solver.Unsat
+             | Solver.Sat m1 -> (
+               match Solver.solve s with
+               | Solver.Sat m2 -> m1 = m2 (* phase saving replays the model *)
+               | Solver.Unsat -> false)));
   ]
 
 let () = Alcotest.run "sat" [ ("unit", unit_tests); ("properties", props) ]

@@ -35,6 +35,41 @@ let unit_tests =
           Array.iteri (fun i bit -> if Circuit.eval m.Circuit.Cnf.bool_of_input bit then v := !v lor (1 lsl i)) a;
           Alcotest.(check int) "a = 255" 255 !v
         | Circuit.Cnf.Unsat_r -> Alcotest.fail "should be sat");
+    Alcotest.test_case "hash-consing shrinks the Tseitin CNF by >= 30%" `Quick (fun () ->
+        (* A checker-style query that mentions the same product twice,
+           built once with structural sharing and once without.  The
+           shared build must encode the multiplier circuit a single time,
+           cutting CNF variables and clauses well past the 30% bar. *)
+        let build ctx =
+          let a = Bvterm.fresh ctx ~width:6 and b = Bvterm.fresh ctx ~width:6 in
+          let m1 = Bvterm.mul ctx a b in
+          let m2 = Bvterm.mul ctx a b in
+          let c5 = Bvterm.const ctx (Bitvec.of_int ~width:6 5) in
+          let c9 = Bvterm.const ctx (Bitvec.of_int ~width:6 9) in
+          Circuit.band ctx (Bvterm.ult ctx c5 m1) (Bvterm.ult ctx m2 c9)
+        in
+        let solve_stats ctx =
+          let stats = ref Circuit.Cnf.no_stats in
+          let root = build ctx in
+          let sat =
+            match Circuit.Cnf.solve ~stats ctx root with
+            | Circuit.Cnf.Sat_model _ -> true
+            | Circuit.Cnf.Unsat_r -> false
+          in
+          (sat, !stats)
+        in
+        let sat_shared, shared = solve_stats (Circuit.create_ctx ()) in
+        let sat_plain, plain = solve_stats (Circuit.create_ctx ~sharing:false ()) in
+        Alcotest.(check bool) "verdicts agree" sat_plain sat_shared;
+        Alcotest.(check bool) "5 < a*b < 9 is satisfiable" true sat_shared;
+        let shrunk part s p =
+          Alcotest.(check bool)
+            (Printf.sprintf "%s shrink >= 30%% (%d vs %d)" part s p)
+            true
+            (s * 10 <= p * 7)
+        in
+        shrunk "cnf vars" shared.Circuit.Cnf.cnf_vars plain.Circuit.Cnf.cnf_vars;
+        shrunk "cnf clauses" shared.Circuit.Cnf.cnf_clauses plain.Circuit.Cnf.cnf_clauses);
     Alcotest.test_case "udiv circuit guards against zero later" `Quick (fun () ->
         let ctx = Circuit.create_ctx () in
         let a = Bvterm.const ctx (Bitvec.of_int ~width:4 13) in
