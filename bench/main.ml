@@ -27,6 +27,7 @@ let timeout_s = ref (None : float option)
 let shrink = ref false
 let corpus_dir = ref (None : string option)
 let inject_bug = ref false
+let trace_file = ref (None : string option)
 let solver_out = ref "BENCH_solver.json"
 let solver_baseline = ref "bench/solver_baseline.tsv"
 let solver_save_baseline = ref (None : string option)
@@ -145,9 +146,9 @@ let f6 () =
 let median_compile_time pipeline src =
   let times =
     List.init 5 (fun _ ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Ub_obs.Obs.Clock.now_s () in
         ignore (Ub_core.Driver.compile ~pipeline src);
-        Unix.gettimeofday () -. t0)
+        Ub_obs.Obs.Clock.elapsed_s ~since:t0)
   in
   Util.median times
 
@@ -568,6 +569,8 @@ let usage () =
      --corpus DIR   write minimized witnesses under DIR as re-parsable .ll files\n\
      --inject-bug   optfuzz: also validate a deliberately unsound rewrite\n\
     \                (shl x,1 -> shl nsw x,1) so --shrink has a bug to minimize\n\
+     --trace FILE   stream a JSONL telemetry trace to FILE and write the\n\
+    \                aggregated run report to FILE.report.json\n\
      --solver-out F          solver: write the benchmark JSON to F (default BENCH_solver.json)\n\
      --solver-baseline F     solver: compare against the recorded baseline TSV\n\
     \                         (default bench/solver_baseline.tsv)\n\
@@ -603,6 +606,9 @@ let () =
     | "--inject-bug" :: rest ->
       inject_bug := true;
       parse rest names
+    | "--trace" :: f :: rest ->
+      trace_file := Some f;
+      parse rest names
     | "--solver-out" :: f :: rest ->
       solver_out := f;
       parse rest names
@@ -617,9 +623,17 @@ let () =
   in
   let requested = parse (List.tl (Array.to_list Sys.argv)) [] in
   let to_run = if requested = [] then all else List.filter (fun (n, _) -> List.mem n requested) all in
+  (match !trace_file with Some f -> Ub_obs.Obs.set_trace f | None -> ());
   print_endline "Taming Undefined Behavior in LLVM -- evaluation harness";
   print_endline "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
   List.iter (fun (_, f) -> f ()) to_run;
+  (match !trace_file with
+  | Some f ->
+    Ub_obs.Obs.close ();
+    let report = f ^ ".report.json" in
+    Ub_obs.Obs.write_report report;
+    Printf.printf "\ntrace: %s\nrun report: %s\n" f report
+  | None -> ());
   if !dropped_total > 0 then begin
     Printf.printf
       "\nFAILURE: %d task(s) dropped past the --timeout budget or crashed;\n\

@@ -264,12 +264,14 @@ let run_query (q : query) : record =
   in
   let stats = ref Ub_smt.Circuit.Cnf.no_stats in
   let time_once () =
-    let t0 = Unix.gettimeofday () in
+    (* monotonic clock: a wall-clock step (NTP, manual adjustment) during
+       a min-of-N loop would otherwise produce negative or skewed minima *)
+    let t0 = Ub_obs.Obs.Clock.now_s () in
     let verdict =
       Ub_refine.Checker.check_sat ~max_conflicts:conflict_budget ~stats mode ~src:q.qsrc
         ~tgt:q.qtgt
     in
-    (Unix.gettimeofday () -. t0, verdict)
+    (Ub_obs.Obs.Clock.elapsed_s ~since:t0, verdict)
   in
   (* Sub-millisecond queries are at the mercy of a single GC pause or
      scheduler hiccup; re-run those a few times and keep the minimum.
@@ -472,6 +474,10 @@ let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
   output_string oc "{\n  \"schema\": \"ubc-solver-bench-v1\",\n";
   Printf.fprintf oc "  \"conflict_budget\": %d,\n" conflict_budget;
   Printf.fprintf oc "  \"summary\": %s,\n" (json_of_summary s);
+  (* the aggregated telemetry for this run: per-query solver counters
+     absorbed back from the pool workers, cache hit rate, task
+     lifecycle.  See DESIGN.md section 10. *)
+  Printf.fprintf oc "  \"obs_report\": %s,\n" (Ub_obs.Obs.report_json ());
   (match vs with
   | Some j ->
     Printf.fprintf oc "  \"vs_baseline\": %s,\n" j;

@@ -51,6 +51,25 @@ let pipeline_conv =
         Format.fprintf ppf "%s"
           (match p with Ub_core.Driver.Baseline -> "legacy" | _ -> "prototype") )
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Stream a JSONL telemetry trace to $(docv) and write an \
+                   aggregated run report to $(docv).report.json.")
+
+(* Arm the telemetry sink around a command body; flush trace + report on
+   the way out (including on raise, so partial traces survive). *)
+let with_trace trace k =
+  match trace with
+  | None -> k ()
+  | Some f ->
+    Ub_obs.Obs.set_trace f;
+    Fun.protect
+      ~finally:(fun () ->
+        Ub_obs.Obs.close ();
+        Ub_obs.Obs.write_report (f ^ ".report.json"))
+      k
+
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let mode_arg =
   Arg.(value & opt mode_conv Ub_sem.Mode.proposed & info [ "mode" ] ~docv:"MODE"
@@ -64,7 +83,8 @@ let compile_cmd =
     Arg.(value & opt (enum [ ("ir", `Ir); ("asm", `Asm) ]) `Ir
            & info [ "emit" ] ~doc:"Output kind: ir or asm.")
   in
-  let run pipeline emit file =
+  let run trace pipeline emit file =
+    with_trace trace @@ fun () ->
     let cfg =
       match pipeline with
       | Ub_core.Driver.Baseline -> Ub_opt.Pass.legacy
@@ -81,13 +101,14 @@ let compile_cmd =
     0
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile Mini-C or IR through the -O2 pipeline.")
-    Term.(const run $ pipeline_arg $ emit $ file_arg)
+    Term.(const run $ trace_arg $ pipeline_arg $ emit $ file_arg)
 
 let run_cmd =
   let entry =
     Arg.(value & opt string "main" & info [ "entry" ] ~docv:"F" ~doc:"Entry function.")
   in
-  let run mode pipeline entry file =
+  let run trace mode pipeline entry file =
+    with_trace trace @@ fun () ->
     let m = load_module ~pipeline file in
     let fn = Func.find_func_exn m entry in
     let r = Ub_sem.Interp.run ~mode ~module_:m ~fuel:10_000_000 fn [] in
@@ -95,11 +116,12 @@ let run_cmd =
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program under a semantics mode.")
-    Term.(const run $ mode_arg $ pipeline_arg $ entry $ file_arg)
+    Term.(const run $ trace_arg $ mode_arg $ pipeline_arg $ entry $ file_arg)
 
 let check_cmd =
   let tgt_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT") in
-  let run mode src tgt =
+  let run trace mode src tgt =
+    with_trace trace @@ fun () ->
     let load p =
       let m = Parser.parse_module (read_file p) in
       List.hd m.Func.funcs
@@ -114,7 +136,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Does TGT refine SRC under the given semantics mode?")
-    Term.(const run $ mode_arg $ file_arg $ tgt_arg)
+    Term.(const run $ trace_arg $ mode_arg $ file_arg $ tgt_arg)
 
 let reduce_cmd =
   let tgt_arg =
@@ -128,7 +150,8 @@ let reduce_cmd =
     Arg.(value & opt (some string) None
            & info [ "o" ] ~docv:"OUT" ~doc:"Also write the minimized witness module to $(docv).")
   in
-  let run mode file tgt out =
+  let run trace mode file tgt out =
+    with_trace trace @@ fun () ->
     let src, tgt =
       match tgt with
       | Some t ->
@@ -172,7 +195,7 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Minimize a failing transform pair to a small counterexample witness.")
-    Term.(const run $ mode_arg $ file_arg $ tgt_arg $ out_arg)
+    Term.(const run $ trace_arg $ mode_arg $ file_arg $ tgt_arg $ out_arg)
 
 let modes_cmd =
   let run () =

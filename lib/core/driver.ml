@@ -54,11 +54,11 @@ let compile ?(pipeline = Prototype) (src : string) : compiled_program =
   Gc.compact ();
   let stat0 = Gc.quick_stat () in
   let heap0 = float_of_int stat0.Gc.heap_words in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
   let source_ir = Ub_minic.Lower.compile ~cfg:(clang_config pipeline) src in
   let opt_ir = Ub_opt.Pipeline.run_o2 (pass_config pipeline) source_ir in
   let compiled = Ub_backend.Compile.compile_module opt_ir in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Ub_obs.Obs.Clock.elapsed_s ~since:t0 in
   let stat1 = Gc.quick_stat () in
   let peak =
     float_of_int stat1.Gc.heap_words +. stat1.Gc.minor_words -. stat0.Gc.minor_words

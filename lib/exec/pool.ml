@@ -16,6 +16,8 @@
    result array is identical to a parallel run (modulo genuine crashes,
    which in-process necessarily take down the run). *)
 
+module Obs = Ub_obs.Obs
+
 type 'b result = Done of 'b | Crashed of string | Timed_out
 
 type shard_stat = {
@@ -52,40 +54,67 @@ let set_timer s =
   ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = s })
 
 let run_task ?timeout_s f x : _ result =
-  match timeout_s with
-  | None -> ( try Done (f x) with e -> Crashed (Printexc.to_string e))
-  | Some s ->
-    let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Task_timeout)) in
-    let r =
-      try
-        set_timer s;
-        let v = f x in
-        set_timer 0.0;
-        Done v
-      with
-      | Task_timeout -> Timed_out
-      | e ->
-        set_timer 0.0;
-        Crashed (Printexc.to_string e)
-    in
-    Sys.set_signal Sys.sigalrm old;
-    r
+  let outcome = function
+    | Done _ -> Obs.count "pool.task_done"
+    | Crashed _ -> Obs.count "pool.task_crashed"
+    | Timed_out -> Obs.count "pool.task_timeout"
+  in
+  let r =
+    match timeout_s with
+    | None -> ( try Done (f x) with e -> Crashed (Printexc.to_string e))
+    | Some s ->
+      let old_handler =
+        Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Task_timeout))
+      in
+      let t0 = Obs.Clock.now_s () in
+      (* setitimer returns the previous timer: if a caller (an enclosing
+         run_task) had a deadline running, remember it so we can re-arm
+         what is left of it on the way out.  Blindly zeroing the timer
+         here used to cancel the outer task's timeout for good. *)
+      let old_timer =
+        Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = s }
+      in
+      (* The handler/timer must be restored even if an asynchronous
+         Task_timeout lands outside the try (e.g. while the Crashed
+         branch is formatting), hence Fun.protect rather than
+         straight-line restore code. *)
+      Fun.protect
+        ~finally:(fun () ->
+          set_timer 0.0;
+          Sys.set_signal Sys.sigalrm old_handler;
+          if old_timer.Unix.it_value > 0.0 then begin
+            let remaining = old_timer.Unix.it_value -. Obs.Clock.elapsed_s ~since:t0 in
+            (* an already-expired outer deadline still has to fire *)
+            set_timer (if remaining <= 0.0 then 1e-6 else remaining)
+          end)
+        (fun () ->
+          try Done (f x) with
+          | Task_timeout -> Timed_out
+          | e -> Crashed (Printexc.to_string e))
+  in
+  outcome r;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Worker protocol: a spool file of marshalled messages.               *)
 (* ------------------------------------------------------------------ *)
 
-type 'b msg = Res of int * 'b result | Busy of float
+type 'b msg = Res of int * 'b result | Busy of float | Telemetry of Obs.payload
 
 let worker ?timeout_s f (tasks : (int * 'a) list) (path : string) : unit =
+  (* the child must not share the parent's trace channel or registry:
+     record into an in-memory sink and ship it back over the spool *)
+  Obs.child_begin ();
   let oc = open_out_bin path in
   let busy = ref 0.0 in
   List.iter
     (fun (idx, x) ->
-      let t0 = Unix.gettimeofday () in
-      let r = run_task ?timeout_s f x in
-      busy := !busy +. (Unix.gettimeofday () -. t0);
+      Obs.event "pool.task_dispatch" ~attrs:[ ("task", Obs.I idx) ];
+      let t0 = Obs.Clock.now_s () in
+      let r = Obs.with_span "pool.task" (fun () -> run_task ?timeout_s f x) in
+      busy := !busy +. Obs.Clock.elapsed_s ~since:t0;
       Marshal.to_channel oc (Res (idx, r) : _ msg) [];
+      Marshal.to_channel oc (Telemetry (Obs.drain ()) : _ msg) [];
       flush oc)
     tasks;
   Marshal.to_channel oc (Busy !busy : _ msg) [];
@@ -93,8 +122,10 @@ let worker ?timeout_s f (tasks : (int * 'a) list) (path : string) : unit =
   close_out oc
 
 (* Read whatever the worker managed to write; a record truncated by a
-   mid-write crash shows up as End_of_file/Failure and is dropped. *)
-let read_spool path (tbl : (int, 'b result) Hashtbl.t) : float =
+   mid-write crash shows up as End_of_file/Failure and is dropped.
+   Telemetry drained from the worker is absorbed into this process,
+   tagged with the shard it came from. *)
+let read_spool ~shard path (tbl : (int, 'b result) Hashtbl.t) : float =
   let busy = ref 0.0 in
   if Sys.file_exists path then begin
     let ic = open_in_bin path in
@@ -103,6 +134,7 @@ let read_spool path (tbl : (int, 'b result) Hashtbl.t) : float =
          match (Marshal.from_channel ic : 'b msg) with
          | Res (idx, r) -> Hashtbl.replace tbl idx r
          | Busy b -> busy := !busy +. b
+         | Telemetry p -> Obs.absorb p ~attrs:[ ("shard", Obs.I shard) ]
        done
      with End_of_file | Failure _ -> ());
     close_in ic
@@ -113,6 +145,11 @@ let describe_status = function
   | Unix.WEXITED n -> Printf.sprintf "worker exited with code %d" n
   | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+(* waitpid may be interrupted by a signal delivered to the parent (its
+   own SIGALRM when pools nest under a timeout); retry, don't crash. *)
+let rec waitpid_eintr pid =
+  try Unix.waitpid [] pid with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_eintr pid
 
 (* ------------------------------------------------------------------ *)
 (* The pool                                                            *)
@@ -128,18 +165,18 @@ type ('a, 'b) shard_state = {
 }
 
 let sequential ?timeout_s f (xs : 'a array) : 'b result array * stats =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let busy = ref 0.0 in
   let results =
     Array.map
       (fun x ->
-        let s0 = Unix.gettimeofday () in
-        let r = run_task ?timeout_s f x in
-        busy := !busy +. (Unix.gettimeofday () -. s0);
+        let s0 = Obs.Clock.now_s () in
+        let r = Obs.with_span "pool.task" (fun () -> run_task ?timeout_s f x) in
+        busy := !busy +. Obs.Clock.elapsed_s ~since:s0;
         r)
       xs
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Obs.Clock.elapsed_s ~since:t0 in
   let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
   let shard =
     { shard = 0;
@@ -165,7 +202,7 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
   if jobs <= 1 || n <= 1 then sequential ?timeout_s f xs
   else begin
     let jobs = min jobs n in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     (* round-robin sharding: shard i owns indices i, i+jobs, ... *)
     let shards =
       Array.init jobs (fun i ->
@@ -203,15 +240,18 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
                 Unix._exit 0
               | pid -> pid
             in
-            (sh, path, pid, Unix.gettimeofday ()))
+            Obs.event
+              (if !round = 0 then "pool.spawn" else "pool.respawn")
+              ~attrs:[ ("shard", Obs.I sh.id); ("pid", Obs.I pid) ];
+            (sh, path, pid, Obs.Clock.now_s ()))
           active
       in
       List.iter
         (fun (sh, path, pid, spawn_t) ->
-          let _, status = Unix.waitpid [] pid in
-          sh.wall <- sh.wall +. (Unix.gettimeofday () -. spawn_t);
+          let _, status = waitpid_eintr pid in
+          sh.wall <- sh.wall +. Obs.Clock.elapsed_s ~since:spawn_t;
           let tbl : (int, 'b result) Hashtbl.t = Hashtbl.create 64 in
-          sh.busy <- sh.busy +. read_spool path tbl;
+          sh.busy <- sh.busy +. read_spool ~shard:sh.id path tbl;
           (try Sys.remove path with Sys_error _ -> ());
           let still_pending =
             List.filter
@@ -228,15 +268,31 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
           | Unix.WEXITED 0, rest ->
             (* a clean exit must have resolved everything; if not, do not
                loop forever: fail the stragglers *)
-            List.iter (fun (idx, _) -> record_result sh idx (Crashed "worker lost the task")) rest;
+            List.iter
+              (fun (idx, _) ->
+                Obs.count "pool.task_crashed";
+                record_result sh idx (Crashed "worker lost the task"))
+              rest;
             sh.pending <- []
           | status, (idx, _) :: rest ->
-            (* the first unresolved task is the one the worker died on *)
+            (* the worker died by signal or exited non-zero: the first
+               unresolved task is the one it was on — surface it as a
+               crash verdict, never drop it silently *)
+            Obs.event "pool.worker_crash"
+              ~attrs:
+                [ ("shard", Obs.I sh.id); ("task", Obs.I idx);
+                  ("status", Obs.S (describe_status status)) ];
+            Obs.count "pool.task_crashed";
             record_result sh idx (Crashed (describe_status status));
             sh.pending <- rest;
             sh.nrespawn <- sh.nrespawn + 1
-          | status, [] ->
-            ignore status;
+          | (Unix.WSIGNALED _ | Unix.WSTOPPED _ | Unix.WEXITED _), [] ->
+            (* died after resolving every task (e.g. while writing the
+               trailing Busy record): no verdict is affected, but the
+               crash is still an observable event *)
+            Obs.event "pool.worker_crash"
+              ~attrs:
+                [ ("shard", Obs.I sh.id); ("status", Obs.S (describe_status status)) ];
             sh.pending <- []))
         spawned;
       incr round
@@ -248,7 +304,7 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
           | Some r -> r
           | None -> Crashed "task lost by the pool")
     in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Obs.Clock.elapsed_s ~since:t0 in
     let shard_stats =
       Array.to_list
         (Array.map

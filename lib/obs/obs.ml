@@ -1,0 +1,397 @@
+(* ub_obs: a zero-dependency structured-telemetry layer.
+
+   Three primitives, all process-local and allocation-light:
+
+   - spans     — [with_span name f] times [f] on the monotonic clock and
+                 aggregates (count, total, max) per name;
+   - counters  — [count name] bumps a named integer;
+   - histograms — [observe name v] records a float into log2 buckets,
+                 keeping count/sum/min/max for percentile estimates.
+
+   Aggregation is always on (a hashtable bump per call — the
+   instrumentation sites are coarse: per solver query, per pooled task,
+   per optimizer pass, never per propagation).  Event *emission* is off
+   by default: with the default [Null] sink, [with_span] costs two
+   clock reads and one hashtable update, and no I/O ever happens.
+   Installing a [Jsonl] sink (the `--trace FILE` flag) additionally
+   streams one JSON line per span/event to the trace file.
+
+   Forked workers cannot share the parent's trace channel (interleaved
+   writes) — they call [child_begin] after the fork, which resets the
+   registry and switches to an in-memory sink; [drain] then packages
+   everything into a marshal-safe [payload] that the parent [absorb]s
+   over its existing result channel.  See lib/exec/pool.ml.
+
+   The run report ([report_json]) is the machine-readable aggregation of
+   everything above: counters, span totals, histogram summaries, and a
+   few derived rates (cache hit rate).  `bench` embeds it in its JSON
+   output and writes it next to the trace file. *)
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Clock = struct
+  external monotonic_ns : unit -> int64 = "ub_obs_monotonic_ns"
+
+  (* Nanoseconds as a native int: 2^62 ns ≈ 146 years of uptime, so the
+     conversion cannot truncate in practice. *)
+  let now_ns () : int = Int64.to_int (monotonic_ns ())
+  let now_s () : float = Int64.to_float (monotonic_ns ()) /. 1e9
+
+  (* The one timing idiom every harness should use: elapsed seconds on
+     the monotonic clock, immune to NTP steps and manual adjustments. *)
+  let elapsed_s ~(since : float) : float = now_s () -. since
+end
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type attr = S of string | I of int | F of float | B of bool
+
+type event = {
+  ev : string; (* "span" | "event" *)
+  name : string;
+  t_ns : int; (* monotonic start time *)
+  dur_ns : int; (* -1 for instantaneous events *)
+  depth : int; (* span nesting depth at emission *)
+  attrs : (string * attr) list;
+}
+
+(* Minimal JSON emission; the only strings we serialize are short
+   telemetry names and verdicts, but escape properly anyway. *)
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_to_json = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | F f ->
+    (* JSON has no nan/inf; clamp to null *)
+    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+  | B b -> if b then "true" else "false"
+
+let event_to_json (e : event) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ev\":\"%s\",\"name\":\"%s\",\"t_ns\":%d" (json_escape e.ev)
+       (json_escape e.name) e.t_ns);
+  if e.dur_ns >= 0 then Buffer.add_string buf (Printf.sprintf ",\"dur_ns\":%d" e.dur_ns);
+  Buffer.add_string buf (Printf.sprintf ",\"depth\":%d" e.depth);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (json_escape k) (attr_to_json v)))
+    e.attrs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink =
+  | Null
+  | Jsonl of out_channel
+  | Memory of event list ref (* newest first; [drain] reverses *)
+
+let current_sink = ref Null
+
+let emit (e : event) : unit =
+  match !current_sink with
+  | Null -> ()
+  | Jsonl oc ->
+    output_string oc (event_to_json e);
+    output_char oc '\n'
+  | Memory buf -> buf := e :: !buf
+
+let tracing () = match !current_sink with Null -> false | Jsonl _ | Memory _ -> true
+
+let set_sink s = current_sink := s
+
+let set_trace (path : string) : unit =
+  (match !current_sink with Jsonl oc -> close_out_noerr oc | _ -> ());
+  current_sink := Jsonl (open_out path)
+
+let close () : unit =
+  (match !current_sink with Jsonl oc -> close_out_noerr oc | _ -> ());
+  current_sink := Null
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation registry                                                *)
+(* ------------------------------------------------------------------ *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array; (* log2 buckets: index = clamp(exp2 + 30, 0, 63) *)
+}
+
+type span_agg = {
+  mutable s_count : int;
+  mutable s_total_ns : int;
+  mutable s_max_ns : int;
+}
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 64
+let span_depth = ref 0
+
+let count ?(by = 1) (name : string) : unit =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace counters name (ref by)
+
+let counter_value (name : string) : int =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let bucket_of (v : float) : int =
+  if v <= 0.0 then 0
+  else begin
+    let e = int_of_float (Float.floor (Float.log2 v)) in
+    let i = e + 30 in
+    if i < 0 then 0 else if i > 63 then 63 else i
+  end
+
+let observe (name : string) (v : float) : unit =
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+          buckets = Array.make 64 0 }
+      in
+      Hashtbl.replace hists name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+(* Percentile estimate from the log2 buckets: the upper bound of the
+   bucket holding the q-quantile observation.  Coarse (factor-of-two
+   resolution) but monotone and cheap, which is all a run report needs. *)
+let hist_quantile (h : hist) (q : float) : float =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 and result = ref h.h_max in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             result := Float.pow 2.0 (float_of_int (i - 30 + 1));
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    (* never report a quantile outside the observed range *)
+    if !result > h.h_max then h.h_max else if !result < h.h_min then h.h_min else !result
+  end
+
+let span_agg_of (name : string) : span_agg =
+  match Hashtbl.find_opt spans name with
+  | Some s -> s
+  | None ->
+    let s = { s_count = 0; s_total_ns = 0; s_max_ns = 0 } in
+    Hashtbl.replace spans name s;
+    s
+
+let record_span (name : string) ~(dur_ns : int) : unit =
+  let s = span_agg_of name in
+  s.s_count <- s.s_count + 1;
+  s.s_total_ns <- s.s_total_ns + dur_ns;
+  if dur_ns > s.s_max_ns then s.s_max_ns <- dur_ns
+
+let with_span ?(attrs : (string * attr) list = []) (name : string) (f : unit -> 'a) : 'a =
+  let t0 = Clock.now_ns () in
+  incr span_depth;
+  Fun.protect
+    ~finally:(fun () ->
+      decr span_depth;
+      let dur = Clock.now_ns () - t0 in
+      record_span name ~dur_ns:dur;
+      if tracing () then
+        emit { ev = "span"; name; t_ns = t0; dur_ns = dur; depth = !span_depth; attrs })
+    f
+
+(* An instantaneous event (task lifecycle, worker crash, ...): counted
+   always, emitted to the trace when one is active. *)
+let event ?(attrs : (string * attr) list = []) (name : string) : unit =
+  count name;
+  if tracing () then
+    emit
+      { ev = "event"; name; t_ns = Clock.now_ns (); dur_ns = -1; depth = !span_depth; attrs }
+
+(* ------------------------------------------------------------------ *)
+(* Fork-safe forwarding                                                *)
+(* ------------------------------------------------------------------ *)
+
+type payload = {
+  p_events : event list;
+  p_counters : (string * int) list;
+  p_hists : (string * (int * float * float * float * int array)) list;
+  p_spans : (string * (int * int * int)) list;
+}
+
+let reset () : unit =
+  Hashtbl.reset counters;
+  Hashtbl.reset hists;
+  Hashtbl.reset spans;
+  span_depth := 0;
+  (match !current_sink with Memory buf -> buf := [] | _ -> ())
+
+(* To be called in a forked child before it runs any task: the parent's
+   aggregates must not be double-counted when the child's are absorbed,
+   and the parent's trace channel must not see interleaved writes. *)
+let child_begin () : unit =
+  current_sink := Memory (ref []);
+  Hashtbl.reset counters;
+  Hashtbl.reset hists;
+  Hashtbl.reset spans;
+  span_depth := 0
+
+(* Package and clear everything recorded since [child_begin] (or the
+   last [drain]).  The result is marshal-safe. *)
+let drain () : payload =
+  let evts = match !current_sink with Memory buf -> List.rev !buf | _ -> [] in
+  let p =
+    { p_events = evts;
+      p_counters = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters [];
+      p_hists =
+        Hashtbl.fold
+          (fun k h acc -> (k, (h.h_count, h.h_sum, h.h_min, h.h_max, Array.copy h.buckets)) :: acc)
+          hists [];
+      p_spans =
+        Hashtbl.fold (fun k s acc -> (k, (s.s_count, s.s_total_ns, s.s_max_ns)) :: acc)
+          spans [];
+    }
+  in
+  Hashtbl.reset counters;
+  Hashtbl.reset hists;
+  Hashtbl.reset spans;
+  (match !current_sink with Memory buf -> buf := [] | _ -> ());
+  p
+
+(* Merge a child's payload into this process: re-emit its events into
+   our sink (annotated with [attrs], e.g. the shard id) and fold its
+   aggregates into the registry. *)
+let absorb ?(attrs : (string * attr) list = []) (p : payload) : unit =
+  if tracing () then List.iter (fun e -> emit { e with attrs = e.attrs @ attrs }) p.p_events;
+  List.iter (fun (k, v) -> count ~by:v k) p.p_counters;
+  List.iter
+    (fun (k, (c, sum, mn, mx, buckets)) ->
+      if c > 0 then begin
+        let h =
+          match Hashtbl.find_opt hists k with
+          | Some h -> h
+          | None ->
+            let h =
+              { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+                buckets = Array.make 64 0 }
+            in
+            Hashtbl.replace hists k h;
+            h
+        in
+        h.h_count <- h.h_count + c;
+        h.h_sum <- h.h_sum +. sum;
+        if mn < h.h_min then h.h_min <- mn;
+        if mx > h.h_max then h.h_max <- mx;
+        Array.iteri (fun i n -> h.buckets.(i) <- h.buckets.(i) + n) buckets
+      end)
+    p.p_hists;
+  List.iter
+    (fun (k, (c, total, mx)) ->
+      if c > 0 then begin
+        let s = span_agg_of k in
+        s.s_count <- s.s_count + c;
+        s.s_total_ns <- s.s_total_ns + total;
+        if mx > s.s_max_ns then s.s_max_ns <- mx
+      end)
+    p.p_spans
+
+(* ------------------------------------------------------------------ *)
+(* The run report                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings (tbl : (string, 'a) Hashtbl.t) : (string * 'a) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let report_json () : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"ubc-obs-report-v1\"";
+  (* counters *)
+  Buffer.add_string buf ",\"counters\":{";
+  List.iteri
+    (fun i (k, r) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) !r))
+    (sorted_bindings counters);
+  Buffer.add_char buf '}';
+  (* spans *)
+  Buffer.add_string buf ",\"spans\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"total_s\":%.9g,\"max_s\":%.9g}"
+           (json_escape k) s.s_count
+           (float_of_int s.s_total_ns /. 1e9)
+           (float_of_int s.s_max_ns /. 1e9)))
+    (sorted_bindings spans);
+  Buffer.add_char buf '}';
+  (* histograms *)
+  Buffer.add_string buf ",\"histograms\":{";
+  List.iteri
+    (fun i (k, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p90\":%.9g}"
+           (json_escape k) h.h_count h.h_sum
+           (if h.h_count = 0 then 0.0 else h.h_min)
+           (if h.h_count = 0 then 0.0 else h.h_max)
+           (hist_quantile h 0.5) (hist_quantile h 0.9)))
+    (sorted_bindings hists);
+  Buffer.add_char buf '}';
+  (* derived rates the acceptance criteria care about *)
+  let hit = counter_value "verdict_cache.hit" and miss = counter_value "verdict_cache.miss" in
+  let rate = if hit + miss = 0 then 0.0 else float_of_int hit /. float_of_int (hit + miss) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"derived\":{\"verdict_cache_hit_rate\":%.6f,\"verdict_cache_lookups\":%d,\"pool_tasks\":%d,\"pool_crashes\":%d,\"pool_timeouts\":%d}"
+       rate (hit + miss)
+       (counter_value "pool.task_done" + counter_value "pool.task_crashed"
+       + counter_value "pool.task_timeout")
+       (counter_value "pool.task_crashed")
+       (counter_value "pool.task_timeout"));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_report (path : string) : unit =
+  let oc = open_out path in
+  output_string oc (report_json ());
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,22 @@
+/* Monotonic-clock primitive for the observability layer.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and manual clock adjustments,
+ * which is what makes min-of-N timing loops sound: a wall clock
+ * (gettimeofday) can move backwards mid-measurement and produce
+ * negative or skewed durations.  Exposed as nanoseconds in an int64 so
+ * callers can subtract without float rounding. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ub_obs_monotonic_ns(value unit)
+{
+    struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+    clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -31,8 +31,10 @@ let fuzz_passes : Pass.t list =
   [ Instcombine.pass; Gvn.pass; Reassociate.pass; Sccp.pass ]
 
 let run_o2 (cfg : Pass.config) (m : Ub_ir.Func.module_) : Ub_ir.Func.module_ =
+  Ub_obs.Obs.with_span "opt.pipeline.o2" @@ fun () ->
   let m = Inline.run_module cfg m in
   Pass.run_pipeline_module cfg o2_function_passes m
 
 let run_o2_func (cfg : Pass.config) (fn : Ub_ir.Func.t) : Ub_ir.Func.t =
+  Ub_obs.Obs.with_span "opt.pipeline.o2" @@ fun () ->
   Pass.run_pipeline cfg o2_function_passes fn

@@ -69,8 +69,16 @@ let rec assignments (widths : int list) : Bitvec.t list Seq.t =
       (fun bv -> Seq.map (fun tail -> bv :: tail) (assignments rest))
       (List.to_seq (Bitvec.all ~width:w))
 
-let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) ?stats (mode : Mode.t)
+(* The stock SAT budgets.  Named so budget-aware callers (the verdict
+   cache key, reduction oracles) can refer to the same numbers instead
+   of restating them. *)
+let default_max_universal_bits = 12
+let default_max_conflicts = 300_000
+
+let check_sat ?(max_universal_bits = default_max_universal_bits)
+    ?(max_conflicts = default_max_conflicts) ?stats (mode : Mode.t)
     ~(src : Func.t) ~(tgt : Func.t) : verdict =
+  Ub_obs.Obs.with_span "refine.check_sat" @@ fun () ->
   if List.map snd src.args <> List.map snd tgt.args then Unknown "argument types differ"
   else if src.ret_ty <> tgt.ret_ty then Unknown "return types differ"
   else begin
@@ -180,6 +188,17 @@ let check_sat ?(max_universal_bits = 12) ?(max_conflicts = 300_000) ?stats (mode
    functions are outside the encodable fragment. *)
 let check ?max_universal_bits ?max_conflicts ?fuel ?max_inputs ?max_runs ?module_src
     ?module_tgt ?inputs (mode : Mode.t) ~(src : Func.t) ~(tgt : Func.t) : verdict =
+  Ub_obs.Obs.with_span "refine.check" @@ fun () ->
+  let counted (v : verdict) : verdict =
+    Ub_obs.Obs.count
+      (match v with
+      | Refines -> "refine.verdict_refines"
+      | Counterexample _ -> "refine.verdict_cex"
+      | Unknown _ -> "refine.verdict_unknown");
+    v
+  in
+  counted
+  @@
   match inputs with
   | Some _ ->
     (* explicit inputs: enumeration only *)

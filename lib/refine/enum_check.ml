@@ -88,6 +88,7 @@ let input_space ~(mode : Mode.t) ~max_inputs (fn : Func.t) : Value.t list list o
 
 let check ?(mode = Mode.proposed) ?(fuel = 5_000) ?(max_inputs = 5_000) ?(max_runs = 50_000)
     ?module_src ?module_tgt ?inputs ~(src : Func.t) ~(tgt : Func.t) () : verdict =
+  Ub_obs.Obs.with_span "refine.enum_check" @@ fun () ->
   if List.map snd src.args <> List.map snd tgt.args then Unknown "argument types differ"
   else begin
     let tuples =

@@ -22,9 +22,10 @@ open Ub_sem
    deliberately small budget: functions with much nondeterministic
    choice punt to enumeration immediately (the reduction corpora are
    narrow-width, so enumeration is microseconds) instead of paying for
-   a universal expansion per candidate.  Budget-limited *definite*
-   verdicts agree with full-budget ones, so they share the cache kind;
-   [Unknown] is never cached either way. *)
+   a universal expansion per candidate.  The budget is part of the
+   cache key: a verdict reached under a small universal expansion must
+   never be served to a full-budget caller.  [Unknown] is never cached
+   either way. *)
 let reduce_universal_bits = 6
 let reduce_conflicts = 50_000
 
@@ -34,7 +35,10 @@ let check_cached ?cache ?inputs ?max_universal_bits ?max_conflicts (mode : Mode.
   match cache with
   | None -> run ()
   | Some c -> (
-    let k = Verdict_cache.key ?inputs ~mode ~kind:Verdict_cache.combined_kind ~src ~tgt () in
+    let k =
+      Verdict_cache.key ?inputs ?max_universal_bits ?max_conflicts ~mode
+        ~kind:Verdict_cache.combined_kind ~src ~tgt ()
+    in
     match Verdict_cache.find c k with
     | Some v -> v
     | None ->

@@ -1,15 +1,19 @@
 (* Typed adapter between [Checker.verdict] and the raw-string
    [Ub_exec.Cache].  The cache key is the canonical hash of
 
-     (printed source fn, printed target fn, semantics mode, checker kind
-      [, explicit input tuples])
+     (printed source fn, printed target fn, semantics mode, checker kind,
+      SAT budget [, explicit input tuples])
 
    where the functions are printed from their parsed form, so textual
    noise in the original IR (whitespace, comment placement) cannot split
-   cache entries for the same function.  [Unknown] verdicts are never
-   cached: they depend on resource budgets, and a later run with a
-   bigger budget (or a fixed encoder) should get the chance to do
-   better. *)
+   cache entries for the same function.  The SAT budget is part of the
+   key because a verdict is only as strong as the search that produced
+   it: the shrink oracles deliberately run with tiny universal-expansion
+   and conflict budgets, and serving one of their entries to a
+   full-budget caller (or vice versa) would silently change what a
+   "Refines" means.  [Unknown] verdicts are never cached: they depend on
+   resource budgets, and a later run with a bigger budget (or a fixed
+   encoder) should get the chance to do better. *)
 
 open Ub_ir
 open Ub_sem
@@ -17,18 +21,22 @@ open Ub_sem
 let magic = "UBVC1\n"
 
 (* The checker-kind component of the key.  Bump when a checker's verdict
-   semantics change incompatibly. *)
-let combined_kind = "combined-v1"
-let sat_kind = "sat-v1"
-let enum_kind = "enum-v1"
+   semantics change incompatibly.  v2: the SAT budget joined the key, so
+   every v1 entry (ambiguous about its budget) must be invalidated. *)
+let combined_kind = "combined-v2"
+let sat_kind = "sat-v2"
+let enum_kind = "enum-v2"
 
-let key ?(inputs : Value.t list list option) ~(mode : Mode.t) ~(kind : string)
-    ~(src : Func.t) ~(tgt : Func.t) () : string =
+let key ?(inputs : Value.t list list option)
+    ?(max_universal_bits = Checker.default_max_universal_bits)
+    ?(max_conflicts = Checker.default_max_conflicts) ~(mode : Mode.t)
+    ~(kind : string) ~(src : Func.t) ~(tgt : Func.t) () : string =
   let parts =
     [ Printer.func_to_string src;
       Printer.func_to_string tgt;
       mode.Mode.name;
       kind;
+      Printf.sprintf "ub=%d,mc=%d" max_universal_bits max_conflicts;
       (match inputs with
       | None -> ""
       | Some ts ->
@@ -49,9 +57,26 @@ let decode (s : string) : Checker.verdict option =
 let cacheable = function Checker.Unknown _ -> false | Checker.Refines | Checker.Counterexample _ -> true
 
 let find (cache : Ub_exec.Cache.t) k : Checker.verdict option =
+  let module Obs = Ub_obs.Obs in
   match Ub_exec.Cache.find cache k with
-  | None -> None
-  | Some s -> decode s
+  | None ->
+    Obs.count "verdict_cache.miss";
+    None
+  | Some s -> (
+    match decode s with
+    | Some _ as v ->
+      Obs.count "verdict_cache.hit";
+      v
+    | None ->
+      (* present but undecodable (magic/format drift): a miss for the
+         caller, but worth its own counter — a high stale rate means the
+         on-disk cache is full of dead entries *)
+      Obs.count "verdict_cache.stale";
+      Obs.count "verdict_cache.miss";
+      None)
 
 let store (cache : Ub_exec.Cache.t) k (v : Checker.verdict) : unit =
-  if cacheable v then Ub_exec.Cache.store cache k (encode v)
+  if cacheable v then begin
+    Ub_obs.Obs.count "verdict_cache.store";
+    Ub_exec.Cache.store cache k (encode v)
+  end

@@ -62,6 +62,7 @@ type t = {
   mutable num_clauses : int; (* problem clauses accepted by add_clause *)
   mutable learned_peak : int; (* peak size of the learned DB *)
   mutable db_reductions : int;
+  mutable restarts : int;
   mutable root_unsat : bool; (* instance refuted at level 0: final for every later solve *)
 }
 
@@ -95,6 +96,7 @@ let create nvars =
     num_clauses = 0;
     learned_peak = 0;
     db_reductions = 0;
+    restarts = 0;
     root_unsat = false;
   }
 
@@ -536,6 +538,7 @@ let solve_checked ~max_conflicts ~assumptions (s : t) : result =
               if float_of_int (Vec.length s.learnts) >= s.max_learnts then reduce_db s;
               if !local_conflicts >= budget then begin
                 (* restart *)
+                s.restarts <- s.restarts + 1;
                 backtrack s 0;
                 raise Exit
               end
@@ -602,6 +605,7 @@ type statistics = {
   st_clauses : int; (* problem clauses accepted by add_clause *)
   st_learned_peak : int; (* peak size of the learned-clause DB *)
   st_db_reductions : int;
+  st_restarts : int;
 }
 
 let statistics s =
@@ -611,4 +615,5 @@ let statistics s =
     st_clauses = s.num_clauses;
     st_learned_peak = s.learned_peak;
     st_db_reductions = s.db_reductions;
+    st_restarts = s.restarts;
   }

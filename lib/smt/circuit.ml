@@ -247,14 +247,31 @@ module Cnf = struct
     conflicts : int;
     decisions : int;
     propagations : int;
+    restarts : int;
     learned_peak : int; (* peak learned-clause DB size *)
   }
 
   let no_stats =
     { circuit_nodes = 0; cnf_vars = 0; cnf_clauses = 0; conflicts = 0; decisions = 0;
-      propagations = 0; learned_peak = 0 }
+      propagations = 0; restarts = 0; learned_peak = 0 }
+
+  (* Every query also feeds the process-wide telemetry registry: run
+     reports carry aggregate solver counters without any caller having
+     to thread a [?stats] ref through. *)
+  let observe_query (ctx : ctx) (b : builder) =
+    let module Obs = Ub_obs.Obs in
+    let st = Ub_sat.Solver.statistics b.solver in
+    Obs.count "solver.queries";
+    Obs.count ~by:st.Ub_sat.Solver.st_conflicts "solver.conflicts";
+    Obs.count ~by:st.Ub_sat.Solver.st_decisions "solver.decisions";
+    Obs.count ~by:st.Ub_sat.Solver.st_propagations "solver.propagations";
+    Obs.count ~by:st.Ub_sat.Solver.st_restarts "solver.restarts";
+    Obs.observe "smt.cnf_clauses" (float_of_int st.Ub_sat.Solver.st_clauses);
+    Obs.observe "smt.cnf_vars" (float_of_int b.next_var);
+    Obs.observe "smt.circuit_nodes" (float_of_int ctx.next_id)
 
   let record_stats (stats_out : stats ref option) (ctx : ctx) (b : builder) =
+    observe_query ctx b;
     match stats_out with
     | None -> ()
     | Some r ->
@@ -267,12 +284,14 @@ module Cnf = struct
           conflicts = st.Ub_sat.Solver.st_conflicts;
           decisions = st.Ub_sat.Solver.st_decisions;
           propagations = st.Ub_sat.Solver.st_propagations;
+          restarts = st.Ub_sat.Solver.st_restarts;
           learned_peak = st.Ub_sat.Solver.st_learned_peak;
         }
 
   (* Satisfiability of [root = true].  [max_conflicts] bounds solver
      effort; raises [Too_hard] when exceeded. *)
   let solve ?(max_conflicts = 2_000_000) ?stats (ctx : ctx) (root : t) : solve_result =
+    Ub_obs.Obs.with_span "smt.solve" @@ fun () ->
     (* var 0: constant true; then one var per input; then Tseitin vars.
        Upper bound on vars: 1 + inputs + nodes. *)
     let nvars = 1 + ctx.next_input + ctx.next_id in

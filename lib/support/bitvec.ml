@@ -211,11 +211,18 @@ let umul128 (a : int64) (b : int64) : int64 * int64 =
   let p01 = Int64.mul a0 b1 in
   let p10 = Int64.mul a1 b0 in
   let p11 = Int64.mul a1 b1 in
-  let mid = Int64.add (Int64.add p01 p10) (Int64.shift_right_logical p00 32) in
-  (* detect carry out of the mid addition *)
+  let mid0 = Int64.add p01 p10 in
+  let mid = Int64.add mid0 (Int64.shift_right_logical p00 32) in
+  (* Either addition can carry out of 64 bits (p01 + p10 < 2^65 - 2^33,
+     and adding p00 >> 32 < 2^32 can push a sum just below 2^64 over the
+     edge); at most one of the two carries fires for any given inputs,
+     so a single 2^32 correction term suffices — but both comparisons
+     are needed.  Checking only the first add loses the high bit for
+     operands like 0xFFFFFFFFFFFFFFFF * 0x00000002FFFFFFFF. *)
   let carry_mid =
-    (* p01 + p10 may overflow 64 bits: each < 2^64 but sum < 2^65 *)
-    if Int64.unsigned_compare (Int64.add p01 p10) p01 < 0 then 0x100000000L else 0L
+    if Int64.unsigned_compare mid0 p01 < 0 || Int64.unsigned_compare mid mid0 < 0 then
+      0x100000000L
+    else 0L
   in
   let lo = Int64.logor (Int64.shift_left mid 32) (Int64.logand p00 lo32) in
   let hi =

@@ -55,9 +55,9 @@ let string_contains ~needle haystack =
   end
 
 let with_timer f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Ub_obs.Obs.Clock.elapsed_s ~since:t0)
 
 (* Format a signed percentage with one decimal, LLVM-nightly style. *)
 let pp_pct ppf p = Fmt.pf ppf "%+.2f%%" p

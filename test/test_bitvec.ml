@@ -375,6 +375,93 @@ let edge_shift_case w =
 let edge_tests =
   List.concat_map (fun w -> [ edge_pair_case w; edge_shift_case w ]) edge_widths
 
+(* ------------------------------------------------------------------ *)
+(* Boundary regressions (ISSUE 4 satellite: to_int fast path, sign     *)
+(* handling at widths 62/63/64, and the umul128 mid-carry bug)         *)
+(* ------------------------------------------------------------------ *)
+
+let bv64 s = Bitvec.of_string ~width:64 s
+
+(* umul128 computes the mid partial-sum p01 + p10 + (p00 >> 32) with
+   TWO 64-bit additions, and either one can carry.  The original code
+   checked only the first, so operands whose p01 + p10 lands within
+   2^32 of 2^64 (without wrapping) lost the high bit of the product:
+   e.g. 0xFFFFFFFFFFFFFFFF * 0x00000002FFFFFFFF.  At i64 that turned
+   (-1) * 0x2FFFFFFFF — which trivially fits — into a false nsw
+   overflow.  Sweep the carry window against the wide-limb model. *)
+let umul128_carry_window =
+  Alcotest.test_case "umul128 mid-carry window @ i64" `Quick (fun () ->
+      let w = 64 in
+      let a = Bitvec.all_ones w in
+      let sa = Wide.s_of_bv a and ua = Wide.u_of_bv a in
+      for b1 = 1 to 64 do
+        let b =
+          Bitvec.of_int64 ~width:w
+            (Int64.logor (Int64.shift_left (Int64.of_int b1) 32) 0xFFFFFFFFL)
+        in
+        let ctx name = Printf.sprintf "%s with b=%s" name (Bitvec.to_string b) in
+        let sb = Wide.s_of_bv b and ub = Wide.u_of_bv b in
+        Alcotest.(check bool) (ctx "mul nsw")
+          (not (Wide.s_fits ~w (Wide.s_mul sa sb)))
+          (Bitvec.mul_nsw_overflows a b);
+        Alcotest.(check bool) (ctx "mul nuw")
+          (not (Wide.u_fits ~w (Wide.mul ua ub)))
+          (Bitvec.mul_nuw_overflows a b)
+      done;
+      (* the concrete pre-fix counterexample: -1 * 0x2FFFFFFFF fits i64 *)
+      Alcotest.(check bool) "-1 * 0x2FFFFFFFF no nsw ovf" false
+        (Bitvec.mul_nsw_overflows (bv64 "-1") (bv64 "0x2FFFFFFFF")))
+
+(* The native-int fast path in to_uint_opt: width <= 62 values always
+   fit (max 2^62 - 1 = OCaml max_int); at 63/64 only [0, max_int]. *)
+let to_uint_boundaries =
+  Alcotest.test_case "to_uint_opt fast path @ 62/63/64" `Quick (fun () ->
+      let some = Alcotest.(check (option int)) in
+      some "i62 all-ones = max_int" (Some max_int)
+        (Bitvec.to_uint_opt (Bitvec.all_ones 62));
+      some "i63 max_signed = max_int" (Some max_int)
+        (Bitvec.to_uint_opt (Bitvec.max_signed 63));
+      some "i63 2^62 does not fit" None
+        (Bitvec.to_uint_opt (Bitvec.min_signed 63));
+      some "i63 all-ones does not fit" None (Bitvec.to_uint_opt (Bitvec.all_ones 63));
+      some "i64 max_int fits" (Some max_int)
+        (Bitvec.to_uint_opt (Bitvec.of_int ~width:64 max_int));
+      some "i64 2^62 does not fit" None
+        (Bitvec.to_uint_opt (bv64 "0x4000000000000000"));
+      some "i64 min_signed does not fit" None
+        (Bitvec.to_uint_opt (Bitvec.min_signed 64)))
+
+let signed_boundaries =
+  Alcotest.test_case "min/max_signed sign handling @ 62/63/64" `Quick (fun () ->
+      let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal in
+      Alcotest.check i64 "i64 min_signed = Int64.min_int" Int64.min_int
+        (Bitvec.to_sint64 (Bitvec.min_signed 64));
+      Alcotest.check i64 "i63 min_signed = -2^62" (Int64.neg 0x4000000000000000L)
+        (Bitvec.to_sint64 (Bitvec.min_signed 63));
+      Alcotest.check i64 "i62 min_signed = -2^61" (Int64.neg 0x2000000000000000L)
+        (Bitvec.to_sint64 (Bitvec.min_signed 62));
+      List.iter
+        (fun w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "is_min_signed(min_signed %d)" w)
+            true
+            (Bitvec.is_min_signed (Bitvec.min_signed w));
+          Alcotest.(check bool)
+            (Printf.sprintf "is_min_signed(max_signed %d)" w)
+            false
+            (Bitvec.is_min_signed (Bitvec.max_signed w));
+          Alcotest.check i64
+            (Printf.sprintf "max + 1 = min @ i%d" w)
+            (Bitvec.to_sint64 (Bitvec.min_signed w))
+            (Bitvec.to_sint64 (Bitvec.add (Bitvec.max_signed w) (Bitvec.one w))))
+        [ 62; 63; 64 ];
+      (* of_string accepts Int64.min_int spelled in decimal *)
+      Alcotest.(check bool) "parse i64 min_int" true
+        (Bitvec.is_min_signed (bv64 "-9223372036854775808")))
+
+let regression_tests = [ umul128_carry_window; to_uint_boundaries; signed_boundaries ]
+
 let () =
   Alcotest.run "bitvec"
-    [ ("unit", unit_tests); ("properties", props); ("edge-widths", edge_tests) ]
+    [ ("unit", unit_tests); ("properties", props); ("edge-widths", edge_tests);
+      ("regressions", regression_tests) ]

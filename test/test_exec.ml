@@ -62,6 +62,42 @@ let pool_tests =
             | _, Pool.Done () -> ()
             | _, _ -> Alcotest.failf "task %d affected by the timeout" i)
           rs);
+    Alcotest.test_case "a worker exiting non-zero surfaces as a crash" `Quick (fun () ->
+        (* _exit bypasses every OCaml exception net: the parent must read
+           the wait status and pin the crash on the in-flight task. *)
+        let f x =
+          if x = 7 then Unix._exit 3;
+          x
+        in
+        let rs = Pool.map ~jobs:2 f (Array.init 16 (fun i -> i)) in
+        Array.iteri
+          (fun i r ->
+            match (i, r) with
+            | 7, Pool.Crashed msg ->
+              Alcotest.(check bool) "message names exit code 3" true
+                (Ub_support.Util.string_contains ~needle:"code 3" msg)
+            | 7, _ -> Alcotest.fail "task 7 should have crashed"
+            | _, Pool.Done v -> Alcotest.(check int) "value" i v
+            | _, _ -> Alcotest.failf "task %d lost to the exit" i)
+          rs);
+    Alcotest.test_case "nested timeouts do not cancel the outer deadline" `Quick (fun () ->
+        (* an inner run_task used to zero ITIMER_REAL on its way out,
+           silently disarming the enclosing task's timeout *)
+        let inner () =
+          Pool.map ~jobs:1 ~timeout_s:0.05 (fun x -> x + 1) (Array.init 3 (fun i -> i))
+        in
+        let outer _ =
+          let rs = inner () in
+          Array.iter
+            (function Pool.Done _ -> () | _ -> Alcotest.fail "inner task failed")
+            rs;
+          Unix.sleepf 5.0
+        in
+        let rs = Pool.map ~jobs:1 ~timeout_s:0.4 outer (Array.make 1 ()) in
+        (match rs.(0) with
+        | Pool.Timed_out -> ()
+        | Pool.Done _ -> Alcotest.fail "outer deadline was disarmed by the inner pool"
+        | Pool.Crashed m -> Alcotest.failf "outer task crashed: %s" m));
     Alcotest.test_case "stats account for every task" `Quick (fun () ->
         let rs, stats = Pool.map_stats ~jobs:3 (fun x -> x) int_results in
         Alcotest.(check int) "task_count" (Array.length int_results) stats.Pool.task_count;
@@ -69,6 +105,25 @@ let pool_tests =
           (List.fold_left (fun a s -> a + s.Pool.tasks) 0 stats.Pool.shards);
         Alcotest.(check bool) "utilization sane" true
           (stats.Pool.utilization >= 0.0 && stats.Pool.utilization <= 1.01));
+    Alcotest.test_case "worker telemetry is forwarded to the parent" `Quick (fun () ->
+        let module Obs = Ub_obs.Obs in
+        Obs.reset ();
+        ignore (Pool.map ~jobs:3 (fun x -> x * 2) (Array.init 30 (fun i -> i)));
+        Alcotest.(check int) "task_done aggregated across workers" 30
+          (Obs.counter_value "pool.task_done");
+        Alcotest.(check int) "dispatch events counted" 30
+          (Obs.counter_value "pool.task_dispatch");
+        Obs.reset ();
+        let g x =
+          if x = 5 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+          x
+        in
+        ignore (Pool.map ~jobs:2 g (Array.init 10 (fun i -> i)));
+        Alcotest.(check int) "worker_crash event emitted" 1
+          (Obs.counter_value "pool.worker_crash");
+        Alcotest.(check int) "crashed task counted by the parent" 1
+          (Obs.counter_value "pool.task_crashed");
+        Obs.reset ());
   ]
 
 let with_tmp_cache k =

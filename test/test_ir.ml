@@ -66,6 +66,35 @@ e:
         match parse "define i8 @bad() { e: ret i9000 1 }" with
         | exception Parser.Parse_error _ -> ()
         | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "i64 extreme constants round-trip" `Quick (fun () ->
+        (* ISSUE 4: i64 min_int prints as -9223372036854775808, which the
+           lexer must read back as a single negative literal (Int64.neg
+           of 9223372036854775808 would overflow if parsed unsigned). *)
+        let src =
+          {|define i64 @extremes(i64 %a) {
+e:
+  %x = add i64 %a, -9223372036854775808
+  %y = add i64 %x, 9223372036854775807
+  %z = add i64 %y, -1
+  ret i64 %z
+}|}
+        in
+        roundtrip_once src;
+        let fn = parse src in
+        (match (List.hd fn.Func.blocks).Func.insns with
+        | { Instr.ins = Instr.Binop (_, _, _, _, Instr.Const (Constant.Int bv)); _ } :: _ ->
+          Alcotest.(check bool) "parses to min_signed 64" true
+            (Ub_support.Bitvec.is_min_signed bv)
+        | _ -> Alcotest.fail "unexpected shape");
+        (* printer emits the signed spelling and parsing it is stable *)
+        let printed = Printer.func_to_string fn in
+        Alcotest.(check bool) "printed form contains min_int literal" true
+          (let re = "-9223372036854775808" in
+           let rec find i =
+             i + String.length re <= String.length printed
+             && (String.sub printed i (String.length re) = re || find (i + 1))
+           in
+           find 0));
     Alcotest.test_case "types" `Quick (fun () ->
         Alcotest.(check int) "bitwidth vec" 32 (Types.bitwidth (Types.Vec (2, Types.Int 16)));
         Alcotest.(check int) "store size i1" 1 (Types.store_size (Types.Int 1));

@@ -1,0 +1,222 @@
+(* Tests for the observability layer (lib/obs): span aggregation and
+   nesting, counters, histograms, the JSONL trace sink, the fork-safe
+   drain/absorb round-trip, and a smoke check that the default Null sink
+   stays cheap. *)
+
+module Obs = Ub_obs.Obs
+
+let with_clean_registry f =
+  Obs.reset ();
+  Obs.set_sink Obs.Null;
+  Fun.protect ~finally:(fun () -> Obs.reset (); Obs.set_sink Obs.Null) f
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_clean_registry @@ fun () ->
+  let buf = ref [] in
+  Obs.set_sink (Obs.Memory buf);
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span "inner" (fun () -> Unix.sleepf 0.002);
+        Obs.with_span "inner" (fun () -> ());
+        42)
+  in
+  Alcotest.(check int) "with_span returns the body's result" 42 r;
+  (* Memory sinks record newest-first; completion order is inner, inner,
+     outer. *)
+  let events = List.rev !buf in
+  let names = List.map (fun e -> e.Obs.name) events in
+  Alcotest.(check (list string)) "completion order" [ "inner"; "inner"; "outer" ] names;
+  let depth_of n =
+    (List.find (fun e -> e.Obs.name = n) events).Obs.depth
+  in
+  Alcotest.(check int) "outer depth" 0 (depth_of "outer");
+  Alcotest.(check int) "inner depth" 1 (depth_of "inner");
+  List.iter
+    (fun e -> Alcotest.(check bool) ("duration recorded: " ^ e.Obs.name) true (e.Obs.dur_ns >= 0))
+    events
+
+let test_span_aggregation () =
+  with_clean_registry @@ fun () ->
+  for _ = 1 to 5 do
+    Obs.with_span "agg" (fun () -> ())
+  done;
+  let json = Obs.report_json () in
+  (* count appears in the aggregated report *)
+  let has sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "span in report" true (has "\"agg\":{\"count\":5")
+
+let test_span_survives_raise () =
+  with_clean_registry @@ fun () ->
+  (try Obs.with_span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  Obs.with_span "after" (fun () -> ());
+  (* depth must be back to 0: the "after" span records depth 0 events *)
+  let buf = ref [] in
+  Obs.set_sink (Obs.Memory buf);
+  Obs.with_span "probe" (fun () -> ());
+  match !buf with
+  | [ e ] -> Alcotest.(check int) "depth restored after raise" 0 e.Obs.depth
+  | _ -> Alcotest.fail "expected exactly one probe event"
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  with_clean_registry @@ fun () ->
+  Obs.count "c";
+  Obs.count ~by:4 "c";
+  Obs.count "other";
+  Alcotest.(check int) "accumulated" 5 (Obs.counter_value "c");
+  Alcotest.(check int) "independent" 1 (Obs.counter_value "other");
+  Alcotest.(check int) "absent reads 0" 0 (Obs.counter_value "nope")
+
+let test_histograms () =
+  with_clean_registry @@ fun () ->
+  List.iter (Obs.observe "h") [ 1.0; 2.0; 4.0; 8.0; 1024.0 ];
+  let json = Obs.report_json () in
+  let has sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "count=5" true (has "\"count\":5");
+  Alcotest.(check bool) "sum" true (has "\"sum\":1039");
+  Alcotest.(check bool) "min" true (has "\"min\":1");
+  Alcotest.(check bool) "max" true (has "\"max\":1024")
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny structural check that every trace line is an object with the
+   required fields — not a full JSON parser, but enough to catch broken
+   escaping or truncated lines. *)
+let looks_like_json_object line =
+  String.length line > 2
+  && line.[0] = '{'
+  && line.[String.length line - 1] = '}'
+
+let test_jsonl_roundtrip () =
+  with_clean_registry @@ fun () ->
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.set_trace path;
+  Obs.with_span "s" ~attrs:[ ("mode", Obs.S "weird \"name\"\n"); ("n", Obs.I 3) ] (fun () -> ());
+  Obs.event "e" ~attrs:[ ("ok", Obs.B true); ("x", Obs.F 1.5) ];
+  Obs.close ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "two trace lines" 2 (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check bool) ("object: " ^ l) true (looks_like_json_object l))
+    lines;
+  let has sub l =
+    let n = String.length sub and m = String.length l in
+    let rec go i = i + n <= m && (String.sub l i n = sub || go (i + 1)) in
+    go 0
+  in
+  let span_line = List.nth lines 0 and event_line = List.nth lines 1 in
+  Alcotest.(check bool) "span kind" true (has "\"ev\":\"span\"" span_line);
+  Alcotest.(check bool) "escaped attr" true (has "weird \\\"name\\\"\\n" span_line);
+  Alcotest.(check bool) "int attr" true (has "\"n\":3" span_line);
+  Alcotest.(check bool) "event kind" true (has "\"ev\":\"event\"" event_line);
+  Alcotest.(check bool) "bool attr" true (has "\"ok\":true" event_line);
+  Alcotest.(check bool) "no dur on events" false (has "dur_ns" event_line)
+
+(* ------------------------------------------------------------------ *)
+(* drain/absorb (the fork-forwarding path, without the fork)           *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_absorb () =
+  with_clean_registry @@ fun () ->
+  (* simulate the child *)
+  Obs.child_begin ();
+  Obs.count ~by:3 "pool.task_done";
+  Obs.observe "lat" 2.0;
+  Obs.observe "lat" 8.0;
+  Obs.with_span "work" (fun () -> ());
+  Obs.event "tick";
+  let p = Obs.drain () in
+  Alcotest.(check int) "drain clears counters" 0 (Obs.counter_value "pool.task_done");
+  (* simulate the parent *)
+  Obs.reset ();
+  Obs.set_sink Obs.Null;
+  Obs.count "pool.task_done";
+  Obs.absorb p ~attrs:[ ("shard", Obs.I 7) ];
+  Alcotest.(check int) "counters folded in" 4 (Obs.counter_value "pool.task_done");
+  Alcotest.(check int) "event counts folded in" 1 (Obs.counter_value "tick");
+  let json = Obs.report_json () in
+  let has sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "hist merged" true (has "\"lat\":{\"count\":2,\"sum\":10");
+  Alcotest.(check bool) "span merged" true (has "\"work\":{\"count\":1")
+
+(* ------------------------------------------------------------------ *)
+(* Null-sink overhead smoke                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a benchmark — just a guard that with_span on the Null sink stays
+   in the no-I/O regime (two clock reads + a hashtable bump).  A
+   regression to per-span I/O or formatting would blow way past this. *)
+let test_noop_overhead () =
+  with_clean_registry @@ fun () ->
+  let n = 100_000 in
+  let t0 = Obs.Clock.now_s () in
+  for _ = 1 to n do
+    Obs.with_span "hot" (fun () -> ())
+  done;
+  let dt = Obs.Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "100k no-op spans under 250ms (took %.1fms)" (dt *. 1e3))
+    true (dt < 0.25)
+
+let test_report_parses () =
+  with_clean_registry @@ fun () ->
+  Obs.count "verdict_cache.hit";
+  Obs.count "verdict_cache.miss";
+  let json = Obs.report_json () in
+  let has sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag" true (has "\"schema\":\"ubc-obs-report-v1\"");
+  Alcotest.(check bool) "derived hit rate" true (has "\"verdict_cache_hit_rate\":0.5")
+
+let () =
+  Alcotest.run "obs"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting depths and completion order" `Quick test_span_nesting;
+          Alcotest.test_case "aggregation counts every call" `Quick test_span_aggregation;
+          Alcotest.test_case "depth restored when the body raises" `Quick test_span_survives_raise;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters accumulate" `Quick test_counters;
+          Alcotest.test_case "histogram summary stats" `Quick test_histograms;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "JSONL sink round-trips events" `Quick test_jsonl_roundtrip ] );
+      ( "forwarding",
+        [ Alcotest.test_case "drain/absorb merges child telemetry" `Quick test_drain_absorb ] );
+      ( "overhead",
+        [ Alcotest.test_case "null sink stays cheap" `Quick test_noop_overhead;
+          Alcotest.test_case "report is well-formed" `Quick test_report_parses;
+        ] );
+    ]

@@ -239,6 +239,58 @@ let checkers_agree =
                | Enum_check.Unknown _ -> true))
            [ Mode.proposed; Mode.old_unswitch; Mode.old_gvn ]))
 
+(* ------------------------------------------------------------------ *)
+(* Verdict-cache keying (ISSUE 4 satellite: budget collision)          *)
+(* ------------------------------------------------------------------ *)
+
+let with_tmp_cache k =
+  let dir = Filename.temp_file "ub_refine_cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> k (Ub_exec.Cache.open_dir dir))
+
+let cache_tests =
+  [ Alcotest.test_case "budget-limited verdicts never alias full-budget ones" `Quick
+      (fun () ->
+        (* the shrink oracles run with reduced SAT budgets through the
+           same persistent cache as full-budget sweeps: the key must
+           keep the two populations apart *)
+        with_tmp_cache (fun c ->
+            let src = f id2 and tgt = f id2 in
+            let v1 =
+              Reduce.check_cached ~cache:c ~max_universal_bits:Reduce.reduce_universal_bits
+                ~max_conflicts:Reduce.reduce_conflicts Mode.proposed ~src ~tgt
+            in
+            let v2 = Reduce.check_cached ~cache:c Mode.proposed ~src ~tgt in
+            Alcotest.(check bool) "both calls refine" true
+              (v1 = Checker.Refines && v2 = Checker.Refines);
+            Alcotest.(check int) "full-budget call misses the small-budget entry" 0
+              (Ub_exec.Cache.hits c);
+            Alcotest.(check int) "two distinct entries stored" 2
+              (Ub_exec.Cache.stores c);
+            (* same budget twice is still a hit *)
+            let v3 =
+              Reduce.check_cached ~cache:c ~max_universal_bits:Reduce.reduce_universal_bits
+                ~max_conflicts:Reduce.reduce_conflicts Mode.proposed ~src ~tgt
+            in
+            Alcotest.(check bool) "replay hits" true
+              (v3 = Checker.Refines && Ub_exec.Cache.hits c = 1)));
+    Alcotest.test_case "kind tags carry the v2 bump" `Quick (fun () ->
+        (* stale v1 entries must be unreachable: the kind strings are
+           part of the hashed key, so the bump is the invalidation *)
+        List.iter
+          (fun tag ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s ends in -v2" tag)
+              true
+              (String.length tag > 3
+              && String.sub tag (String.length tag - 3) 3 = "-v2"))
+          [ Verdict_cache.combined_kind; Verdict_cache.sat_kind; Verdict_cache.enum_kind ]);
+  ]
+
 let () =
   Alcotest.run "refine"
-    [ ("known-pairs", known_pairs); ("cross-validation", [ checkers_agree ]) ]
+    [ ("known-pairs", known_pairs); ("cross-validation", [ checkers_agree ]);
+      ("verdict-cache", cache_tests) ]
