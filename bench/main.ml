@@ -32,6 +32,8 @@ let solver_out = ref "BENCH_solver.json"
 let solver_baseline = ref "bench/solver_baseline.tsv"
 let solver_save_baseline = ref (None : string option)
 let solver_budget_failed = ref false
+let serve_out = ref "BENCH_serve.json"
+let serve_failed = ref false
 
 (* no-silent-caps: every pooled task that was dropped past the --timeout
    budget (or crashed) is counted here, reported per experiment, and
@@ -500,6 +502,15 @@ let solver () =
   if not ok then solver_budget_failed := true
 
 (* ------------------------------------------------------------------ *)
+(* T-SERVE: the daemon load generator (see serve_bench.ml)             *)
+(* ------------------------------------------------------------------ *)
+
+let serve () =
+  sep "T-SERVE | serve-daemon throughput vs spawning ubc check per query";
+  let ok = Serve_bench.run ~jobs:!jobs ~out:!serve_out () in
+  if not ok then serve_failed := true
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per measured table         *)
 (* ------------------------------------------------------------------ *)
 
@@ -553,7 +564,7 @@ let bechamel () =
 let all =
   [ ("f6", f6); ("ct", compile_time); ("mem", memory); ("size", size); ("lnt", lnt);
     ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("solver", solver);
-    ("bechamel", bechamel);
+    ("serve", serve); ("bechamel", bechamel);
   ]
 
 let usage () =
@@ -574,7 +585,8 @@ let usage () =
      --solver-out F          solver: write the benchmark JSON to F (default BENCH_solver.json)\n\
      --solver-baseline F     solver: compare against the recorded baseline TSV\n\
     \                         (default bench/solver_baseline.tsv)\n\
-     --solver-save-baseline F  solver: also record this run as a baseline TSV\n"
+     --solver-save-baseline F  solver: also record this run as a baseline TSV\n\
+     --serve-out F           serve: write the benchmark JSON to F (default BENCH_serve.json)\n"
     (String.concat " " (List.map fst all));
   exit 2
 
@@ -618,6 +630,9 @@ let () =
     | "--solver-save-baseline" :: f :: rest ->
       solver_save_baseline := Some f;
       parse rest names
+    | "--serve-out" :: f :: rest ->
+      serve_out := f;
+      parse rest names
     | name :: rest when List.mem_assoc name all -> parse rest (name :: names)
     | _ -> usage ()
   in
@@ -643,5 +658,9 @@ let () =
   end;
   if !solver_budget_failed then begin
     print_endline "\nFAILURE: solver benchmark quer(ies) exceeded the conflict budget";
+    exit 1
+  end;
+  if !serve_failed then begin
+    print_endline "\nFAILURE: serve benchmark missed its verdict-agreement or speedup bar";
     exit 1
   end

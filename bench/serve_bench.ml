@@ -1,0 +1,436 @@
+(* T-SERVE | the daemon load generator behind `bench serve`.
+
+   Measures what the serve subsystem exists to deliver: amortizing the
+   cold-start cost of the checker across a stream of small queries.
+   Two runs over the *same* 200-query corpus:
+
+   - the spawn baseline: one `ubc check` process per query, the way a
+     fuzzing harness would drive the batch tool (exec, parse, warm the
+     solver stack, check, exit);
+   - the daemon: one `ubc serve` instance, queries pipelined over a few
+     client connections, per-request latency stamped at send and reply.
+
+   The corpus is seeded and deliberately repetitive (200 queries drawn
+   from a smaller unique set) because real translation-validation
+   traffic is repetitive -- that is what the daemon's coalescing and
+   verdict cache are for.  Verdicts from both runs are compared against
+   an in-process ground truth; any disagreement fails the run.
+
+   Results go to BENCH_serve.json: throughput for both runs, the
+   speedup, exact p50/p95/p99 latency percentiles (computed from the
+   200 samples, not histogram buckets), coalesce/reject counts and the
+   daemon's closing stats report. *)
+
+open Ub_ir
+open Ub_sem
+module Json = Ub_serve.Json
+module Wire = Ub_serve.Wire
+module Client = Ub_serve.Client
+
+let n_queries = 200
+let n_conns = 4
+let required_speedup = 5.0
+
+type pair = { p_src : Func.t; p_tgt : Func.t; p_src_text : string; p_tgt_text : string }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: unique pairs from the seeded fuzz generator, filtered to    *)
+(* queries the checker answers quickly (the daemon's target workload   *)
+(* is streams of small queries; slow outliers measure the solver, not  *)
+(* the serving overhead), then sampled with repetition to [n_queries]. *)
+(* ------------------------------------------------------------------ *)
+
+let build_corpus () : pair array * int array * Ub_refine.Checker.verdict array =
+  let fns = Ub_fuzz.Gen.random_corpus ~seed:2026 ~size:60 in
+  let candidates =
+    List.map
+      (fun fn ->
+        let tgt = Ub_opt.Pass.run_pipeline Ub_opt.Pass.prototype Ub_opt.Pipeline.fuzz_passes fn in
+        { p_src = fn;
+          p_tgt = tgt;
+          p_src_text = Printer.func_to_string fn;
+          p_tgt_text = Printer.func_to_string tgt;
+        })
+      fns
+  in
+  (* ground truth + fast-filter in one pass *)
+  let keep = ref [] in
+  List.iter
+    (fun p ->
+      let t0 = Ub_obs.Obs.Clock.now_s () in
+      let v = Ub_refine.Checker.check Mode.proposed ~src:p.p_src ~tgt:p.p_tgt in
+      let dt = Ub_obs.Obs.Clock.elapsed_s ~since:t0 in
+      if dt < 0.15 && List.length !keep < 40 then keep := (p, v) :: !keep)
+    candidates;
+  let unique = Array.of_list (List.rev !keep) in
+  if Array.length unique = 0 then failwith "serve bench: empty corpus";
+  let prng = Ub_support.Prng.create ~seed:7 in
+  let picks = Array.init n_queries (fun _ -> Ub_support.Prng.int prng (Array.length unique)) in
+  (Array.map fst unique, picks, Array.map snd unique)
+
+let verdict_name = function
+  | Ub_refine.Checker.Refines -> "refines"
+  | Ub_refine.Checker.Counterexample _ -> "counterexample"
+  | Ub_refine.Checker.Unknown _ -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Spawn baseline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_ubc () : string option =
+  (* bench runs as _build/default/bench/main.exe; ubc is its sibling *)
+  let guess =
+    Filename.concat
+      (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+      "ubc.exe"
+  in
+  if Sys.file_exists guess then Some guess else None
+
+let write_tmp_pairs (dir : string) (unique : pair array) : (string * string) array =
+  Array.mapi
+    (fun i p ->
+      let sp = Filename.concat dir (Printf.sprintf "src_%02d.ll" i) in
+      let tp = Filename.concat dir (Printf.sprintf "tgt_%02d.ll" i) in
+      let write path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      write sp p.p_src_text;
+      write tp p.p_tgt_text;
+      (sp, tp))
+    unique
+
+(* One `ubc check` process per query, sequentially -- the cold-start
+   path a harness without the daemon pays.  Returns (wall, refines?). *)
+let run_spawn_baseline (ubc : string) (files : (string * string) array) (picks : int array) :
+    float * bool array =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let refines = Array.make (Array.length picks) false in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
+  Array.iteri
+    (fun qi u ->
+      let sp, tp = files.(u) in
+      let pid =
+        Unix.create_process ubc
+          [| ubc; "check"; "--mode"; "proposed"; sp; tp |]
+          Unix.stdin devnull devnull
+      in
+      let rec wait () =
+        try Unix.waitpid [] pid
+        with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      match snd (wait ()) with
+      | Unix.WEXITED 0 -> refines.(qi) <- true
+      | _ -> refines.(qi) <- false)
+    picks;
+  Unix.close devnull;
+  (Ub_obs.Obs.Clock.elapsed_s ~since:t0, refines)
+
+(* Fallback when the ubc binary has not been built: fork per query and
+   replay the same cold path (parse from disk, fresh check) in the
+   child.  Noted in the JSON -- it under-counts exec+startup cost, so a
+   speedup against it is conservative. *)
+let run_fork_baseline (files : (string * string) array) (picks : int array) :
+    float * bool array =
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let refines = Array.make (Array.length picks) false in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
+  Array.iteri
+    (fun qi u ->
+      let sp, tp = files.(u) in
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        Ub_obs.Obs.child_begin ();
+        let code =
+          try
+            let one p = List.hd (Parser.parse_module (read p)).Func.funcs in
+            match Ub_refine.Checker.check Mode.proposed ~src:(one sp) ~tgt:(one tp) with
+            | Ub_refine.Checker.Refines -> 0
+            | _ -> 1
+          with _ -> 3
+        in
+        Unix._exit code
+      | pid -> (
+        let rec wait () =
+          try Unix.waitpid [] pid with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        match snd (wait ()) with
+        | Unix.WEXITED 0 -> refines.(qi) <- true
+        | _ -> refines.(qi) <- false))
+    picks;
+  (Ub_obs.Obs.Clock.elapsed_s ~since:t0, refines)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon run                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let start_daemon ~(jobs : int) ~(dir : string) : string * int =
+  let socket_path = Filename.concat dir "serve.sock" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* the child must not share the parent's trace channel/registry *)
+    Ub_obs.Obs.child_begin ();
+    (try
+       let cache = Ub_exec.Cache.open_journal (Filename.concat dir "cache") in
+       let cfg =
+         { (Ub_serve.Server.default_config ~socket_path) with
+           Ub_serve.Server.jobs;
+           queue_limit = 256;
+           batch_max = 64;
+           cache = Some cache;
+         }
+       in
+       Ub_serve.Server.run cfg;
+       Unix._exit 0
+     with _ -> Unix._exit 3)
+  | pid ->
+    let rec wait_sock n =
+      if n > 200 then failwith "serve bench: daemon did not come up"
+      else if Sys.file_exists socket_path then ()
+      else begin
+        Unix.sleepf 0.05;
+        wait_sock (n + 1)
+      end
+    in
+    wait_sock 0;
+    (socket_path, pid)
+
+(* Pipeline the corpus over [n_conns] connections and stamp per-request
+   latency as replies arrive (select across the connections, so a slow
+   connection cannot skew the others' timestamps). *)
+let run_daemon_load (socket_path : string) (unique : pair array) (picks : int array) :
+    float * float array * string array =
+  let conns = Array.init n_conns (fun _ -> Client.connect ~socket_path ()) in
+  let send_t = Array.make (Array.length picks) 0.0 in
+  let recv_t = Array.make (Array.length picks) 0.0 in
+  let verdicts = Array.make (Array.length picks) "" in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
+  Array.iteri
+    (fun qi u ->
+      let p = unique.(u) in
+      let cl = conns.(qi mod n_conns) in
+      send_t.(qi) <- Ub_obs.Obs.Clock.now_s ();
+      Client.send cl
+        (Wire.Check
+           { Wire.id = Some qi;
+             mode = "proposed";
+             src = p.p_src_text;
+             tgt = p.p_tgt_text;
+             deadline_s = None;
+             enum_only = false;
+           }))
+    picks;
+  let outstanding = ref (Array.length picks) in
+  let fd_of i = (conns.(i) : Client.t).Client.fd in
+  while !outstanding > 0 do
+    let fds = List.init n_conns fd_of in
+    match Unix.select fds [] [] 5.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> failwith "serve bench: daemon stalled (5s without a reply)"
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          match Wire.recv_reply fd with
+          | Some (Wire.Verdict v) -> (
+            match v.Wire.r_id with
+            | Some qi when qi >= 0 && qi < Array.length picks ->
+              recv_t.(qi) <- Ub_obs.Obs.Clock.now_s ();
+              verdicts.(qi) <- v.Wire.verdict;
+              decr outstanding
+            | _ -> failwith "serve bench: reply without a usable id")
+          | Some (Wire.Overloaded _) -> failwith "serve bench: rejected during timed run"
+          | Some _ -> failwith "serve bench: unexpected reply"
+          | None -> failwith "serve bench: daemon closed the connection")
+        ready
+  done;
+  let wall = Ub_obs.Obs.Clock.elapsed_s ~since:t0 in
+  Array.iter Client.close conns;
+  let lat = Array.init (Array.length picks) (fun i -> recv_t.(i) -. send_t.(i)) in
+  (wall, lat, verdicts)
+
+(* A deliberate overload: pipeline more requests than the queue admits
+   on one connection and count the rejections.  Every request is a
+   *distinct* pair (the function renamed per index) so neither the
+   verdict cache nor coalescing can answer it -- each one is real work
+   and the queue genuinely fills. *)
+let run_overload_burst (socket_path : string) (unique : pair array) : int * int =
+  let p = unique.(0) in
+  let cl = Client.connect ~socket_path () in
+  let n = 800 in
+  for i = 0 to n - 1 do
+    let rename fn = Printer.func_to_string { fn with Func.name = Printf.sprintf "b%03d" i } in
+    Client.send cl
+      (Wire.Check
+         { Wire.id = Some i;
+           mode = "proposed";
+           src = rename p.p_src;
+           tgt = rename p.p_tgt;
+           deadline_s = Some 0.1;
+           enum_only = false;
+         })
+  done;
+  let rejected = ref 0 and answered = ref 0 in
+  for _ = 1 to n do
+    match Client.recv cl with
+    | Some (Wire.Overloaded _) -> incr rejected
+    | Some (Wire.Verdict _) -> incr answered
+    | Some _ | None -> failwith "serve bench: burst reply missing"
+  done;
+  Client.close cl;
+  (!rejected, !answered)
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles (exact, from the recorded samples)                      *)
+(* ------------------------------------------------------------------ *)
+
+let percentile (sorted : float array) (q : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let run ~(jobs : int) ~(out : string) () : bool =
+  let dir = Filename.temp_file "ub_serve_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Printf.printf "building corpus (seeded, unique pairs sampled to %d queries)...\n%!" n_queries;
+  let unique, picks, truth = build_corpus () in
+  Printf.printf "corpus: %d unique pairs, %d queries\n%!" (Array.length unique) n_queries;
+  let files = write_tmp_pairs dir unique in
+  (* --- baseline --- *)
+  let baseline_kind, (spawn_wall, spawn_refines) =
+    match find_ubc () with
+    | Some ubc ->
+      Printf.printf "baseline: spawning %s per query...\n%!" ubc;
+      ("spawn-ubc", run_spawn_baseline ubc files picks)
+    | None ->
+      Printf.printf "baseline: bin/ubc.exe not built; fork-per-query fallback\n%!";
+      ("fork-self", run_fork_baseline files picks)
+  in
+  let spawn_qps = float_of_int n_queries /. spawn_wall in
+  Printf.printf "baseline (%s): %.2fs wall, %.1f queries/s\n%!" baseline_kind spawn_wall
+    spawn_qps;
+  (* --- daemon --- *)
+  let socket_path, daemon_pid = start_daemon ~jobs ~dir in
+  let serve_wall, latencies, serve_verdicts = run_daemon_load socket_path unique picks in
+  let serve_qps = float_of_int n_queries /. serve_wall in
+  let rejected, burst_answered = run_overload_burst socket_path unique in
+  (* one deliberately deadline-exceeded query so the timeout path shows
+     up in the stats report -- a fresh (uncached) wide-multiply pair the
+     checker cannot settle in 100ms *)
+  let timed_out =
+    let src =
+      "define i64 @hard(i64 %x, i64 %y) {\ne:\n  %m = mul i64 %x, %y\n  ret i64 %m\n}"
+    and tgt =
+      "define i64 @hard(i64 %x, i64 %y) {\ne:\n  %m = mul i64 %y, %x\n  ret i64 %m\n}"
+    in
+    Client.with_conn ~socket_path (fun cl ->
+        match Client.check cl ~deadline_s:0.1 ~mode:"proposed" ~src ~tgt () with
+        | Wire.Verdict { verdict = "timeout"; _ } -> true
+        | _ -> false)
+  in
+  let stats = Client.with_conn ~socket_path (fun cl -> Client.stats cl) in
+  Client.with_conn ~socket_path (fun cl ->
+      Client.send cl Wire.Shutdown;
+      match Client.recv cl with Some Wire.Bye | None -> () | Some _ -> ());
+  let rec reap () =
+    try ignore (Unix.waitpid [] daemon_pid)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+  in
+  reap ();
+  (* --- verdict agreement --- *)
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun qi u ->
+      let want = verdict_name truth.(u) in
+      if serve_verdicts.(qi) <> want then incr mismatches;
+      let want_refines = want = "refines" in
+      if spawn_refines.(qi) <> want_refines then incr mismatches)
+    picks;
+  let verdicts_match = !mismatches = 0 in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 0.50
+  and p95 = percentile sorted 0.95
+  and p99 = percentile sorted 0.99 in
+  let speedup = serve_qps /. spawn_qps in
+  Printf.printf
+    "daemon: %.2fs wall, %.1f queries/s (%.1fx baseline)\n\
+     latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n\
+     coalesced: %d  rejected in burst: %d/%d  deadline timeout observed: %b\n%!"
+    serve_wall serve_qps speedup (1000.0 *. p50) (1000.0 *. p95) (1000.0 *. p99)
+    stats.Wire.coalesced_total rejected (rejected + burst_answered) timed_out;
+  (* --- the JSON record --- *)
+  let num f = Json.Num f in
+  let int n = Json.Num (float_of_int n) in
+  let j =
+    Json.Obj
+      [ ("schema", Json.Str "ubc-serve-bench-v1");
+        ("queries", int n_queries);
+        ("unique_pairs", int (Array.length unique));
+        ("jobs", int jobs);
+        ( "baseline",
+          Json.Obj
+            [ ("kind", Json.Str baseline_kind); ("wall_s", num spawn_wall);
+              ("qps", num spawn_qps) ] );
+        ( "serve",
+          Json.Obj
+            [ ("wall_s", num serve_wall); ("qps", num serve_qps);
+              ("p50_ms", num (1000.0 *. p50)); ("p95_ms", num (1000.0 *. p95));
+              ("p99_ms", num (1000.0 *. p99));
+              ("coalesced", int stats.Wire.coalesced_total);
+              ("rejected", int stats.Wire.rejected);
+              ("timeouts", int stats.Wire.timeouts);
+              ("cache_hit_rate", num stats.Wire.cache_hit_rate);
+              ("burst_rejected", int rejected);
+              ("deadline_timeout_observed", Json.Bool timed_out) ] );
+        ("speedup", num speedup);
+        ("required_speedup", num required_speedup);
+        ("verdicts_match", Json.Bool verdicts_match);
+        ("server_report", stats.Wire.report);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not verdicts_match then begin
+    Printf.printf "SERVE-MISMATCH: %d verdict disagreement(s) between daemon/baseline/direct\n"
+      !mismatches;
+    false
+  end
+  else if speedup < required_speedup then begin
+    Printf.printf "SERVE-TOO-SLOW: %.1fx < required %.0fx over the spawn baseline\n" speedup
+      required_speedup;
+    false
+  end
+  else begin
+    Printf.printf "SERVE-OK: identical verdicts, %.1fx the spawn baseline\n" speedup;
+    true
+  end

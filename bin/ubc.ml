@@ -5,7 +5,17 @@
      ubc check   [-mode MODE] SRC.ll TGT.ll        (refinement checking)
      ubc reduce  [-mode MODE] [-o OUT] SRC.ll [TGT.ll]
                                                     (counterexample shrinking)
-     ubc modes                                      (list semantics modes)   *)
+     ubc serve   --socket PATH [-j N] [--queue N]   (refinement daemon)
+     ubc submit  --socket PATH [-mode MODE] SRC.ll [TGT.ll]
+                                                    (query a running daemon)
+     ubc modes                                      (list semantics modes)
+
+   Exit codes, uniformly across subcommands:
+     0  success (and, for check/submit, every verdict was "refines")
+     1  verdict failure: a counterexample, unknown, timeout or overload
+     2  usage error (bad flags, malformed input files)
+     3  internal error (unexpected exception, protocol breakage)
+     130/143  interrupted by SIGINT/SIGTERM after cleanup                *)
 
 open Cmdliner
 open Ub_ir
@@ -16,6 +26,47 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* Usage-class failures raised by command bodies (malformed inputs). *)
+exception Usage of string
+
+(* ------------------------------------------------------------------ *)
+(* Signal hygiene: Ctrl-C (or a SIGTERM) during a pooled run must not  *)
+(* leave orphaned worker children or stray socket/spool files behind.  *)
+(* The serve command swaps these handlers for its own graceful drain.  *)
+(* ------------------------------------------------------------------ *)
+
+let cleanup_paths : string list ref = ref []
+let register_cleanup path = cleanup_paths := path :: !cleanup_paths
+
+let run_cleanups () =
+  Ub_exec.Pool.terminate_workers ();
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !cleanup_paths;
+  cleanup_paths := []
+
+let install_signal_cleanup () =
+  let handler sg =
+    run_cleanups ();
+    (* conventional 128+signo so callers can tell interruption from a
+       verdict failure *)
+    exit (128 + if sg = Sys.sigint then 2 else 15)
+  in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler))
+
+(* Wrap a command body: usage errors exit 2, unexpected exceptions 3. *)
+let guard (f : unit -> int) : int =
+  match f () with
+  | code -> code
+  | exception Usage msg ->
+    Printf.eprintf "ubc: %s\n" msg;
+    2
+  | exception Failure msg ->
+    Printf.eprintf "ubc: %s\n" msg;
+    3
+  | exception e ->
+    Printf.eprintf "ubc: internal error: %s\n" (Printexc.to_string e);
+    3
 
 let is_minic path = Filename.check_suffix path ".c"
 
@@ -84,6 +135,7 @@ let compile_cmd =
            & info [ "emit" ] ~doc:"Output kind: ir or asm.")
   in
   let run trace pipeline emit file =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     let cfg =
       match pipeline with
@@ -108,6 +160,7 @@ let run_cmd =
     Arg.(value & opt string "main" & info [ "entry" ] ~docv:"F" ~doc:"Entry function.")
   in
   let run trace mode pipeline entry file =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     let m = load_module ~pipeline file in
     let fn = Func.find_func_exn m entry in
@@ -121,6 +174,7 @@ let run_cmd =
 let check_cmd =
   let tgt_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT") in
   let run trace mode src tgt =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     let load p =
       let m = Parser.parse_module (read_file p) in
@@ -151,6 +205,7 @@ let reduce_cmd =
            & info [ "o" ] ~docv:"OUT" ~doc:"Also write the minimized witness module to $(docv).")
   in
   let run trace mode file tgt out =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     let src, tgt =
       match tgt with
@@ -161,9 +216,9 @@ let reduce_cmd =
         match (Parser.parse_module (read_file file)).Func.funcs with
         | src :: tgt :: _ -> (src, tgt)
         | _ ->
-          prerr_endline
-            "ubc reduce: FILE must contain two functions (source, then target) when TGT is omitted";
-          exit 2)
+          raise
+            (Usage
+               "reduce: FILE must contain two functions (source, then target) when TGT is omitted"))
     in
     match Ub_refine.Reduce.minimize_cex mode ~src ~tgt with
     | None ->
@@ -204,6 +259,207 @@ let modes_cmd =
   in
   Cmd.v (Cmd.info "modes" ~doc:"List the available semantics modes.") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived refinement-checking daemon                    *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 1
+           & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Pool workers per batch (1 = in-process).")
+  in
+  let queue =
+    Arg.(value & opt int 64
+           & info [ "queue" ] ~docv:"N"
+               ~doc:"Admission-control bound: requests beyond $(docv) waiting are \
+                     answered 'overloaded' instead of buffered.")
+  in
+  let batch =
+    Arg.(value & opt int 32
+           & info [ "batch" ] ~docv:"N" ~doc:"Max unique tasks dispatched per batch.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+           & info [ "deadline" ] ~docv:"S"
+               ~doc:"Default per-request deadline in seconds, applied when a request \
+                     does not carry its own.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+           & info [ "cache" ] ~docv:"DIR"
+               ~doc:"Persist verdicts in $(docv) (journal backend: flock-guarded \
+                     appends, safe under concurrent writers).")
+  in
+  let run trace socket jobs queue batch deadline cache_dir =
+    guard @@ fun () ->
+    with_trace trace @@ fun () ->
+    if jobs < 1 then raise (Usage "serve: --jobs must be >= 1");
+    if queue < 1 then raise (Usage "serve: --queue must be >= 1");
+    if batch < 1 then raise (Usage "serve: --batch must be >= 1");
+    register_cleanup socket;
+    let cache = Option.map Ub_exec.Cache.open_journal cache_dir in
+    let cfg =
+      { (Ub_serve.Server.default_config ~socket_path:socket) with
+        Ub_serve.Server.jobs;
+        queue_limit = queue;
+        batch_max = batch;
+        default_deadline_s = deadline;
+        cache;
+        verbose = true;
+      }
+    in
+    Ub_serve.Server.run cfg;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent refinement-checking daemon on a Unix socket.")
+    Term.(const run $ trace_arg $ socket_arg $ jobs $ queue $ batch $ deadline $ cache_dir)
+
+(* ------------------------------------------------------------------ *)
+(* submit: query a running daemon                                      *)
+(* ------------------------------------------------------------------ *)
+
+let describe_reply (r : Ub_serve.Wire.reply) : string =
+  match r with
+  | Ub_serve.Wire.Verdict v -> (
+    let flags =
+      (if v.Ub_serve.Wire.cached then " [cached]" else "")
+      ^ if v.Ub_serve.Wire.coalesced then " [coalesced]" else ""
+    in
+    match v.Ub_serve.Wire.verdict with
+    | "refines" -> "refines" ^ flags
+    | "counterexample" ->
+      Printf.sprintf "COUNTEREXAMPLE args=(%s): %s%s"
+        (String.concat ", " v.Ub_serve.Wire.args)
+        v.Ub_serve.Wire.detail flags
+    | "timeout" -> "timeout: " ^ v.Ub_serve.Wire.detail ^ flags
+    | "crashed" -> "crashed: " ^ v.Ub_serve.Wire.detail ^ flags
+    | other -> other ^ ": " ^ v.Ub_serve.Wire.detail ^ flags)
+  | Ub_serve.Wire.Overloaded { queue_depth; queue_limit; _ } ->
+    Printf.sprintf "overloaded: queue %d/%d" queue_depth queue_limit
+  | Ub_serve.Wire.Error_r { message; _ } -> "error: " ^ message
+  | Ub_serve.Wire.Hello_ok _ -> "hello_ok"
+  | Ub_serve.Wire.Stats_r _ -> "stats"
+  | Ub_serve.Wire.Bye -> "bye"
+
+(* 0 only when every reply is a clean "refines"; any other verdict
+   (counterexample, unknown, timeout, overload) is a verdict failure. *)
+let reply_code (r : Ub_serve.Wire.reply) : int =
+  match r with
+  | Ub_serve.Wire.Verdict { verdict = "refines"; _ } -> 0
+  | Ub_serve.Wire.Verdict _ | Ub_serve.Wire.Overloaded _ -> 1
+  | Ub_serve.Wire.Error_r _ -> 3
+  | _ -> 0
+
+let submit_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let deadline =
+    Arg.(value & opt (some float) None
+           & info [ "deadline" ] ~docv:"S" ~doc:"Per-request deadline in seconds.")
+  in
+  let count =
+    Arg.(value & opt int 1
+           & info [ "count" ] ~docv:"N"
+               ~doc:"Send the query $(docv) times, pipelined (coalescing/overload \
+                     exercise).")
+  in
+  let enum =
+    Arg.(value & flag & info [ "enum" ] ~doc:"Force the enumeration checker.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's live stats report as JSON.")
+  in
+  let shutdown =
+    Arg.(value & flag
+           & info [ "shutdown" ] ~doc:"Ask the daemon to drain gracefully and exit.")
+  in
+  let run socket mode deadline count enum stats shutdown files =
+    guard @@ fun () ->
+    let with_client f = Ub_serve.Client.with_conn ~socket_path:socket f in
+    if stats then begin
+      with_client (fun cl ->
+          let s = Ub_serve.Client.stats cl in
+          print_endline
+            (Ub_serve.Json.to_string (Ub_serve.Wire.reply_to_json (Ub_serve.Wire.Stats_r s))));
+      0
+    end
+    else if shutdown then begin
+      let cl = Ub_serve.Client.connect ~socket_path:socket () in
+      Ub_serve.Client.shutdown cl;
+      0
+    end
+    else begin
+      if count < 1 then raise (Usage "submit: --count must be >= 1");
+      let func_text path =
+        match (Parser.parse_module (read_file path)).Func.funcs with
+        | f :: _ -> Printer.func_to_string f
+        | [] -> raise (Usage (Printf.sprintf "submit: %s holds no function" path))
+        | exception e ->
+          raise (Usage (Printf.sprintf "submit: cannot parse %s: %s" path (Printexc.to_string e)))
+      in
+      let request i =
+        match files with
+        | [ src; tgt ] ->
+          let cr =
+            { Ub_serve.Wire.id = Some i;
+              mode = mode.Ub_sem.Mode.name;
+              src = func_text src;
+              tgt = func_text tgt;
+              deadline_s = deadline;
+              enum_only = enum;
+            }
+          in
+          if enum then Ub_serve.Wire.Enum_check cr else Ub_serve.Wire.Check cr
+        | [ pair ] ->
+          if enum then raise (Usage "submit: --enum needs SRC and TGT files");
+          Ub_serve.Wire.Check_pair
+            { id = Some i;
+              mode = mode.Ub_sem.Mode.name;
+              module_text = read_file pair;
+              deadline_s = deadline;
+            }
+        | _ -> raise (Usage "submit: expected SRC.ll TGT.ll, or one two-function FILE.ll")
+      in
+      with_client (fun cl ->
+          (* pipeline the whole burst, then read every reply *)
+          for i = 0 to count - 1 do
+            Ub_serve.Client.send cl (request i)
+          done;
+          let code = ref 0 in
+          for _ = 1 to count do
+            match Ub_serve.Client.recv cl with
+            | None -> raise (Ub_serve.Client.Server_error "server closed mid-burst")
+            | Some r ->
+              print_endline (describe_reply r);
+              code := max !code (reply_code r)
+          done;
+          !code)
+    end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit refinement queries to a running 'ubc serve' daemon.")
+    Term.(const run $ socket_arg $ mode_arg $ deadline $ count $ enum $ stats $ shutdown $ files)
+
 let () =
+  install_signal_cleanup ();
   let info = Cmd.info "ubc" ~doc:"The taming-undefined-behavior compiler driver." in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; run_cmd; check_cmd; reduce_cmd; modes_cmd ]))
+  let group =
+    Cmd.group info
+      [ compile_cmd; run_cmd; check_cmd; reduce_cmd; serve_cmd; submit_cmd; modes_cmd ]
+  in
+  (* Uniform exit codes: command bodies return 0/1 (and [guard] maps
+     usage -> 2, internal -> 3); cmdliner's own CLI errors are usage. *)
+  let code =
+    match Cmd.eval_value group with
+    | Ok (`Ok n) -> n
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 3
+  in
+  exit code

@@ -1,16 +1,56 @@
 (* A persistent on-disk verdict cache.  Entries are raw strings keyed by
    a canonical hash; callers (e.g. [Ub_refine.Verdict_cache]) own the
-   value encoding.  Layout: one file per entry under [dir]/<k0k1>/<key>,
-   two hex characters of fan-out so huge sweeps do not produce a single
-   million-entry directory.  Writes go through a temp file + rename so a
-   killed run never leaves a torn entry, and concurrent writers of the
-   same key are idempotent (same key = same bytes). *)
+   value encoding.  Two backends share one interface:
+
+   - [open_dir]: one file per entry under [dir]/<k0k1>/<key>, two hex
+     characters of fan-out so huge sweeps do not produce a single
+     million-entry directory.  Writes go through a temp file + rename so
+     a killed run never leaves a torn entry, and concurrent writers of
+     the same key are idempotent (same key = same bytes).  Best for
+     batch sweeps where the per-entry syscall cost is amortized by the
+     check it memoizes.
+
+   - [open_journal]: a single append-only log [dir]/journal.bin with an
+     in-memory index.  Appends are guarded by an fcntl lock on
+     [dir]/journal.lock so records from concurrent multi-process
+     writers never interleave mid-record, and lookups are hashtable
+     hits -- the right shape for the serve daemon, which stores
+     thousands of tiny verdicts and cannot afford three syscalls per
+     store.  When the log's dead weight (overwritten keys) passes a
+     threshold it is compacted: under the same lock, the live index is
+     rewritten to a temp file and atomically renamed onto the journal,
+     so readers never observe a half-compacted log.  A reader that
+     misses in its index first replays whatever other processes have
+     appended since its last look (and detects a concurrent compaction
+     by inode change), so cooperating processes share entries live.
+
+   Journal record layout (little-endian-free, explicit big-endian):
+
+     u32 key length | u32 value length | key bytes | value bytes
+
+   A record truncated by a crash mid-append can only be the last one in
+   the file (appends are serialized by the lock); replay stops at the
+   truncation point and the next locked append happens at a clean
+   offset only after [recover_truncation] trims the tail. *)
+
+type journal = {
+  jpath : string;
+  mutable wfd : Unix.file_descr; (* O_APPEND writer, reopened after compaction *)
+  lockfd : Unix.file_descr;
+  index : (string, string) Hashtbl.t;
+  mutable replayed : int; (* bytes of journal already folded into [index] *)
+  mutable ino : int; (* inode of the replayed journal, to detect compaction *)
+  mutable live : int; (* bytes of records currently live in [index] *)
+}
+
+type backend = Entries | Journal of journal
 
 type t = {
   dir : string;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  backend : backend;
 }
 
 let rec mkdir_p dir =
@@ -18,10 +58,6 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
-
-let open_dir dir =
-  mkdir_p dir;
-  { dir; hits = 0; misses = 0; stores = 0 }
 
 (* Canonical key: length-prefixed concatenation (a la netstrings) of the
    components, hashed.  The length prefix is what makes the key
@@ -36,29 +72,242 @@ let key ~(parts : string list) : string =
     parts;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* ------------------------------------------------------------------ *)
+(* Per-entry backend                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let open_dir dir =
+  mkdir_p dir;
+  { dir; hits = 0; misses = 0; stores = 0; backend = Entries }
+
 let path_of t k = Filename.concat (Filename.concat t.dir (String.sub k 0 2)) k
 
-let find t k : string option =
+let entries_find t k : string option =
   let path = path_of t k in
   match open_in_bin path with
-  | exception Sys_error _ ->
-    t.misses <- t.misses + 1;
-    None
+  | exception Sys_error _ -> None
   | ic ->
     let v = In_channel.input_all ic in
     close_in ic;
-    t.hits <- t.hits + 1;
     Some v
 
-let store t k (v : string) : unit =
+let entries_store t k (v : string) : unit =
   let path = path_of t k in
   mkdir_p (Filename.dirname path);
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
   output_string oc v;
   close_out oc;
-  Sys.rename tmp path;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Journal backend                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let record_bytes k v = 8 + String.length k + String.length v
+
+let put_u32 b off n =
+  Bytes.set b off (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr (n land 0xFF))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let encode_record k v : Bytes.t =
+  let kl = String.length k and vl = String.length v in
+  let b = Bytes.create (8 + kl + vl) in
+  put_u32 b 0 kl;
+  put_u32 b 4 vl;
+  Bytes.blit_string k 0 b 8 kl;
+  Bytes.blit_string v 0 b (8 + kl) vl;
+  b
+
+(* fcntl-based whole-file lock on the sidecar lock file.  fcntl locks
+   are per-process, which is exactly the granularity we need: the
+   hazard is two *processes* interleaving appends or compacting over
+   each other; within one process the cache is used sequentially. *)
+let with_lock (j : journal) (f : unit -> 'a) : 'a =
+  ignore (Unix.lseek j.lockfd 0 Unix.SEEK_SET);
+  Unix.lockf j.lockfd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.lseek j.lockfd 0 Unix.SEEK_SET);
+      Unix.lockf j.lockfd Unix.F_ULOCK 0)
+    f
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let stat_ino path = try (Unix.stat path).Unix.st_ino with Unix.Unix_error _ -> -1
+
+(* Fold journal records from [from] into the index; returns the offset
+   of the first truncated/unreadable byte (= file size when clean). *)
+let replay_into (j : journal) ~(from : int) : int =
+  match Unix.openfile j.jpath [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> from
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    let size = (Unix.fstat fd).Unix.st_size in
+    if size <= from then from
+    else begin
+      ignore (Unix.lseek fd from Unix.SEEK_SET);
+      let len = size - from in
+      let buf = Bytes.create len in
+      let rec read_all off =
+        if off >= len then len
+        else
+          match Unix.read fd buf off (len - off) with
+          | 0 -> off
+          | n -> read_all (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all off
+      in
+      let got = read_all 0 in
+      let pos = ref 0 in
+      let ok = ref true in
+      while !ok && !pos + 8 <= got do
+        let kl = get_u32 buf !pos and vl = get_u32 buf (!pos + 4) in
+        if kl < 0 || vl < 0 || !pos + 8 + kl + vl > got then ok := false
+        else begin
+          let k = Bytes.sub_string buf (!pos + 8) kl in
+          let v = Bytes.sub_string buf (!pos + 8 + kl) vl in
+          (match Hashtbl.find_opt j.index k with
+          | Some old -> j.live <- j.live - record_bytes k old
+          | None -> ());
+          Hashtbl.replace j.index k v;
+          j.live <- j.live + record_bytes k v;
+          pos := !pos + 8 + kl + vl
+        end
+      done;
+      from + !pos
+    end
+
+(* Re-read anything other processes appended since we last looked; a
+   changed inode means someone compacted, so start over from scratch. *)
+let refresh (j : journal) : unit =
+  let ino = stat_ino j.jpath in
+  if ino <> j.ino then begin
+    Hashtbl.reset j.index;
+    j.live <- 0;
+    j.replayed <- replay_into j ~from:0;
+    j.ino <- ino;
+    (* the O_APPEND writer still points at the old (renamed-over) file *)
+    Unix.close j.wfd;
+    j.wfd <- Unix.openfile j.jpath [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  end
+  else j.replayed <- replay_into j ~from:j.replayed
+
+let open_journal dir =
+  mkdir_p dir;
+  let jpath = Filename.concat dir "journal.bin" in
+  let wfd = Unix.openfile jpath [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+  let lockfd =
+    Unix.openfile (Filename.concat dir "journal.lock") [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let j =
+    { jpath; wfd; lockfd; index = Hashtbl.create 1024; replayed = 0;
+      ino = stat_ino jpath; live = 0 }
+  in
+  j.replayed <- replay_into j ~from:0;
+  { dir; hits = 0; misses = 0; stores = 0; backend = Journal j }
+
+(* Compact: under the lock, fold in every record on disk (including a
+   competitor's appends), write the live set to a temp file, rename it
+   onto the journal.  The rename is the commit point: a reader either
+   sees the old inode (and keeps replaying the old log it has open) or
+   the new one (and restarts from offset 0 via [refresh]). *)
+let journal_compact (j : journal) : unit =
+  with_lock j @@ fun () ->
+  refresh j;
+  let tmp = Printf.sprintf "%s.tmp.%d" j.jpath (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let bytes = ref 0 in
+  (try
+     Hashtbl.iter
+       (fun k v ->
+         let b = encode_record k v in
+         write_all fd b 0 (Bytes.length b);
+         bytes := !bytes + Bytes.length b)
+       j.index;
+     Unix.close fd
+   with e ->
+     Unix.close fd;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp j.jpath;
+  Unix.close j.wfd;
+  j.wfd <- Unix.openfile j.jpath [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+  j.ino <- stat_ino j.jpath;
+  j.replayed <- !bytes;
+  j.live <- !bytes
+
+(* Auto-compaction threshold: once the log tops 1 MiB, compact when
+   less than half of it is live.  Checked after appends, so the
+   amortized cost is one stat-free comparison per store. *)
+let maybe_compact (j : journal) : unit =
+  if j.replayed > 1_048_576 && j.live * 2 < j.replayed then journal_compact j
+
+let journal_find (j : journal) k : string option =
+  match Hashtbl.find_opt j.index k with
+  | Some v -> Some v
+  | None ->
+    (* maybe another process stored it since we last replayed *)
+    refresh j;
+    Hashtbl.find_opt j.index k
+
+let journal_store (j : journal) k v : unit =
+  let b = encode_record k v in
+  with_lock j (fun () ->
+      (* fold in foreign appends first so [replayed] tracks the true end
+         of file: appending while it pointed mid-way into a competitor's
+         record would make every later tail-replay misparse *)
+      refresh j;
+      write_all j.wfd b 0 (Bytes.length b);
+      (match Hashtbl.find_opt j.index k with
+      | Some old -> j.live <- j.live - record_bytes k old
+      | None -> ());
+      Hashtbl.replace j.index k v;
+      j.live <- j.live + record_bytes k v;
+      j.replayed <- j.replayed + Bytes.length b);
+  (* outside the lock: [journal_compact] takes it itself, and fcntl
+     locks do not nest (an inner unlock would drop the outer lock) *)
+  maybe_compact j
+
+(* ------------------------------------------------------------------ *)
+(* The common face                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find t k : string option =
+  let r = match t.backend with Entries -> entries_find t k | Journal j -> journal_find j k in
+  (match r with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  r
+
+let store t k (v : string) : unit =
+  (match t.backend with Entries -> entries_store t k v | Journal j -> journal_store j k v);
   t.stores <- t.stores + 1
+
+let compact t = match t.backend with Entries -> () | Journal j -> journal_compact j
+
+let close t =
+  match t.backend with
+  | Entries -> ()
+  | Journal j ->
+    (try Unix.close j.wfd with Unix.Unix_error _ -> ());
+    (try Unix.close j.lockfd with Unix.Unix_error _ -> ())
+
+let journal_size t =
+  match t.backend with Entries -> 0 | Journal j -> j.replayed
 
 let hits t = t.hits
 let misses t = t.misses

@@ -152,6 +152,42 @@ let rec waitpid_eintr pid =
   try Unix.waitpid [] pid with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_eintr pid
 
 (* ------------------------------------------------------------------ *)
+(* Live-worker registry, for signal-time cleanup                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every forked worker is registered (pid -> its spool file) for as long
+   as it is alive, so a SIGINT/SIGTERM handler in the driver can reap
+   the children and remove their spool files instead of orphaning both.
+   The registry is keyed per owning pid: a forked child inherits the
+   table but must not try to kill its siblings from a nested pool. *)
+let live_workers : (int, string) Hashtbl.t = Hashtbl.create 8
+let registry_owner = ref (-1)
+
+let register_worker pid spool =
+  let self = Unix.getpid () in
+  if !registry_owner <> self then begin
+    Hashtbl.reset live_workers;
+    registry_owner := self
+  end;
+  Hashtbl.replace live_workers pid spool
+
+let unregister_worker pid = Hashtbl.remove live_workers pid
+
+(* Kill and reap every live worker and delete their spool files.  Safe
+   to call from a signal handler context (OCaml runs handlers at
+   safepoints, not in async-signal context) and idempotent. *)
+let terminate_workers () =
+  if !registry_owner = Unix.getpid () then begin
+    Hashtbl.iter
+      (fun pid spool ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (waitpid_eintr pid) with Unix.Unix_error _ -> ());
+        try Sys.remove spool with Sys_error _ -> ())
+      live_workers;
+    Hashtbl.reset live_workers
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The pool                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -238,7 +274,9 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
                    at_exit handlers inherited from the parent *)
                 (try worker ?timeout_s f sh.pending path with _ -> Unix._exit 2);
                 Unix._exit 0
-              | pid -> pid
+              | pid ->
+                register_worker pid path;
+                pid
             in
             Obs.event
               (if !round = 0 then "pool.spawn" else "pool.respawn")
@@ -249,6 +287,7 @@ let map_stats ?(jobs = 1) ?timeout_s (f : 'a -> 'b) (xs : 'a array) :
       List.iter
         (fun (sh, path, pid, spawn_t) ->
           let _, status = waitpid_eintr pid in
+          unregister_worker pid;
           sh.wall <- sh.wall +. Obs.Clock.elapsed_s ~since:spawn_t;
           let tbl : (int, 'b result) Hashtbl.t = Hashtbl.create 64 in
           sh.busy <- sh.busy +. read_spool ~shard:sh.id path tbl;

@@ -1,0 +1,74 @@
+(* Client side of the serve protocol: connect, handshake, then either
+   synchronous request/reply ([rpc]) or explicit [send]/[recv] for
+   pipelining (the load generator and the overload tests send bursts of
+   frames before reading any reply). *)
+
+exception Server_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  server : string; (* the server's self-description from hello_ok *)
+}
+
+let connect ?(client = "ubc") ~socket_path () : t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Wire.send_request fd (Wire.Hello { v = Wire.version; client });
+  match Wire.recv_reply fd with
+  | Some (Wire.Hello_ok { server; _ }) -> { fd; server }
+  | Some (Wire.Error_r { message; _ }) ->
+    Unix.close fd;
+    raise (Server_error message)
+  | Some _ ->
+    Unix.close fd;
+    raise (Server_error "unexpected handshake reply")
+  | None ->
+    Unix.close fd;
+    raise (Server_error "server closed the connection during handshake")
+
+let close (t : t) : unit = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send (t : t) (req : Wire.request) : unit = Wire.send_request t.fd req
+
+let recv (t : t) : Wire.reply option = Wire.recv_reply t.fd
+
+let rpc (t : t) (req : Wire.request) : Wire.reply =
+  send t req;
+  match recv t with
+  | Some r -> r
+  | None -> raise (Server_error "server closed the connection")
+
+let check (t : t) ?id ?deadline_s ?(enum_only = false) ~(mode : string) ~(src : string)
+    ~(tgt : string) () : Wire.reply =
+  let cr = { Wire.id; mode; src; tgt; deadline_s; enum_only } in
+  rpc t (if enum_only then Wire.Enum_check cr else Wire.Check cr)
+
+let check_pair (t : t) ?id ?deadline_s ~(mode : string) ~(module_text : string) () :
+    Wire.reply =
+  rpc t (Wire.Check_pair { id; mode; module_text; deadline_s })
+
+let stats (t : t) : Wire.stats_reply =
+  match rpc t Wire.Stats with
+  | Wire.Stats_r s -> s
+  | Wire.Error_r { message; _ } -> raise (Server_error message)
+  | _ -> raise (Server_error "unexpected stats reply")
+
+(* Ask the server to drain and exit; resolves when the server says
+   [Bye] (everything queued before the shutdown has been answered) or
+   closes the socket. *)
+let shutdown (t : t) : unit =
+  send t Wire.Shutdown;
+  let rec wait () =
+    match recv t with
+    | Some Wire.Bye | None -> ()
+    | Some _ -> wait () (* verdicts still in flight for this connection *)
+  in
+  (try wait () with Wire.Protocol_error _ -> ());
+  close t
+
+let with_conn ?client ~socket_path (f : t -> 'a) : 'a =
+  let t = connect ?client ~socket_path () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,583 @@
+(* The refinement-checking daemon.
+
+   `ubc serve --socket PATH` turns the cold-start batch checker into a
+   long-lived service: one process owns the warmed solver stack, the
+   verdict cache and the worker pool, and serves checking requests over
+   a Unix-domain socket speaking the framed JSON protocol of
+   [Wire].  The shape is a single-threaded event loop:
+
+     accept/read ----> request queue ----> batch ----> replies
+       (select)     (bounded, coalescing)   (Ub_exec.Pool)
+
+   - *Admission control*: the queue is bounded ([queue_limit]); a
+     request that arrives when it is full gets an immediate
+     [Overloaded] reply instead of unbounded buffering.  Clients see
+     the rejection in microseconds and can back off; the server's
+     memory stays flat no matter how hard it is hammered.
+
+   - *Coalescing*: queued requests with the same verdict-cache key (and
+     deadline class) collapse into one task; the single verdict fans
+     back out to every waiter.  Translation-validation traffic is
+     highly repetitive (fuzzers mutate around the same seeds), so this
+     converts duplicate solver work into queue bookkeeping.
+
+   - *Deadlines*: a request's [deadline_s] rides the pool's per-task
+     timeout machinery ([Pool.run_task]'s ITIMER_REAL envelope), so a
+     hard query costs its own budget, never the whole batch's.
+
+   - *Graceful drain*: SIGTERM/SIGINT (or a [Shutdown] request) stops
+     intake, finishes every queued task, flushes replies, removes the
+     socket file and exits 0.
+
+   Batches run synchronously in the loop: while the pool is busy, new
+   connections simply wait in the kernel backlog and new bytes sit in
+   socket buffers.  [batch_max] bounds how long the loop stays away
+   from [select], which both caps reply latency under load and gives
+   coalescing a window to fill.
+
+   Replies are never written blockingly: each connection carries an
+   output queue of encoded frames, drained opportunistically on [send]
+   and then whenever [select] reports the peer writable.  A client that
+   pipelines a huge burst and does not read its replies until it has
+   finished sending (a completely legal use of the protocol) therefore
+   fills its own reply queue in server memory instead of wedging the
+   event loop in [write] -- the mutual-send deadlock every synchronous
+   server has.  Connections that must die after a final error reply
+   ([closing]) are closed once their queue drains. *)
+
+module Obs = Ub_obs.Obs
+open Ub_ir
+
+type config = {
+  socket_path : string;
+  jobs : int; (* pool workers per batch; 1 = in-process *)
+  queue_limit : int; (* admission-control bound *)
+  batch_max : int; (* max unique tasks drained per batch *)
+  default_deadline_s : float option; (* applied when a request names none *)
+  cache : Ub_exec.Cache.t option;
+  server_name : string;
+  verbose : bool;
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    jobs = 1;
+    queue_limit = 64;
+    batch_max = 32;
+    default_deadline_s = None;
+    cache = None;
+    server_name = "ubc-serve/1";
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string; (* bytes read but not yet framed *)
+  mutable greeted : bool;
+  mutable alive : bool;
+  outq : string Queue.t; (* encoded reply frames not yet written *)
+  mutable out_off : int; (* bytes of the queue head already written *)
+  mutable closing : bool; (* close once [outq] drains; no more reads *)
+}
+
+type waiter = {
+  w_conn : conn;
+  w_id : int option;
+  enqueued_at : float;
+  w_coalesced : bool;
+}
+
+type task = {
+  t_key : string;
+  t_src : Func.t;
+  t_tgt : Func.t;
+  t_mode : Ub_sem.Mode.t;
+  t_enum : bool;
+  t_deadline : float option;
+  mutable waiters : waiter list; (* reverse arrival order *)
+}
+
+type state = {
+  cfg : config;
+  started_at : float;
+  queue : (string, task) Hashtbl.t; (* key -> task, for coalescing *)
+  mutable order : string list; (* FIFO of keys, reverse order *)
+  mutable queued : int; (* distinct tasks in queue *)
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable shutdown_conns : conn list; (* protocol shutdown requesters awaiting Bye *)
+}
+
+let queue_depth st =
+  (* waiters, not unique tasks: admission control must bound client
+     demand, and ten coalesced copies of one query are ten clients *)
+  Hashtbl.fold (fun _ t n -> n + List.length t.waiters) st.queue 0
+
+let close_conn st c =
+  if c.alive then begin
+    c.alive <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c' -> c' != c) st.conns
+  end
+
+(* Write as much buffered output as the socket accepts right now. *)
+let rec flush_conn st c : unit =
+  if c.alive then
+    match Queue.peek_opt c.outq with
+    | None -> if c.closing then close_conn st c
+    | Some head -> (
+      let len = String.length head - c.out_off in
+      match Unix.write_substring c.fd head c.out_off len with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn st c
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn st c
+      | n ->
+        if n = len then begin
+          c.out_off <- 0;
+          ignore (Queue.pop c.outq);
+          flush_conn st c
+        end
+        else c.out_off <- c.out_off + n)
+
+let send st c (reply : Wire.reply) : unit =
+  if c.alive && not c.closing then begin
+    Obs.with_span "serve.reply" @@ fun () ->
+    Queue.add (Wire.frame_of_payload (Json.to_string (Wire.reply_to_json reply))) c.outq;
+    flush_conn st c
+  end
+
+(* For protocol errors whose [Error] reply must still reach the peer:
+   stop reading, flush what is buffered, then close. *)
+let close_after_flush st c : unit =
+  if c.alive then begin
+    c.closing <- true;
+    flush_conn st c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Verdict execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* What the pool computes per unique task.  The inner [Pool.run_task]
+   envelope maps the request deadline onto ITIMER_REAL; the outer pool
+   layer only adds crash isolation when [jobs > 1]. *)
+let run_check (t : task) : Ub_refine.Checker.verdict Ub_exec.Pool.result =
+  Ub_exec.Pool.run_task ?timeout_s:t.t_deadline
+    (fun () ->
+      if t.t_enum then
+        match Ub_refine.Enum_check.check ~mode:t.t_mode ~src:t.t_src ~tgt:t.t_tgt () with
+        | Ub_refine.Enum_check.Refines -> Ub_refine.Checker.Refines
+        | Ub_refine.Enum_check.Counterexample { args; witness } ->
+          Ub_refine.Checker.Counterexample { args; witness }
+        | Ub_refine.Enum_check.Unknown r -> Ub_refine.Checker.Unknown r
+      else Ub_refine.Checker.check t.t_mode ~src:t.t_src ~tgt:t.t_tgt)
+    ()
+
+let verdict_fields : Ub_refine.Checker.verdict -> string * string * string list = function
+  | Ub_refine.Checker.Refines -> ("refines", "", [])
+  | Ub_refine.Checker.Counterexample { args; witness } ->
+    ("counterexample", witness, List.map Ub_sem.Value.to_string args)
+  | Ub_refine.Checker.Unknown r -> ("unknown", r, [])
+
+let reply_verdict st (t : task) ~(cached : bool)
+    (r : Ub_refine.Checker.verdict Ub_exec.Pool.result) : unit =
+  let verdict, detail, args =
+    match r with
+    | Ub_exec.Pool.Done v -> verdict_fields v
+    | Ub_exec.Pool.Timed_out ->
+      Obs.count "serve.timeouts";
+      ("timeout", "deadline exceeded", [])
+    | Ub_exec.Pool.Crashed m -> ("crashed", m, [])
+  in
+  Obs.count ("serve.verdict." ^ verdict);
+  let now = Obs.Clock.now_s () in
+  List.iter
+    (fun w ->
+      send st w.w_conn
+        (Wire.Verdict
+           { r_id = w.w_id;
+             verdict;
+             detail;
+             args;
+             cached;
+             coalesced = w.w_coalesced;
+             wall_s = now -. w.enqueued_at;
+           }))
+    (List.rev t.waiters)
+
+let cache_key (t : task) : string =
+  Ub_refine.Verdict_cache.key ~mode:t.t_mode
+    ~kind:
+      (if t.t_enum then Ub_refine.Verdict_cache.enum_kind
+       else Ub_refine.Verdict_cache.combined_kind)
+    ~src:t.t_src ~tgt:t.t_tgt ()
+
+(* Drain up to [batch_max] unique tasks: cache hits answer immediately,
+   the rest go through the pool in one [map] call. *)
+let run_batch (st : state) : unit =
+  Obs.with_span "serve.batch" @@ fun () ->
+  let keys = List.rev st.order in
+  let batch_keys, rest =
+    let rec split n = function
+      | [] -> ([], [])
+      | ks when n = 0 -> ([], ks)
+      | k :: tl ->
+        let taken, left = split (n - 1) tl in
+        (k :: taken, left)
+    in
+    split st.cfg.batch_max keys
+  in
+  st.order <- List.rev rest;
+  let batch =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt st.queue k with
+        | Some t ->
+          Hashtbl.remove st.queue k;
+          st.queued <- st.queued - 1;
+          Some t
+        | None -> None)
+      batch_keys
+  in
+  (* cache pass *)
+  let to_run =
+    List.filter
+      (fun t ->
+        match st.cfg.cache with
+        | None -> true
+        | Some c -> (
+          match Ub_refine.Verdict_cache.find c (cache_key t) with
+          | Some v ->
+            reply_verdict st t ~cached:true (Ub_exec.Pool.Done v);
+            false
+          | None -> true))
+      batch
+  in
+  let to_run = Array.of_list to_run in
+  if Array.length to_run > 0 then begin
+    let results = Ub_exec.Pool.map ~jobs:st.cfg.jobs run_check to_run in
+    Array.iteri
+      (fun i r ->
+        let t = to_run.(i) in
+        (* the outer pool layer never times tasks out (no ~timeout_s):
+           flatten its crash isolation onto the inner envelope *)
+        let flat =
+          match r with
+          | Ub_exec.Pool.Done inner -> inner
+          | Ub_exec.Pool.Crashed m -> Ub_exec.Pool.Crashed m
+          | Ub_exec.Pool.Timed_out -> Ub_exec.Pool.Timed_out
+        in
+        (match (flat, st.cfg.cache) with
+        | Ub_exec.Pool.Done v, Some c -> Ub_refine.Verdict_cache.store c (cache_key t) v
+        | _ -> ());
+        reply_verdict st t ~cached:false flat)
+      results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue_check (st : state) (c : conn) ~(id : int option) ~(mode : Ub_sem.Mode.t)
+    ~(src : Func.t) ~(tgt : Func.t) ~(deadline_s : float option) ~(enum : bool) : unit =
+  let depth = queue_depth st in
+  Obs.observe "serve.queue_depth" (float_of_int depth);
+  if depth >= st.cfg.queue_limit then begin
+    Obs.count "serve.rejected";
+    send st c (Wire.Overloaded { r_id = id; queue_depth = depth; queue_limit = st.cfg.queue_limit })
+  end
+  else begin
+    let deadline =
+      match deadline_s with Some _ as d -> d | None -> st.cfg.default_deadline_s
+    in
+    let t0 = Obs.Clock.now_s () in
+    let base =
+      { t_key = "";
+        t_src = src;
+        t_tgt = tgt;
+        t_mode = mode;
+        t_enum = enum;
+        t_deadline = deadline;
+        waiters = [];
+      }
+    in
+    (* the coalescing key is the verdict-cache key plus the deadline
+       class: two requests for the same query under different budgets
+       must not share a timeout verdict *)
+    let key =
+      Printf.sprintf "%s/%s" (cache_key base)
+        (match deadline with None -> "-" | Some s -> Printf.sprintf "%.3f" s)
+    in
+    let w = { w_conn = c; w_id = id; enqueued_at = t0; w_coalesced = false } in
+    match Hashtbl.find_opt st.queue key with
+    | Some t ->
+      Obs.count "serve.coalesced";
+      t.waiters <- { w with w_coalesced = true } :: t.waiters
+    | None ->
+      let t = { base with t_key = key; waiters = [ w ] } in
+      Hashtbl.replace st.queue key t;
+      st.order <- key :: st.order;
+      st.queued <- st.queued + 1
+  end
+
+let stats_reply (st : state) : Wire.reply =
+  let report =
+    match Json.of_string (Obs.report_json ()) with Ok j -> j | Error _ -> Json.Obj []
+  in
+  let verdicts =
+    List.filter_map
+      (fun k ->
+        let n = Obs.counter_value ("serve.verdict." ^ k) in
+        if n > 0 then Some (k, n) else None)
+      [ "refines"; "counterexample"; "unknown"; "timeout"; "crashed" ]
+  in
+  Wire.Stats_r
+    { queue_depth = queue_depth st;
+      queue_limit = st.cfg.queue_limit;
+      uptime_s = Obs.Clock.now_s () -. st.started_at;
+      served =
+        Obs.counter_value "serve.verdict.refines"
+        + Obs.counter_value "serve.verdict.counterexample"
+        + Obs.counter_value "serve.verdict.unknown"
+        + Obs.counter_value "serve.verdict.timeout"
+        + Obs.counter_value "serve.verdict.crashed";
+      coalesced_total = Obs.counter_value "serve.coalesced";
+      rejected = Obs.counter_value "serve.rejected";
+      timeouts = Obs.counter_value "serve.timeouts";
+      cache_hit_rate =
+        (match st.cfg.cache with Some c -> Ub_exec.Cache.hit_rate c | None -> 0.0);
+      verdicts;
+      report;
+    }
+
+let parse_one_func (text : string) : (Func.t, string) result =
+  match Parser.parse_func_string text with
+  | f -> Ok f
+  | exception e -> Error (Printexc.to_string e)
+
+let handle_request (st : state) (c : conn) (req : Wire.request) : unit =
+  Obs.count "serve.requests";
+  match req with
+  | Wire.Hello { v; client = _ } ->
+    if v <> Wire.version then begin
+      send st c
+        (Wire.Error_r
+           { r_id = None;
+             message = Printf.sprintf "unsupported protocol version %d (server speaks %d)" v Wire.version;
+           });
+      close_after_flush st c
+    end
+    else begin
+      c.greeted <- true;
+      send st c (Wire.Hello_ok { v = Wire.version; server = st.cfg.server_name })
+    end
+  | _ when not c.greeted ->
+    send st c (Wire.Error_r { r_id = None; message = "hello handshake required" })
+  | Wire.Stats -> send st c (stats_reply st)
+  | Wire.Shutdown ->
+    st.draining <- true;
+    st.shutdown_conns <- c :: st.shutdown_conns
+  | Wire.Check cr | Wire.Enum_check cr -> (
+    match (Ub_sem.Mode.find cr.Wire.mode, parse_one_func cr.Wire.src, parse_one_func cr.Wire.tgt) with
+    | None, _, _ ->
+      send st c (Wire.Error_r { r_id = cr.Wire.id; message = "unknown mode " ^ cr.Wire.mode })
+    | _, Error e, _ ->
+      send st c (Wire.Error_r { r_id = cr.Wire.id; message = "bad src: " ^ e })
+    | _, _, Error e ->
+      send st c (Wire.Error_r { r_id = cr.Wire.id; message = "bad tgt: " ^ e })
+    | Some mode, Ok src, Ok tgt ->
+      enqueue_check st c ~id:cr.Wire.id ~mode ~src ~tgt ~deadline_s:cr.Wire.deadline_s
+        ~enum:cr.Wire.enum_only)
+  | Wire.Check_pair { id; mode; module_text; deadline_s } -> (
+    match Ub_sem.Mode.find mode with
+    | None -> send st c (Wire.Error_r { r_id = id; message = "unknown mode " ^ mode })
+    | Some m -> (
+      match Parser.parse_module module_text with
+      | exception e ->
+        send st c (Wire.Error_r { r_id = id; message = "bad module: " ^ Printexc.to_string e })
+      | { Func.funcs = src :: tgt :: _; _ } ->
+        enqueue_check st c ~id ~mode:m ~src ~tgt ~deadline_s ~enum:false
+      | _ ->
+        send st c
+          (Wire.Error_r
+             { r_id = id; message = "module must hold two functions (source, then target)" })))
+
+(* A complete frame arrived: JSON-parse it, decode it, dispatch it.
+   Malformed *payloads* answer [Error] and leave the connection up (the
+   framing is still in sync); malformed *frames* (oversized prefix) are
+   handled by the read path, which must close. *)
+let handle_payload (st : state) (c : conn) (payload : string) : unit =
+  let parsed =
+    Obs.with_span "serve.parse" @@ fun () ->
+    match Json.of_string payload with
+    | Error e -> Error ("invalid JSON: " ^ e)
+    | Ok j -> Wire.request_of_json j
+  in
+  match parsed with
+  | Error e ->
+    Obs.count "serve.bad_request";
+    send st c (Wire.Error_r { r_id = None; message = e })
+  | Ok req -> Obs.with_span "serve.dispatch" (fun () -> handle_request st c req)
+
+(* Extract as many complete frames as [c.pending] holds. *)
+let rec drain_frames (st : state) (c : conn) : unit =
+  let n = String.length c.pending in
+  if c.alive && (not c.closing) && n >= 4 then begin
+    let len = Wire.decode_len (Bytes.unsafe_of_string c.pending) 0 in
+    if len > Wire.max_frame_bytes then begin
+      (* there is no resyncing a framed stream after a bad prefix *)
+      Obs.count "serve.bad_frame";
+      send st c
+        (Wire.Error_r
+           { r_id = None; message = Printf.sprintf "oversized frame (%d bytes)" len });
+      close_after_flush st c
+    end
+    else if n >= 4 + len then begin
+      let payload = String.sub c.pending 4 len in
+      c.pending <- String.sub c.pending (4 + len) (n - 4 - len);
+      handle_payload st c payload;
+      drain_frames st c
+    end
+  end
+
+let read_conn (st : state) (c : conn) : unit =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn st c
+  | 0 -> close_conn st c (* EOF: mid-frame bytes in [pending] are simply dropped *)
+  | n ->
+    c.pending <- c.pending ^ Bytes.sub_string buf 0 n;
+    drain_frames st c
+
+(* ------------------------------------------------------------------ *)
+(* The accept loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Refuse to clobber a live server's socket; silently replace a stale
+   one (a previous daemon that was SIGKILLed could not unlink it). *)
+let claim_socket (path : string) : unit =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if live then failwith (Printf.sprintf "socket %s already has a live server" path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+let run (cfg : config) : unit =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  claim_socket cfg.socket_path;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen lfd 64;
+  Unix.set_nonblock lfd;
+  let st =
+    { cfg;
+      started_at = Obs.Clock.now_s ();
+      queue = Hashtbl.create 64;
+      order = [];
+      queued = 0;
+      conns = [];
+      draining = false;
+      shutdown_conns = [];
+    }
+  in
+  let on_signal = Sys.Signal_handle (fun _ -> st.draining <- true) in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  if cfg.verbose then begin
+    Printf.printf "ubc serve: listening on %s (jobs=%d queue=%d)\n" cfg.socket_path cfg.jobs
+      cfg.queue_limit;
+    flush stdout
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) st.conns;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+      Ub_exec.Pool.terminate_workers ();
+      (match cfg.cache with Some c -> Ub_exec.Cache.close c | None -> ());
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+  @@ fun () ->
+  let accept_new () =
+    Obs.with_span "serve.accept" @@ fun () ->
+    let rec go () =
+      match Unix.accept lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        st.conns <-
+          { fd;
+            pending = "";
+            greeted = false;
+            alive = true;
+            outq = Queue.create ();
+            out_off = 0;
+            closing = false;
+          }
+          :: st.conns;
+        Obs.count "serve.accepts";
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let stop = ref false in
+  while not !stop do
+    if not st.draining then begin
+      let rfds =
+        lfd :: List.filter_map (fun c -> if c.closing then None else Some c.fd) st.conns
+      in
+      let wfds =
+        List.filter_map
+          (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+          st.conns
+      in
+      (match Unix.select rfds wfds [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, writable, _ ->
+        if List.mem lfd ready then accept_new ();
+        List.iter
+          (fun c ->
+            if c.alive && List.mem c.fd writable then flush_conn st c;
+            if c.alive && (not c.closing) && List.mem c.fd ready then read_conn st c)
+          st.conns);
+      if st.queued > 0 then run_batch st
+    end
+    else begin
+      (* drain: no more intake; finish everything queued, ack pending
+         shutdown requests, flush every reply queue, and leave *)
+      while st.queued > 0 do
+        run_batch st
+      done;
+      List.iter (fun c -> send st c Wire.Bye) (List.rev st.shutdown_conns);
+      st.shutdown_conns <- [];
+      let flush_deadline = Obs.Clock.now_s () +. 5.0 in
+      let rec final_flush () =
+        let pending =
+          List.filter (fun c -> c.alive && not (Queue.is_empty c.outq)) st.conns
+        in
+        if pending <> [] && Obs.Clock.now_s () < flush_deadline then begin
+          (match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.5 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _, writable, _ ->
+            List.iter
+              (fun c -> if c.alive && List.mem c.fd writable then flush_conn st c)
+              pending);
+          final_flush ()
+        end
+      in
+      final_flush ();
+      stop := true
+    end
+  done

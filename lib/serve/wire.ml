@@ -1,0 +1,336 @@
+(* The serve wire protocol: length-prefixed, versioned JSON frames over
+   a Unix-domain socket.
+
+   Frame layout (both directions):
+
+     +----------------+----------------------+
+     | u32 big-endian |  payload (JSON text) |
+     +----------------+----------------------+
+
+   The length counts payload bytes only.  Frames above [max_frame_bytes]
+   are rejected without buffering: an oversized length prefix is a
+   protocol error and the connection is closed (there is no way to
+   resync a framed stream after a bad prefix).
+
+   Every connection starts with a [Hello] / [Hello_ok] handshake that
+   pins [version]; a server that does not speak the client's version
+   replies [Error] and closes.  Request/reply payloads are JSON objects
+   whose "op" field selects the variant; unknown fields are ignored so
+   the protocol can grow without a version bump, and unknown "op"s are
+   [Error]s, not crashes.  Requests may carry a numeric "id" that the
+   server echoes in the matching reply, so clients can pipeline
+   requests and match replies out of order (coalesced batches complete
+   together, so replies to one connection are not necessarily in
+   request order). *)
+
+let version = 1
+let max_frame_bytes = 8 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Protocol types                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The three checking flavours map onto the checker entry points:
+   [`Combined] is [Checker.check] (SAT with enumeration fallback),
+   [`Enum] is enumeration only. *)
+type check_req = {
+  id : int option;
+  mode : string; (* semantics mode name; validated server-side *)
+  src : string; (* source function, IR text *)
+  tgt : string; (* target function, IR text *)
+  deadline_s : float option; (* per-request wall-clock budget *)
+  enum_only : bool;
+}
+
+type request =
+  | Hello of { v : int; client : string }
+  | Check of check_req (* src and tgt as two IR texts *)
+  | Check_pair of { id : int option; mode : string; module_text : string; deadline_s : float option }
+    (* one module holding both functions, source first -- the witness
+       format `bench --corpus` writes and `ubc reduce` accepts *)
+  | Enum_check of check_req
+  | Stats
+  | Shutdown
+
+type verdict_reply = {
+  r_id : int option;
+  verdict : string; (* "refines" | "counterexample" | "unknown" | "timeout" | "crashed" *)
+  detail : string; (* witness / reason; "" when refines *)
+  args : string list; (* counterexample argument values, printed *)
+  cached : bool; (* served straight from the verdict cache *)
+  coalesced : bool; (* rode on another in-flight identical query *)
+  wall_s : float; (* server-side queue+check wall clock *)
+}
+
+type stats_reply = {
+  queue_depth : int;
+  queue_limit : int;
+  uptime_s : float;
+  served : int;
+  coalesced_total : int;
+  rejected : int;
+  timeouts : int;
+  cache_hit_rate : float;
+  verdicts : (string * int) list; (* verdict kind -> count *)
+  report : Json.t; (* the full ubc-obs-report-v1 object *)
+}
+
+type reply =
+  | Hello_ok of { v : int; server : string }
+  | Verdict of verdict_reply
+  | Overloaded of { r_id : int option; queue_depth : int; queue_limit : int }
+  | Stats_r of stats_reply
+  | Error_r of { r_id : int option; message : string }
+  | Bye
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let opt_id_field id rest =
+  match id with None -> rest | Some i -> ("id", Json.Num (float_of_int i)) :: rest
+
+let opt_deadline_field d rest =
+  match d with None -> rest | Some s -> ("deadline_s", Json.Num s) :: rest
+
+let check_fields ~op (c : check_req) : (string * Json.t) list =
+  ("op", Json.Str op)
+  :: opt_id_field c.id
+       (opt_deadline_field c.deadline_s
+          [ ("mode", Json.Str c.mode); ("src", Json.Str c.src); ("tgt", Json.Str c.tgt) ])
+
+let request_to_json : request -> Json.t = function
+  | Hello { v; client } ->
+    Json.Obj
+      [ ("op", Json.Str "hello"); ("v", Json.Num (float_of_int v)); ("client", Json.Str client) ]
+  | Check c -> Json.Obj (check_fields ~op:"check" c)
+  | Enum_check c -> Json.Obj (check_fields ~op:"enum_check" c)
+  | Check_pair { id; mode; module_text; deadline_s } ->
+    Json.Obj
+      (("op", Json.Str "check_pair")
+      :: opt_id_field id
+           (opt_deadline_field deadline_s
+              [ ("mode", Json.Str mode); ("module", Json.Str module_text) ]))
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+let reply_to_json : reply -> Json.t = function
+  | Hello_ok { v; server } ->
+    Json.Obj
+      [ ("op", Json.Str "hello_ok"); ("v", Json.Num (float_of_int v));
+        ("server", Json.Str server) ]
+  | Verdict r ->
+    Json.Obj
+      (("op", Json.Str "verdict")
+      :: opt_id_field r.r_id
+           [ ("verdict", Json.Str r.verdict); ("detail", Json.Str r.detail);
+             ("args", Json.List (List.map (fun a -> Json.Str a) r.args));
+             ("cached", Json.Bool r.cached); ("coalesced", Json.Bool r.coalesced);
+             ("wall_s", Json.Num r.wall_s) ])
+  | Overloaded { r_id; queue_depth; queue_limit } ->
+    Json.Obj
+      (("op", Json.Str "overloaded")
+      :: opt_id_field r_id
+           [ ("queue_depth", Json.Num (float_of_int queue_depth));
+             ("queue_limit", Json.Num (float_of_int queue_limit)) ])
+  | Stats_r s ->
+    Json.Obj
+      [ ("op", Json.Str "stats");
+        ("queue_depth", Json.Num (float_of_int s.queue_depth));
+        ("queue_limit", Json.Num (float_of_int s.queue_limit));
+        ("uptime_s", Json.Num s.uptime_s);
+        ("served", Json.Num (float_of_int s.served));
+        ("coalesced", Json.Num (float_of_int s.coalesced_total));
+        ("rejected", Json.Num (float_of_int s.rejected));
+        ("timeouts", Json.Num (float_of_int s.timeouts));
+        ("cache_hit_rate", Json.Num s.cache_hit_rate);
+        ("verdicts", Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) s.verdicts));
+        ("report", s.report);
+      ]
+  | Error_r { r_id; message } ->
+    Json.Obj (("op", Json.Str "error") :: opt_id_field r_id [ ("message", Json.Str message) ])
+  | Bye -> Json.Obj [ ("op", Json.Str "bye") ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let required what = function Some v -> Ok v | None -> Error ("missing field " ^ what)
+
+let ( let* ) = Result.bind
+
+let decode_check (j : Json.t) : (check_req, string) result =
+  let* mode = required "mode" (Json.str_field j "mode") in
+  let* src = required "src" (Json.str_field j "src") in
+  let* tgt = required "tgt" (Json.str_field j "tgt") in
+  Ok
+    { id = Json.int_field j "id";
+      mode;
+      src;
+      tgt;
+      deadline_s = Json.num_field j "deadline_s";
+      enum_only = false;
+    }
+
+let request_of_json (j : Json.t) : (request, string) result =
+  match Json.str_field j "op" with
+  | None -> Error "missing op"
+  | Some "hello" ->
+    let* v = required "v" (Json.int_field j "v") in
+    Ok (Hello { v; client = Option.value ~default:"" (Json.str_field j "client") })
+  | Some "check" ->
+    let* c = decode_check j in
+    Ok (Check c)
+  | Some "enum_check" ->
+    let* c = decode_check j in
+    Ok (Enum_check { c with enum_only = true })
+  | Some "check_pair" ->
+    let* mode = required "mode" (Json.str_field j "mode") in
+    let* module_text = required "module" (Json.str_field j "module") in
+    Ok
+      (Check_pair
+         { id = Json.int_field j "id";
+           mode;
+           module_text;
+           deadline_s = Json.num_field j "deadline_s";
+         })
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error ("unknown op " ^ op)
+
+let reply_of_json (j : Json.t) : (reply, string) result =
+  match Json.str_field j "op" with
+  | None -> Error "missing op"
+  | Some "hello_ok" ->
+    let* v = required "v" (Json.int_field j "v") in
+    let* server = required "server" (Json.str_field j "server") in
+    Ok (Hello_ok { v; server })
+  | Some "verdict" ->
+    let* verdict = required "verdict" (Json.str_field j "verdict") in
+    let args =
+      match Option.bind (Json.member "args" j) Json.to_list with
+      | Some xs -> List.filter_map Json.to_str xs
+      | None -> []
+    in
+    Ok
+      (Verdict
+         { r_id = Json.int_field j "id";
+           verdict;
+           detail = Option.value ~default:"" (Json.str_field j "detail");
+           args;
+           cached = Option.value ~default:false (Json.bool_field j "cached");
+           coalesced = Option.value ~default:false (Json.bool_field j "coalesced");
+           wall_s = Option.value ~default:0.0 (Json.num_field j "wall_s");
+         })
+  | Some "overloaded" ->
+    let* queue_depth = required "queue_depth" (Json.int_field j "queue_depth") in
+    let* queue_limit = required "queue_limit" (Json.int_field j "queue_limit") in
+    Ok (Overloaded { r_id = Json.int_field j "id"; queue_depth; queue_limit })
+  | Some "stats" ->
+    let* queue_depth = required "queue_depth" (Json.int_field j "queue_depth") in
+    let* queue_limit = required "queue_limit" (Json.int_field j "queue_limit") in
+    let verdicts =
+      match Json.member "verdicts" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v)) kvs
+      | _ -> []
+    in
+    Ok
+      (Stats_r
+         { queue_depth;
+           queue_limit;
+           uptime_s = Option.value ~default:0.0 (Json.num_field j "uptime_s");
+           served = Option.value ~default:0 (Json.int_field j "served");
+           coalesced_total = Option.value ~default:0 (Json.int_field j "coalesced");
+           rejected = Option.value ~default:0 (Json.int_field j "rejected");
+           timeouts = Option.value ~default:0 (Json.int_field j "timeouts");
+           cache_hit_rate = Option.value ~default:0.0 (Json.num_field j "cache_hit_rate");
+           verdicts;
+           report = Option.value ~default:(Json.Obj []) (Json.member "report" j);
+         })
+  | Some "error" ->
+    let* message = required "message" (Json.str_field j "message") in
+    Ok (Error_r { r_id = Json.int_field j "id"; message })
+  | Some "bye" -> Ok Bye
+  | Some op -> Error ("unknown op " ^ op)
+
+(* ------------------------------------------------------------------ *)
+(* Framing over file descriptors (blocking helpers for clients/tests)  *)
+(* ------------------------------------------------------------------ *)
+
+exception Protocol_error of string
+
+let frame_of_payload (payload : string) : string =
+  let n = String.length payload in
+  if n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "frame too large (%d bytes)" n));
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let decode_len (b : Bytes.t) (off : int) : int =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let send_frame (fd : Unix.file_descr) (payload : string) : unit =
+  let f = frame_of_payload payload in
+  write_all fd (Bytes.of_string f) 0 (String.length f)
+
+(* Blocking read of exactly [len] bytes; [None] on clean EOF at a frame
+   boundary, [Protocol_error] on EOF mid-frame. *)
+let read_exactly (fd : Unix.file_descr) (len : int) ~(what : string) : Bytes.t option =
+  let b = Bytes.create len in
+  let rec go off =
+    if off >= len then Some b
+    else begin
+      let n =
+        try Unix.read fd b off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      if n = 0 then
+        if off = 0 then None
+        else raise (Protocol_error (Printf.sprintf "EOF inside %s" what))
+      else go (off + max 0 n)
+    end
+  in
+  go 0
+
+let recv_frame (fd : Unix.file_descr) : string option =
+  match read_exactly fd 4 ~what:"length prefix" with
+  | None -> None
+  | Some hdr ->
+    let len = decode_len hdr 0 in
+    if len > max_frame_bytes then
+      raise (Protocol_error (Printf.sprintf "oversized frame (%d bytes)" len));
+    (match read_exactly fd len ~what:"frame payload" with
+    | None -> raise (Protocol_error "EOF inside frame payload")
+    | Some b -> Some (Bytes.to_string b))
+
+let send_request fd (r : request) = send_frame fd (Json.to_string (request_to_json r))
+let send_reply fd (r : reply) = send_frame fd (Json.to_string (reply_to_json r))
+
+let recv_reply fd : reply option =
+  match recv_frame fd with
+  | None -> None
+  | Some payload -> (
+    match Json.of_string payload with
+    | Error e -> raise (Protocol_error ("bad reply JSON: " ^ e))
+    | Ok j -> (
+      match reply_of_json j with
+      | Error e -> raise (Protocol_error ("bad reply: " ^ e))
+      | Ok r -> Some r))

@@ -157,6 +157,151 @@ let cache_tests =
               (Cache.find reopened k)));
   ]
 
+(* the journal backend: single-file append log, fcntl-locked appends,
+   compaction behind an atomic rename, safe under concurrent writers
+   from several processes *)
+
+let with_tmp_journal k =
+  let dir = Filename.temp_file "ub_journal_test" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> k dir)
+
+let rec waitpid_retry pid =
+  try ignore (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let journal_tests =
+  [ Alcotest.test_case "store/find roundtrip and persistence" `Quick (fun () ->
+        with_tmp_journal (fun dir ->
+            let c = Cache.open_journal dir in
+            let k = Cache.key ~parts:[ "a"; "b" ] in
+            Alcotest.(check (option string)) "miss first" None (Cache.find c k);
+            Cache.store c k "v1";
+            Cache.store c k "v2" (* overwrite: last append wins *);
+            Alcotest.(check (option string)) "overwritten" (Some "v2") (Cache.find c k);
+            Cache.close c;
+            let c2 = Cache.open_journal dir in
+            Alcotest.(check (option string)) "fresh handle replays" (Some "v2")
+              (Cache.find c2 k);
+            Cache.close c2));
+    Alcotest.test_case "another process's appends become visible" `Quick (fun () ->
+        with_tmp_journal (fun dir ->
+            let c = Cache.open_journal dir in
+            Cache.store c (Cache.key ~parts:[ "mine" ]) "here";
+            flush stdout;
+            flush stderr;
+            (match Unix.fork () with
+            | 0 ->
+              let child = Cache.open_journal dir in
+              Cache.store child (Cache.key ~parts:[ "theirs" ]) "there";
+              Cache.close child;
+              Unix._exit 0
+            | pid -> waitpid_retry pid);
+            (* a miss triggers a tail refresh of the shared journal *)
+            Alcotest.(check (option string)) "foreign append visible" (Some "there")
+              (Cache.find c (Cache.key ~parts:[ "theirs" ]));
+            Cache.close c));
+    Alcotest.test_case "concurrent multi-process writers lose nothing" `Quick (fun () ->
+        with_tmp_journal (fun dir ->
+            let n_procs = 4 and n_keys = 50 in
+            flush stdout;
+            flush stderr;
+            let pids =
+              List.init n_procs (fun p ->
+                  match Unix.fork () with
+                  | 0 ->
+                    let c = Cache.open_journal dir in
+                    for i = 0 to n_keys - 1 do
+                      Cache.store c
+                        (Cache.key ~parts:[ string_of_int p; string_of_int i ])
+                        (Printf.sprintf "%d-%d" p i)
+                    done;
+                    Cache.close c;
+                    Unix._exit 0
+                  | pid -> pid)
+            in
+            List.iter waitpid_retry pids;
+            let c = Cache.open_journal dir in
+            for p = 0 to n_procs - 1 do
+              for i = 0 to n_keys - 1 do
+                Alcotest.(check (option string))
+                  (Printf.sprintf "key %d-%d survived the races" p i)
+                  (Some (Printf.sprintf "%d-%d" p i))
+                  (Cache.find c (Cache.key ~parts:[ string_of_int p; string_of_int i ]))
+              done
+            done;
+            Cache.close c));
+    Alcotest.test_case "compaction drops dead bytes, keeps every live entry" `Quick
+      (fun () ->
+        with_tmp_journal (fun dir ->
+            let c = Cache.open_journal dir in
+            let k = Cache.key ~parts:[ "hot" ] in
+            for i = 0 to 99 do
+              Cache.store c k (string_of_int i)
+            done;
+            Cache.store c (Cache.key ~parts:[ "cold" ]) "kept";
+            let before = Cache.journal_size c in
+            Cache.compact c;
+            let after = Cache.journal_size c in
+            Alcotest.(check bool) "journal shrank" true (after < before);
+            Alcotest.(check (option string)) "hot key survives" (Some "99") (Cache.find c k);
+            Alcotest.(check (option string)) "cold key survives" (Some "kept")
+              (Cache.find c (Cache.key ~parts:[ "cold" ]));
+            Cache.close c;
+            let c2 = Cache.open_journal dir in
+            Alcotest.(check (option string)) "compacted file replays" (Some "99")
+              (Cache.find c2 k);
+            Cache.close c2));
+    Alcotest.test_case "compaction races a live writer without losing appends" `Quick
+      (fun () ->
+        with_tmp_journal (fun dir ->
+            let n_keys = 100 in
+            flush stdout;
+            flush stderr;
+            let writer =
+              match Unix.fork () with
+              | 0 ->
+                let c = Cache.open_journal dir in
+                for i = 0 to n_keys - 1 do
+                  Cache.store c (Cache.key ~parts:[ "w"; string_of_int i ]) (string_of_int i)
+                done;
+                Cache.close c;
+                Unix._exit 0
+              | pid -> pid
+            in
+            let c = Cache.open_journal dir in
+            for _ = 1 to 25 do
+              Cache.store c (Cache.key ~parts:[ "churn" ]) "x";
+              Cache.compact c
+            done;
+            waitpid_retry writer;
+            let fresh = Cache.open_journal dir in
+            for i = 0 to n_keys - 1 do
+              Alcotest.(check (option string))
+                (Printf.sprintf "writer key %d survived compaction" i)
+                (Some (string_of_int i))
+                (Cache.find fresh (Cache.key ~parts:[ "w"; string_of_int i ]))
+            done;
+            Cache.close c;
+            Cache.close fresh));
+    Alcotest.test_case "a torn tail is tolerated, intact prefix survives" `Quick (fun () ->
+        with_tmp_journal (fun dir ->
+            let c = Cache.open_journal dir in
+            Cache.store c (Cache.key ~parts:[ "ok" ]) "fine";
+            Cache.close c;
+            (* simulate a crash mid-append: half a record at the tail *)
+            let jpath = Filename.concat dir "journal.bin" in
+            let fd = Unix.openfile jpath [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+            ignore (Unix.write fd (Bytes.of_string "\x00\x00\x00\x10par") 0 7);
+            Unix.close fd;
+            let c2 = Cache.open_journal dir in
+            Alcotest.(check (option string)) "prefix intact" (Some "fine")
+              (Cache.find c2 (Cache.key ~parts:[ "ok" ]));
+            Cache.close c2));
+  ]
+
 (* the verdict cache: decisive verdicts roundtrip, unknowns are skipped *)
 let verdict_tests =
   [ Alcotest.test_case "decisive verdicts roundtrip, unknown is not cached" `Quick (fun () ->
@@ -172,4 +317,6 @@ let verdict_tests =
 
 let () =
   Alcotest.run "exec"
-    [ ("pool", pool_tests); ("cache", cache_tests); ("verdict-cache", verdict_tests) ]
+    [ ("pool", pool_tests); ("cache", cache_tests); ("journal", journal_tests);
+      ("verdict-cache", verdict_tests);
+    ]

@@ -1,0 +1,387 @@
+(* The serve subsystem: the JSON codec, wire-protocol round-trips for
+   every request/reply variant, the framing layer, and a live daemon
+   driven over a Unix socket -- including the malformed-frame fuzz the
+   protocol demands (truncated length prefix, oversized frame, invalid
+   JSON payload), where the server must answer [error] and stay up. *)
+
+module Json = Ub_serve.Json
+module Wire = Ub_serve.Wire
+module Server = Ub_serve.Server
+module Client = Ub_serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip (v : Json.t) : Json.t =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let json_tests =
+  [ Alcotest.test_case "values survive print/parse" `Quick (fun () ->
+        let v =
+          Json.Obj
+            [ ("s", Json.Str "a\"b\\c\n\t");
+              ("n", Json.Num 1.5);
+              ("i", Json.Num (-3.0));
+              ("b", Json.Bool true);
+              ("z", Json.Null);
+              ("l", Json.List [ Json.Num 0.0; Json.Str ""; Json.Obj [] ]);
+            ]
+        in
+        Alcotest.(check bool) "equal after roundtrip" true (roundtrip v = v));
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick (fun () ->
+        (match Json.of_string {|"Aé"|} with
+        | Ok (Json.Str s) -> Alcotest.(check string) "A + e-acute" "A\xc3\xa9" s
+        | _ -> Alcotest.fail "parse failed");
+        match Json.of_string {|"😀"|} with
+        | Ok (Json.Str s) ->
+          Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+        | _ -> Alcotest.fail "surrogate parse failed");
+    Alcotest.test_case "garbage is rejected" `Quick (fun () ->
+        let bad = [ "{"; "[1,"; "\"unterminated"; "{} trailing"; "nul"; "+1"; "" ] in
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          bad);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol round-trips                                           *)
+(* ------------------------------------------------------------------ *)
+
+let req_roundtrip (r : Wire.request) =
+  match Json.of_string (Json.to_string (Wire.request_to_json r)) with
+  | Error e -> Alcotest.failf "request reparse: %s" e
+  | Ok j -> (
+    match Wire.request_of_json j with
+    | Ok r' -> Alcotest.(check bool) "request equal" true (r = r')
+    | Error e -> Alcotest.failf "request decode: %s" e)
+
+let reply_roundtrip (r : Wire.reply) =
+  match Json.of_string (Json.to_string (Wire.reply_to_json r)) with
+  | Error e -> Alcotest.failf "reply reparse: %s" e
+  | Ok j -> (
+    match Wire.reply_of_json j with
+    | Ok r' -> Alcotest.(check bool) "reply equal" true (r = r')
+    | Error e -> Alcotest.failf "reply decode: %s" e)
+
+let a_check : Wire.check_req =
+  { Wire.id = Some 7;
+    mode = "proposed";
+    src = "define i8 @f(i8 %x) {\ne:\n  ret i8 %x\n}";
+    tgt = "define i8 @f(i8 %x) {\ne:\n  ret i8 %x\n}";
+    deadline_s = Some 1.5;
+    enum_only = false;
+  }
+
+let wire_tests =
+  [ Alcotest.test_case "every request variant roundtrips" `Quick (fun () ->
+        req_roundtrip (Wire.Hello { v = Wire.version; client = "test" });
+        req_roundtrip (Wire.Check a_check);
+        req_roundtrip (Wire.Check { a_check with Wire.id = None; deadline_s = None });
+        req_roundtrip (Wire.Enum_check { a_check with Wire.enum_only = true });
+        req_roundtrip
+          (Wire.Check_pair
+             { id = Some 1; mode = "strict"; module_text = "m"; deadline_s = None });
+        req_roundtrip Wire.Stats;
+        req_roundtrip Wire.Shutdown);
+    Alcotest.test_case "every reply variant roundtrips" `Quick (fun () ->
+        reply_roundtrip (Wire.Hello_ok { v = 1; server = "s/1" });
+        reply_roundtrip
+          (Wire.Verdict
+             { r_id = Some 3;
+               verdict = "counterexample";
+               detail = "src=1 tgt=0";
+               args = [ "0x7f"; "0x01" ];
+               cached = true;
+               coalesced = true;
+               wall_s = 0.25;
+             });
+        reply_roundtrip
+          (Wire.Verdict
+             { r_id = None; verdict = "refines"; detail = ""; args = []; cached = false;
+               coalesced = false; wall_s = 0.0 });
+        reply_roundtrip (Wire.Overloaded { r_id = Some 9; queue_depth = 64; queue_limit = 64 });
+        reply_roundtrip
+          (Wire.Stats_r
+             { queue_depth = 2;
+               queue_limit = 64;
+               uptime_s = 3.5;
+               served = 10;
+               coalesced_total = 4;
+               rejected = 1;
+               timeouts = 2;
+               cache_hit_rate = 0.5;
+               verdicts = [ ("refines", 8); ("timeout", 2) ];
+               report = Json.Obj [ ("schema", Json.Str "x") ];
+             });
+        reply_roundtrip (Wire.Error_r { r_id = None; message = "boom" });
+        reply_roundtrip Wire.Bye);
+    Alcotest.test_case "unknown op decodes to an error" `Quick (fun () ->
+        (match Wire.request_of_json (Json.Obj [ ("op", Json.Str "frobnicate") ]) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown request op accepted");
+        match Wire.reply_of_json (Json.Obj [ ("op", Json.Str "nonsense") ]) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown reply op accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_socketpair k =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> k a b)
+
+let frame_tests =
+  [ Alcotest.test_case "frames carry their payload" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            Wire.send_frame a "hello frame";
+            Wire.send_frame a "";
+            Alcotest.(check (option string)) "first" (Some "hello frame") (Wire.recv_frame b);
+            Alcotest.(check (option string)) "empty payload" (Some "") (Wire.recv_frame b);
+            Unix.close a;
+            Alcotest.(check (option string)) "clean EOF" None (Wire.recv_frame b)));
+    Alcotest.test_case "oversized length prefix raises" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            let n = Wire.max_frame_bytes + 1 in
+            let hdr =
+              Bytes.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+            in
+            ignore (Unix.write a hdr 0 4);
+            match Wire.recv_frame b with
+            | exception Wire.Protocol_error _ -> ()
+            | _ -> Alcotest.fail "oversized frame accepted"));
+    Alcotest.test_case "EOF inside a frame raises" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            (* header claims 10 bytes, only 3 arrive *)
+            ignore (Unix.write a (Bytes.of_string "\x00\x00\x00\x0aabc") 0 7);
+            Unix.close a;
+            match Wire.recv_frame b with
+            | exception Wire.Protocol_error _ -> ()
+            | _ -> Alcotest.fail "truncated frame accepted"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* A live daemon                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let rec waitpid_retry pid =
+  try ignore (Unix.waitpid [] pid) with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  | Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+(* Fork a daemon on a fresh socket, run [k socket_path pid], always
+   SIGTERM + reap + clean up. *)
+let with_server ?(tune = fun (c : Server.config) -> c) k =
+  let dir = Filename.temp_file "ub_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "s.sock" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Ub_obs.Obs.child_begin ();
+    (try Server.run (tune (Server.default_config ~socket_path)) with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        waitpid_retry pid;
+        try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+      (fun () ->
+        let rec wait n =
+          if Sys.file_exists socket_path then ()
+          else if n > 200 then Alcotest.fail "daemon did not come up"
+          else begin
+            Unix.sleepf 0.05;
+            wait (n + 1)
+          end
+        in
+        wait 0;
+        k socket_path pid)
+
+let src_id = "define i8 @f(i8 %x) {\ne:\n  ret i8 %x\n}"
+let tgt_zero = "define i8 @f(i8 %x) {\ne:\n  ret i8 0\n}"
+
+let expect_verdict name expected = function
+  | Wire.Verdict v -> Alcotest.(check string) name expected v.Wire.verdict
+  | Wire.Error_r { message; _ } -> Alcotest.failf "%s: server error: %s" name message
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+(* a raw connection that has completed the handshake, for speaking
+   deliberately broken bytes at the server *)
+let raw_connect socket_path : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  Wire.send_request fd (Wire.Hello { v = Wire.version; client = "raw" });
+  (match Wire.recv_reply fd with
+  | Some (Wire.Hello_ok _) -> ()
+  | _ -> Alcotest.fail "handshake failed");
+  fd
+
+let server_tests =
+  [ Alcotest.test_case "verdicts round-trip through the daemon" `Quick (fun () ->
+        with_server (fun socket_path _ ->
+            Client.with_conn ~socket_path (fun cl ->
+                expect_verdict "identity refines" "refines"
+                  (Client.check cl ~mode:"proposed" ~src:src_id ~tgt:src_id ());
+                (match Client.check cl ~mode:"proposed" ~src:src_id ~tgt:tgt_zero () with
+                | Wire.Verdict v ->
+                  Alcotest.(check string) "broken pair" "counterexample" v.Wire.verdict;
+                  Alcotest.(check bool) "witness args present" true (v.Wire.args <> [])
+                | _ -> Alcotest.fail "expected a verdict");
+                expect_verdict "enum agrees" "refines"
+                  (Client.check cl ~enum_only:true ~mode:"proposed" ~src:src_id ~tgt:src_id ()))));
+    Alcotest.test_case "invalid JSON answers error and the connection lives" `Quick
+      (fun () ->
+        with_server (fun socket_path _ ->
+            let fd = raw_connect socket_path in
+            Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+            Wire.send_frame fd "{this is not json";
+            (match Wire.recv_reply fd with
+            | Some (Wire.Error_r _) -> ()
+            | _ -> Alcotest.fail "malformed payload must answer error");
+            (* same connection still works *)
+            Wire.send_request fd
+              (Wire.Check
+                 { Wire.id = Some 1; mode = "proposed"; src = src_id; tgt = src_id;
+                   deadline_s = None; enum_only = false });
+            match Wire.recv_reply fd with
+            | Some (Wire.Verdict v) ->
+              Alcotest.(check string) "still serving" "refines" v.Wire.verdict
+            | _ -> Alcotest.fail "connection died after a malformed payload"));
+    Alcotest.test_case "unknown op / bad mode / bad IR answer error" `Quick (fun () ->
+        with_server (fun socket_path _ ->
+            let fd = raw_connect socket_path in
+            Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+            let expect_error what =
+              match Wire.recv_reply fd with
+              | Some (Wire.Error_r _) -> ()
+              | _ -> Alcotest.failf "%s must answer error" what
+            in
+            Wire.send_frame fd {|{"op":"frobnicate"}|};
+            expect_error "unknown op";
+            Wire.send_frame fd
+              (Json.to_string
+                 (Wire.request_to_json
+                    (Wire.Check { a_check with Wire.mode = "no-such-mode" })));
+            expect_error "unknown mode";
+            Wire.send_frame fd
+              (Json.to_string
+                 (Wire.request_to_json (Wire.Check { a_check with Wire.src = "not ir" })));
+            expect_error "unparsable src"));
+    Alcotest.test_case "oversized frame gets an error, then close; server survives" `Quick
+      (fun () ->
+        with_server (fun socket_path _ ->
+            let fd = raw_connect socket_path in
+            (let n = Wire.max_frame_bytes + 1 in
+             let hdr = Bytes.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF)) in
+             ignore (Unix.write fd hdr 0 4);
+             (match Wire.recv_reply fd with
+             | Some (Wire.Error_r _) -> ()
+             | _ -> Alcotest.fail "oversized frame must answer error");
+             (* no resync is possible: the server must close *)
+             (match Wire.recv_reply fd with
+             | None -> ()
+             | _ -> Alcotest.fail "server must close after a bad prefix"));
+            Unix.close fd;
+            (* the daemon itself must still be fine *)
+            Client.with_conn ~socket_path (fun cl ->
+                expect_verdict "fresh connection works" "refines"
+                  (Client.check cl ~mode:"proposed" ~src:src_id ~tgt:src_id ()))));
+    Alcotest.test_case "truncated length prefix at hangup is tolerated" `Quick (fun () ->
+        with_server (fun socket_path _ ->
+            let fd = raw_connect socket_path in
+            ignore (Unix.write fd (Bytes.of_string "\x00\x01") 0 2);
+            Unix.close fd;
+            Client.with_conn ~socket_path (fun cl ->
+                expect_verdict "server unharmed" "refines"
+                  (Client.check cl ~mode:"proposed" ~src:src_id ~tgt:src_id ()))));
+    Alcotest.test_case "hello is mandatory and versioned" `Quick (fun () ->
+        with_server (fun socket_path _ ->
+            (* no hello: requests are refused *)
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket_path);
+            Wire.send_request fd Wire.Stats;
+            (match Wire.recv_reply fd with
+            | Some (Wire.Error_r _) -> ()
+            | _ -> Alcotest.fail "pre-hello request must answer error");
+            Unix.close fd;
+            (* wrong version: error, then close *)
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket_path);
+            Wire.send_request fd (Wire.Hello { v = 999; client = "future" });
+            (match Wire.recv_reply fd with
+            | Some (Wire.Error_r _) -> ()
+            | _ -> Alcotest.fail "version mismatch must answer error");
+            (match Wire.recv_reply fd with
+            | None -> ()
+            | _ -> Alcotest.fail "server must close a version-mismatched connection");
+            Unix.close fd));
+    Alcotest.test_case "stats reflect traffic; shutdown drains" `Quick (fun () ->
+        with_server (fun socket_path pid ->
+            Client.with_conn ~socket_path (fun cl ->
+                expect_verdict "warmup" "refines"
+                  (Client.check cl ~mode:"proposed" ~src:src_id ~tgt:src_id ());
+                let s = Client.stats cl in
+                Alcotest.(check bool) "served counted" true (s.Wire.served >= 1);
+                Alcotest.(check bool) "uptime sane" true (s.Wire.uptime_s >= 0.0);
+                Alcotest.(check bool) "report is an object" true
+                  (match s.Wire.report with Json.Obj _ -> true | _ -> false));
+            let cl = Client.connect ~socket_path () in
+            Client.shutdown cl;
+            waitpid_retry pid;
+            Alcotest.(check bool) "socket removed on drain" false
+              (Sys.file_exists socket_path)));
+    Alcotest.test_case "coalescing fans one verdict out to every waiter" `Quick (fun () ->
+        with_server (fun socket_path _ ->
+            let fd = raw_connect socket_path in
+            Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+            (* deliver 6 identical queries in ONE write so the server
+               reads them in one pass and coalesces them into one task *)
+            let frame i =
+              Wire.frame_of_payload
+                (Json.to_string
+                   (Wire.request_to_json
+                      (Wire.Check
+                         { Wire.id = Some i; mode = "proposed"; src = src_id; tgt = src_id;
+                           deadline_s = None; enum_only = false })))
+            in
+            let burst = String.concat "" (List.init 6 frame) in
+            let b = Bytes.of_string burst in
+            ignore (Unix.write fd b 0 (Bytes.length b));
+            let coalesced = ref 0 in
+            for _ = 1 to 6 do
+              match Wire.recv_reply fd with
+              | Some (Wire.Verdict v) ->
+                Alcotest.(check string) "verdict" "refines" v.Wire.verdict;
+                if v.Wire.coalesced then incr coalesced
+              | _ -> Alcotest.fail "lost a coalesced reply"
+            done;
+            Alcotest.(check bool) "some replies were coalesced" true (!coalesced > 0)));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("json", json_tests); ("wire", wire_tests); ("framing", frame_tests);
+      ("server", server_tests);
+    ]
