@@ -26,7 +26,10 @@ let cache_dir = ref (None : string option)
 let timeout_s = ref (None : float option)
 let shrink = ref false
 let corpus_dir = ref (None : string option)
-let inject_bug = ref false
+let inject_entry = ref (None : string option)
+let hunt_out = ref "BENCH_hunt.json"
+let hunt_programs = ref 400
+let hunt_failed = ref false
 let trace_file = ref (None : string option)
 let solver_out = ref "BENCH_solver.json"
 let solver_baseline = ref "bench/solver_baseline.tsv"
@@ -372,13 +375,26 @@ let optfuzz () =
   let undef_params = { base_params with Ub_fuzz.Gen.include_undef = true } in
   run_validation ~slug:"legacy" "LEGACY / old-simplifycfg" Ub_opt.Pass.legacy
     Mode.old_simplifycfg undef_params 4_000;
-  if !inject_bug then begin
-    print_endline "(--inject-bug: the deliberately unsound shl x,1 -> shl nsw x,1 rewrite";
-    print_endline " is enabled below; it must report UNSOUND pairs for --shrink to minimize)";
-    run_validation ~slug:"injected" "INJECTED-BUG / proposed (2 ins)"
-      { Ub_opt.Pass.prototype with Ub_opt.Pass.inject_bug = true }
-      Mode.proposed base_params 4_000
-  end;
+  (match !inject_entry with
+  | None -> ()
+  | Some entry ->
+    Printf.printf
+      "(--inject-bug %s: the deliberately unsound rewrite \"%s\" is enabled below;\n\
+      \ it must report UNSOUND pairs for --shrink to minimize)\n"
+      entry (Ub_opt.Inject.find_exn entry).Ub_opt.Inject.doc;
+    let params =
+      if (Ub_opt.Inject.find_exn entry).Ub_opt.Inject.needs_undef then
+        { base_params with Ub_fuzz.Gen.include_undef = true }
+      else base_params
+    in
+    let mode =
+      match (Ub_opt.Inject.find_exn entry).Ub_opt.Inject.modes with
+      | m :: _ -> Option.get (Mode.find m)
+      | [] -> Mode.proposed
+    in
+    run_validation ~slug:"injected" ("INJECTED-BUG[" ^ entry ^ "] (2 ins)")
+      { Ub_opt.Pass.prototype with Ub_opt.Pass.inject = [ entry ] }
+      mode params 4_000);
   print_endline "(the legacy pipeline's unsound rewrites are the Section 3 bugs;";
   print_endline " the prototype must report zero)"
 
@@ -561,16 +577,24 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let hunt () =
+  sep "T-HUNT | injected-bug recall campaign (lib/hunt)";
+  if
+    not
+      (Hunt_bench.run ~jobs:!jobs ?timeout_s:!timeout_s ~programs:!hunt_programs
+         ~out:!hunt_out ())
+  then hunt_failed := true
+
 let all =
   [ ("f6", f6); ("ct", compile_time); ("mem", memory); ("size", size); ("lnt", lnt);
     ("optfuzz", optfuzz); ("matrix", matrix); ("widen", widen); ("solver", solver);
-    ("serve", serve); ("bechamel", bechamel);
+    ("serve", serve); ("hunt", hunt); ("bechamel", bechamel);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [experiments] [-j N] [--cache DIR] [--timeout SECONDS]\n\
-    \                [--shrink] [--corpus DIR] [--inject-bug]\n\
+    \                [--shrink] [--corpus DIR] [--inject-bug ENTRY]\n\
      experiments: %s (default: all)\n\
      -j N           run matrix/optfuzz/lnt checking tasks on N forked workers\n\
      --cache DIR    persist verdicts in DIR; warm reruns only pay for new pairs\n\
@@ -578,8 +602,11 @@ let usage () =
     \                dropped tasks are reported and fail the run\n\
      --shrink       minimize every counterexample matrix/optfuzz find\n\
      --corpus DIR   write minimized witnesses under DIR as re-parsable .ll files\n\
-     --inject-bug   optfuzz: also validate a deliberately unsound rewrite\n\
-    \                (shl x,1 -> shl nsw x,1) so --shrink has a bug to minimize\n\
+     --inject-bug ENTRY  optfuzz: also validate a deliberately unsound rewrite\n\
+    \                from the catalog (lib/opt/inject.ml) so --shrink has a\n\
+    \                known bug to minimize; lists valid names on a typo\n\
+     --hunt-out F        hunt: write the recall/dedup JSON to F (default BENCH_hunt.json)\n\
+     --hunt-programs N   hunt: per-entry program budget (default 400)\n\
      --trace FILE   stream a JSONL telemetry trace to FILE and write the\n\
     \                aggregated run report to FILE.report.json\n\
      --solver-out F          solver: write the benchmark JSON to F (default BENCH_solver.json)\n\
@@ -615,9 +642,27 @@ let () =
     | "--corpus" :: dir :: rest ->
       corpus_dir := Some dir;
       parse rest names
-    | "--inject-bug" :: rest ->
-      inject_bug := true;
+    | "--inject-bug" :: name :: rest when not (String.length name > 1 && name.[0] = '-') ->
+      (match Ub_opt.Inject.find name with
+      | Some _ -> inject_entry := Some name
+      | None ->
+        Printf.eprintf "unknown --inject-bug entry %S\nvalid entries: %s\n" name
+          (String.concat ", " Ub_opt.Inject.names);
+        exit 2);
       parse rest names
+    | "--inject-bug" :: _ ->
+      Printf.eprintf "--inject-bug needs a catalog entry name\nvalid entries: %s\n"
+        (String.concat ", " Ub_opt.Inject.names);
+      exit 2
+    | "--hunt-out" :: f :: rest ->
+      hunt_out := f;
+      parse rest names
+    | "--hunt-programs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        hunt_programs := n;
+        parse rest names
+      | _ -> usage ())
     | "--trace" :: f :: rest ->
       trace_file := Some f;
       parse rest names
@@ -662,5 +707,11 @@ let () =
   end;
   if !serve_failed then begin
     print_endline "\nFAILURE: serve benchmark missed its verdict-agreement or speedup bar";
+    exit 1
+  end;
+  if !hunt_failed then begin
+    print_endline
+      "\nFAILURE: hunt campaign missed full recall, found bugs in the clean pipeline,\n\
+       or dropped work";
     exit 1
   end

@@ -8,6 +8,8 @@
      ubc serve   --socket PATH [-j N] [--queue N]   (refinement daemon)
      ubc submit  --socket PATH [-mode MODE] SRC.ll [TGT.ll]
                                                     (query a running daemon)
+     ubc hunt    [--entry NAME]... [--all-entries] [--socket PATH]
+                                                    (miscompile hunting farm)
      ubc modes                                      (list semantics modes)
 
    Exit codes, uniformly across subcommands:
@@ -172,15 +174,30 @@ let run_cmd =
     Term.(const run $ trace_arg $ mode_arg $ pipeline_arg $ entry $ file_arg)
 
 let check_cmd =
-  let tgt_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT") in
+  let tgt_arg =
+    Arg.(value & pos 1 (some file) None
+           & info [] ~docv:"TGT"
+               ~doc:"Target function file. Omit it when FILE already holds both \
+                     functions (source first, target second), e.g. a witness \
+                     written by 'ubc hunt --corpus'.")
+  in
   let run trace mode src tgt =
     guard @@ fun () ->
     with_trace trace @@ fun () ->
-    let load p =
-      let m = Parser.parse_module (read_file p) in
-      List.hd m.Func.funcs
+    let src, tgt =
+      match tgt with
+      | Some t ->
+        let one p = List.hd (Parser.parse_module (read_file p)).Func.funcs in
+        (one src, one t)
+      | None -> (
+        match (Parser.parse_module (read_file src)).Func.funcs with
+        | src :: tgt :: _ -> (src, tgt)
+        | _ ->
+          raise
+            (Usage
+               "check: FILE must contain two functions (source, then target) when TGT is omitted"))
     in
-    match Ub_refine.Checker.check mode ~src:(load src) ~tgt:(load tgt) with
+    match Ub_refine.Checker.check mode ~src ~tgt with
     | Ub_refine.Checker.Refines ->
       print_endline "refines";
       0
@@ -446,12 +463,186 @@ let submit_cmd =
        ~doc:"Submit refinement queries to a running 'ubc serve' daemon.")
     Term.(const run $ socket_arg $ mode_arg $ deadline $ count $ enum $ stats $ shutdown $ files)
 
+(* ------------------------------------------------------------------ *)
+(* hunt: the miscompile hunting farm                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hunt_cmd =
+  let entries =
+    Arg.(value & opt_all string []
+           & info [ "entry" ] ~docv:"NAME"
+               ~doc:"Run an isolated recall campaign for this injected-bug catalog \
+                     entry (repeatable; see lib/opt/inject.ml). The campaign must \
+                     rediscover the entry or the command fails.")
+  in
+  let all_entries =
+    Arg.(value & flag
+           & info [ "all-entries" ]
+               ~doc:"Run a recall campaign for every catalog entry.")
+  in
+  let seed =
+    Arg.(value & opt int 20170601
+           & info [ "seed" ] ~docv:"N" ~doc:"Base PRNG seed (program i uses seed+i).")
+  in
+  let programs =
+    Arg.(value & opt int 200
+           & info [ "programs" ] ~docv:"N" ~doc:"Program budget per campaign.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+           & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Pool workers (1 = in-process).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+           & info [ "timeout" ] ~docv:"S" ~doc:"Per-program pool timeout in seconds.")
+  in
+  let stop_after =
+    Arg.(value & opt (some int) None
+           & info [ "stop-after" ] ~docv:"N"
+               ~doc:"Stop a campaign early after $(docv) raw findings.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+           & info [ "corpus" ] ~docv:"DIR"
+               ~doc:"Write one re-parsable witness .ll per unique finding into \
+                     $(docv) (replay with 'ubc check --mode <mode> <file>').")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+           & info [ "out" ] ~docv:"FILE" ~doc:"Write the campaign reports as JSON to $(docv).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+           & info [ "socket" ] ~docv:"PATH"
+               ~doc:"Route refinement checks through the 'ubc serve' daemon at $(docv) \
+                     instead of checking in-process.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+           & info [ "deadline" ] ~docv:"S" ~doc:"Per-request daemon deadline in seconds.")
+  in
+  let batch =
+    Arg.(value & opt int 32
+           & info [ "batch" ] ~docv:"N" ~doc:"Pipelined daemon requests per round trip.")
+  in
+  let run trace mode entries all_entries seed programs jobs timeout stop_after corpus out
+      socket deadline batch =
+    guard @@ fun () ->
+    with_trace trace @@ fun () ->
+    if programs < 1 then raise (Usage "hunt: --programs must be >= 1");
+    if jobs < 1 then raise (Usage "hunt: --jobs must be >= 1");
+    if batch < 1 then raise (Usage "hunt: --batch must be >= 1");
+    let remote =
+      Option.map
+        (fun s ->
+          { (Ub_hunt.Hunt.default_remote ~socket:s) with
+            Ub_hunt.Hunt.deadline_s = deadline;
+            batch;
+          })
+        socket
+    in
+    let entry_list =
+      if all_entries then Ub_opt.Inject.all
+      else
+        List.map
+          (fun n ->
+            match Ub_opt.Inject.find n with
+            | Some e -> e
+            | None ->
+              raise
+                (Usage
+                   (Printf.sprintf "hunt: unknown --entry %S\nvalid entries: %s" n
+                      (String.concat ", " Ub_opt.Inject.names))))
+          entries
+    in
+    let finalize (cfg : Ub_hunt.Hunt.config) =
+      { cfg with Ub_hunt.Hunt.jobs; timeout_s = timeout; stop_after }
+    in
+    (* (campaign name, must_find, report) *)
+    let results =
+      match entry_list with
+      | [] ->
+        (* no entries: hunt the real prototype pipeline under --mode;
+           any unique finding here is a live miscompilation *)
+        let base = Ub_hunt.Hunt.clean_config ~seed ~programs in
+        let cfg =
+          finalize
+            { base with
+              Ub_hunt.Hunt.lanes = [ Ub_hunt.Hunt.fuzz_lane Ub_opt.Pass.prototype mode ];
+            }
+        in
+        [ ("fuzz/" ^ mode.Ub_sem.Mode.name, false, Ub_hunt.Hunt.run ?remote cfg) ]
+      | es ->
+        List.map
+          (fun (e : Ub_opt.Inject.entry) ->
+            let cfg = finalize (Ub_hunt.Hunt.entry_config ~seed ~programs e) in
+            (e.Ub_opt.Inject.name, true, Ub_hunt.Hunt.run ?remote cfg))
+          es
+    in
+    List.iter
+      (fun (name, _, rep) ->
+        Format.printf "%s: %a@." name Ub_hunt.Hunt.pp_report rep;
+        List.iter
+          (fun (f : Ub_hunt.Hunt.finding) ->
+            Format.printf "  %s %s (%d -> %d insns, %s)@."
+              (String.sub f.Ub_hunt.Hunt.fp 0 12)
+              f.Ub_hunt.Hunt.f_lane f.Ub_hunt.Hunt.orig_insns f.Ub_hunt.Hunt.final_insns
+              f.Ub_hunt.Hunt.f_verdict)
+          rep.Ub_hunt.Hunt.r_uniques)
+      results;
+    (match corpus with
+    | None -> ()
+    | Some dir ->
+      List.iter
+        (fun (name, _, rep) ->
+          let sub = Filename.concat dir (Ub_hunt.Hunt.sanitize name) in
+          let paths = Ub_hunt.Hunt.write_corpus ~dir:sub rep in
+          Printf.printf "wrote %d witness file(s) under %s\n" (List.length paths) sub)
+        results);
+    (match out with
+    | None -> ()
+    | Some path ->
+      let json =
+        Ub_serve.Json.Obj
+          (List.map
+             (fun (name, _, rep) -> (name, Ub_hunt.Hunt.report_json rep))
+             results)
+      in
+      let oc = open_out path in
+      output_string oc (Ub_serve.Json.to_string json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    let missed =
+      List.filter (fun (_, must, r) -> must && r.Ub_hunt.Hunt.r_unique = 0) results
+    in
+    let live =
+      List.filter (fun (_, must, r) -> (not must) && r.Ub_hunt.Hunt.r_unique > 0) results
+    in
+    List.iter
+      (fun (n, _, _) -> Printf.printf "RECALL MISS: %s not rediscovered\n" n)
+      missed;
+    List.iter
+      (fun (n, _, (r : Ub_hunt.Hunt.report)) ->
+        Printf.printf "MISCOMPILE: %s produced %d unique finding(s)\n" n
+          r.Ub_hunt.Hunt.r_unique)
+      live;
+    if missed <> [] || live <> [] then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Hunt for silent miscompiles: stream generated programs through \
+             optimization lanes, check refinement, shrink and fingerprint failures.")
+    Term.(const run $ trace_arg $ mode_arg $ entries $ all_entries $ seed $ programs
+          $ jobs $ timeout $ stop_after $ corpus $ out $ socket $ deadline $ batch)
+
 let () =
   install_signal_cleanup ();
   let info = Cmd.info "ubc" ~doc:"The taming-undefined-behavior compiler driver." in
   let group =
     Cmd.group info
-      [ compile_cmd; run_cmd; check_cmd; reduce_cmd; serve_cmd; submit_cmd; modes_cmd ]
+      [ compile_cmd; run_cmd; check_cmd; reduce_cmd; serve_cmd; submit_cmd; hunt_cmd;
+        modes_cmd ]
   in
   (* Uniform exit codes: command bodies return 0/1 (and [guard] maps
      usage -> 2, internal -> 3); cmdliner's own CLI errors are usage. *)

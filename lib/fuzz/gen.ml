@@ -243,3 +243,140 @@ let random_func (rng : Prng.t) ~(name : string) : Func.t =
 let random_corpus ~seed ~size : Func.t list =
   let rng = Prng.create ~seed in
   List.init size (fun i -> random_func rng ~name:(Printf.sprintf "lnt_%04d" i))
+
+(* ------------------------------------------------------------------ *)
+(* Hunt corpus (the campaign engine's generator)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Small functions over narrow integers, heavily biased toward the
+   idioms the injected-bug catalog (lib/opt/inject.ml) rewrites: nsw
+   adds and their chains, freeze-of-nsw, mul-by-2 / shl-by-1, unsigned
+   division, i1 selects with constant or undef arms, and (optionally) a
+   diamond with an equality branch, arm divisions and a phi merge.
+   Narrow widths keep the refinement checks fast enough to stream. *)
+
+type hunt_params = {
+  h_width : int; (* integer width (2 keeps the oracle cheap) *)
+  h_insns : int; (* straight-line instruction budget *)
+  h_undef : bool; (* emit undef operands (old modes only) *)
+  h_cfg : bool; (* emit a branch/phi diamond *)
+}
+
+let default_hunt = { h_width = 2; h_insns = 5; h_undef = false; h_cfg = false }
+
+let hunt_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
+  let w = p.h_width in
+  let ity = Types.Int w in
+  let b = Builder.create ~name ~args:[ ("a0", ity); ("a1", ity) ] ~ret_ty:ity () in
+  Builder.start_block b "entry";
+  let pool = ref [ Var "a0"; Var "a1" ] in
+  let bools = ref [] in
+  let push v = pool := v :: !pool in
+  let operand () =
+    match Prng.int rng 10 with
+    | 0 -> Const (Constant.of_int ~width:w (Prng.int rng (1 lsl min w 4)))
+    | 1 when p.h_undef -> Const (Constant.Undef ity)
+    | 2 -> Const (Constant.Poison ity)
+    | _ -> Prng.choose_list rng !pool
+  in
+  (* a boolean operand: an existing one, or a fresh icmp over the pool
+     (possibly-poison operands, so i1 work is semantically interesting);
+     constants only occasionally *)
+  let bool_op () =
+    match !bools with
+    | bs when bs <> [] && Prng.chance rng ~num:2 ~den:3 -> Prng.choose_list rng bs
+    | _ when Prng.chance rng ~num:1 ~den:5 -> Const (Constant.bool (Prng.bool rng))
+    | _ ->
+      let c =
+        Builder.icmp b (if Prng.bool rng then Instr.Eq else Instr.Slt) ity (operand ())
+          (operand ())
+      in
+      bools := c :: !bools;
+      c
+  in
+  let emit_one () =
+    match Prng.int rng 12 with
+    | 0 -> push (Builder.add ~attrs:Instr.nsw_only b ity (operand ()) (operand ()))
+    | 1 ->
+      (* a single-use chain of nsw adds: reassoc-nsw's pattern *)
+      let t = Builder.add ~attrs:Instr.nsw_only b ity (operand ()) (operand ()) in
+      push (Builder.add ~attrs:Instr.nsw_only b ity t (operand ()))
+    | 2 ->
+      (* freeze of an nsw add: freeze-hoist-nsw's pattern *)
+      let t = Builder.add ~attrs:Instr.nsw_only b ity (operand ()) (operand ()) in
+      push (Builder.freeze b ity t)
+    | 3 -> push (Builder.mul b ity (operand ()) (Builder.const_i ~width:w 2))
+    | 4 -> push (Builder.shl b ity (operand ()) (Builder.const_i ~width:w 1))
+    | 5 -> push (Builder.udiv b ity (operand ()) (operand ()))
+    | 6 -> push (Builder.freeze b ity (operand ()))
+    | 7 ->
+      let c =
+        Builder.icmp b (if Prng.bool rng then Instr.Eq else Instr.Slt) ity (operand ())
+          (operand ())
+      in
+      bools := c :: !bools;
+      push (Builder.select b c ity (operand ()) (operand ()))
+    | 8 ->
+      (* i1 select with a constant arm: the select->arith patterns *)
+      let c = bool_op () and x = bool_op () in
+      let s =
+        if Prng.bool rng then Builder.select b c Types.i1 (Builder.const_bool true) x
+        else Builder.select b c Types.i1 x (Builder.const_bool false)
+      in
+      bools := s :: !bools;
+      (* usually lift the select itself into the pool — an i1 select
+         that never reaches the return can't witness anything *)
+      if Prng.chance rng ~num:2 ~den:3 then
+        push (Builder.zext b ~from:Types.i1 ~to_:ity s)
+    | 9 when p.h_undef ->
+      (* select with an undef arm: select-undef-arm's pattern *)
+      push (Builder.select b (bool_op ()) ity (operand ()) (Builder.undef ity))
+    | 10 -> push (Builder.sub b ity (operand ()) (operand ()))
+    | _ -> push (Builder.xor b ity (operand ()) (operand ()))
+  in
+  for _ = 1 to 1 + Prng.int rng p.h_insns do
+    emit_one ()
+  done;
+  (* lift a boolean into the pool so i1 work can reach the return *)
+  (match !bools with
+  | [] -> ()
+  | bs when Prng.chance rng ~num:3 ~den:4 ->
+    push (Builder.zext b ~from:Types.i1 ~to_:ity (Prng.choose_list rng bs))
+  | _ -> ());
+  if p.h_cfg then begin
+    (* a diamond: the branch condition is often an equality compare
+       whose right-hand side also flows into the then-arm
+       (gvn-eq-propagate), arms are sometimes empty (phi-select) and
+       sometimes divide (spec-div-hoist) *)
+    let cy = operand () in
+    let c =
+      if !bools <> [] && Prng.chance rng ~num:1 ~den:3 then Prng.choose_list rng !bools
+      else Builder.icmp b Instr.Eq ity (Prng.choose_list rng !pool) cy
+    in
+    Builder.cond_br b c "t" "e";
+    Builder.start_block b "t";
+    let tval =
+      match Prng.int rng 4 with
+      | 0 -> cy (* the "known equal" value: gvn-eq-propagate's payoff *)
+      | 1 -> Builder.udiv b ity (Prng.choose_list rng !pool) (Prng.choose_list rng !pool)
+      | 2 -> Builder.add ~attrs:Instr.nsw_only b ity (Prng.choose_list rng !pool) (operand ())
+      | _ -> Prng.choose_list rng !pool
+    in
+    Builder.br b "m";
+    Builder.start_block b "e";
+    let eval_ =
+      match Prng.int rng 3 with
+      | 0 -> Builder.xor b ity (Prng.choose_list rng !pool) (operand ())
+      | _ -> Prng.choose_list rng !pool
+    in
+    Builder.br b "m";
+    Builder.start_block b "m";
+    push (Builder.phi b ity [ (tval, "t"); (eval_, "e") ])
+  end;
+  (* return a recent value so the buggy instruction tends to be live *)
+  let r =
+    let n = List.length !pool in
+    List.nth !pool (Prng.int rng (min 3 n))
+  in
+  Builder.ret b ity r;
+  Builder.finish b

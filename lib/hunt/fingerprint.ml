@@ -1,0 +1,118 @@
+(* Witness fingerprints: a canonical instruction-skeleton hash used to
+   dedupe the campaign's findings.  Two shrunk witnesses of the *same*
+   underlying bug, found from different seeds, almost always differ only
+   in register names, argument order of discovery, and the particular
+   constants the generator happened to pick — so the skeleton:
+
+   - renumbers arguments, registers and labels by first occurrence;
+   - keeps opcode, attributes (nsw/nuw/exact), types and the *shape* of
+     each operand: which register/argument it is (canonically), or that
+     it is a constant — dropping the constant's value but keeping the
+     undef/poison distinction (those are the semantic payload here);
+   - includes the terminator and block structure.
+
+   The fingerprint of a (src, tgt) pair is the hash of both skeletons —
+   the bug is the *rewrite*, so both sides matter.  Distinct catalog
+   entries produce different instruction shapes and therefore distinct
+   fingerprints; test_hunt asserts both directions. *)
+
+open Ub_ir
+open Instr
+
+type renamer = {
+  args : (string, string) Hashtbl.t;
+  vars : (string, string) Hashtbl.t;
+  labels : (string, string) Hashtbl.t;
+}
+
+let canon (fn : Func.t) : renamer =
+  let r =
+    { args = Hashtbl.create 8; vars = Hashtbl.create 16; labels = Hashtbl.create 8 }
+  in
+  List.iteri (fun i (v, _) -> Hashtbl.replace r.args v (Printf.sprintf "a%d" i)) fn.Func.args;
+  let nv = ref 0 and nl = ref 0 in
+  List.iter
+    (fun (b : Func.block) ->
+      Hashtbl.replace r.labels b.Func.label (Printf.sprintf "b%d" !nl);
+      incr nl;
+      List.iter
+        (fun (n : Instr.named) ->
+          match n.Instr.def with
+          | Some d ->
+            Hashtbl.replace r.vars d (Printf.sprintf "v%d" !nv);
+            incr nv
+          | None -> ())
+        b.Func.insns)
+    fn.Func.blocks;
+  r
+
+let operand_kind (r : renamer) : operand -> string = function
+  | Var v -> (
+    match Hashtbl.find_opt r.args v with
+    | Some a -> a
+    | None -> (
+      match Hashtbl.find_opt r.vars v with Some x -> x | None -> "x?"))
+  | Const (Constant.Undef _) -> "u"
+  | Const (Constant.Poison _) -> "p"
+  | Const _ -> "c"
+
+let label_kind (r : renamer) (l : label) : string =
+  match Hashtbl.find_opt r.labels l with Some x -> x | None -> "b?"
+
+let attrs_kind (a : attrs) : string =
+  (if a.nsw then " nsw" else "")
+  ^ (if a.nuw then " nuw" else "")
+  ^ if a.exact then " exact" else ""
+
+let ins_skeleton (r : renamer) (ins : Instr.t) : string =
+  let op = operand_kind r in
+  match ins with
+  | Binop (b, a, ty, x, y) ->
+    Printf.sprintf "%s%s %s %s,%s" (Instr.binop_name b) (attrs_kind a) (Types.to_string ty)
+      (op x) (op y)
+  | Icmp (p, ty, x, y) ->
+    Printf.sprintf "icmp %s %s %s,%s" (Instr.pred_name p) (Types.to_string ty) (op x) (op y)
+  | Select (c, ty, x, y) ->
+    Printf.sprintf "select %s %s %s,%s" (op c) (Types.to_string ty) (op x) (op y)
+  | Freeze (ty, x) -> Printf.sprintf "freeze %s %s" (Types.to_string ty) (op x)
+  | Conv (k, from, x, to_) ->
+    Printf.sprintf "%s %s %s to %s"
+      (match k with Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc")
+      (Types.to_string from) (op x) (Types.to_string to_)
+  | Phi (ty, incoming) ->
+    Printf.sprintf "phi %s %s" (Types.to_string ty)
+      (String.concat ","
+         (List.map (fun (o, l) -> Printf.sprintf "[%s,%s]" (op o) (label_kind r l)) incoming))
+  | other ->
+    (* memory/vector/call instructions never appear in hunt corpora;
+       fall back to the printer with registers left intact *)
+    Format.asprintf "%a" Printer.pp_insn { Instr.def = None; ins = other }
+
+let term_skeleton (r : renamer) : terminator -> string =
+  let op = operand_kind r in
+  function
+  | Ret (ty, x) -> Printf.sprintf "ret %s %s" (Types.to_string ty) (op x)
+  | Ret_void -> "ret void"
+  | Br l -> "br " ^ label_kind r l
+  | Cond_br (c, t, e) -> Printf.sprintf "cbr %s %s,%s" (op c) (label_kind r t) (label_kind r e)
+  | Unreachable -> "unreachable"
+
+let skeleton (fn : Func.t) : string =
+  let r = canon fn in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "f(%s)" (String.concat "," (List.map (fun (_, ty) -> Types.to_string ty) fn.Func.args)));
+  List.iter
+    (fun (b : Func.block) ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:" (label_kind r b.Func.label));
+      List.iter
+        (fun (n : Instr.named) ->
+          let d = match n.Instr.def with Some v -> operand_kind r (Var v) ^ "=" | None -> "" in
+          Buffer.add_string buf (Printf.sprintf "\n  %s%s" d (ins_skeleton r n.Instr.ins)))
+        b.Func.insns;
+      Buffer.add_string buf ("\n  " ^ term_skeleton r b.Func.term))
+    fn.Func.blocks;
+  Buffer.contents buf
+
+let pair ~(src : Func.t) ~(tgt : Func.t) : string =
+  Digest.to_hex (Digest.string (skeleton src ^ "\n=>\n" ^ skeleton tgt))

@@ -1,0 +1,529 @@
+(* The hunting farm: stream generated programs through optimization
+   lanes, check refinement, shrink every failure, fingerprint the shrunk
+   witness and dedupe.  The campaign's recall is itself a tested number:
+   enabling one injected-bug catalog entry at a time (lib/opt/inject.ml)
+   must rediscover that entry within a fixed seed/program budget.
+
+   Two execution paths share all accounting:
+   - in-process: programs run through the fork pool (lib/exec/pool);
+     a crashed or timed-out program is recorded as *dropped*, never
+     silently lost;
+   - daemon: optimization stays local, refinement checks are pipelined
+     to a `ubc serve` daemon in batches; a deadline-exceeding, crashed,
+     rejected or erroring submit is likewise *dropped*.
+
+   The report's invariant, enforced by test_hunt: every unit of work is
+   either completed or dropped. *)
+
+open Ub_support
+open Ub_ir
+open Ub_sem
+module Obs = Ub_obs.Obs
+module Json = Ub_serve.Json
+
+(* ------------------------------------------------------------------ *)
+(* Lanes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A lane is one (pipeline configuration, semantics mode) pair every
+   generated program is pushed through. *)
+type lane = {
+  lane_name : string;
+  lane_cfg : Ub_opt.Pass.config;
+  lane_passes : Ub_opt.Pass.t list;
+  lane_mode : Mode.t;
+}
+
+let fuzz_lane (cfg : Ub_opt.Pass.config) (mode : Mode.t) : lane =
+  { lane_name = "fuzz/" ^ mode.Mode.name;
+    lane_cfg = cfg;
+    lane_passes = Ub_opt.Pipeline.fuzz_passes;
+    lane_mode = mode;
+  }
+
+(* An injection lane runs *only* the catalog entry, so every finding is
+   attributable to it (the sound passes would otherwise both destroy
+   injection patterns and add their own rewrites). *)
+let inject_lane ~(entry : string) (mode : Mode.t) : lane =
+  { lane_name = Printf.sprintf "inject[%s]/%s" entry mode.Mode.name;
+    lane_cfg = { Ub_opt.Pass.prototype with Ub_opt.Pass.inject = [ entry ] };
+    lane_passes = [ Ub_opt.Inject.pass ];
+    lane_mode = mode;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign configuration                                              *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  seed : int;
+  programs : int; (* program budget *)
+  gen : Ub_fuzz.Gen.hunt_params;
+  lanes : lane list;
+  jobs : int;
+  timeout_s : float option; (* in-process: per-program pool timeout *)
+  stop_after : int option; (* stop early after this many raw findings *)
+  max_universal_bits : int;
+  max_conflicts : int;
+  max_shrink_steps : int;
+}
+
+(* Check budgets default to the reducer's own (reduce_universal_bits /
+   reduce_conflicts) so that any counterexample the campaign finds is
+   one the shrinker can reproduce. *)
+let default_config ~seed ~programs ~lanes =
+  { seed;
+    programs;
+    gen = Ub_fuzz.Gen.default_hunt;
+    lanes;
+    jobs = 1;
+    timeout_s = None;
+    stop_after = None;
+    max_universal_bits = Ub_refine.Reduce.reduce_universal_bits;
+    max_conflicts = Ub_refine.Reduce.reduce_conflicts;
+    max_shrink_steps = 600;
+  }
+
+(* The per-entry isolation campaign the recall gate and `bench hunt`
+   both run: inject-only lanes over the entry's discoverable modes, a
+   corpus containing whatever the entry needs to be observable. *)
+let entry_config ~seed ~programs (e : Ub_opt.Inject.entry) : config =
+  let lanes =
+    List.filter_map
+      (fun m -> Option.map (inject_lane ~entry:e.Ub_opt.Inject.name) (Mode.find m))
+      e.Ub_opt.Inject.modes
+  in
+  let cfg = default_config ~seed ~programs ~lanes in
+  { cfg with
+    gen =
+      { Ub_fuzz.Gen.default_hunt with
+        Ub_fuzz.Gen.h_undef = e.Ub_opt.Inject.needs_undef;
+        Ub_fuzz.Gen.h_cfg = e.Ub_opt.Inject.needs_cfg;
+      };
+  }
+
+(* The clean campaign (false-positive gate): the real prototype pipeline
+   under the proposed semantics, where it must be sound. *)
+let clean_config ~seed ~programs : config =
+  let cfg =
+    default_config ~seed ~programs ~lanes:[ fuzz_lane Ub_opt.Pass.prototype Mode.proposed ]
+  in
+  { cfg with gen = { Ub_fuzz.Gen.default_hunt with Ub_fuzz.Gen.h_cfg = true } }
+
+(* ------------------------------------------------------------------ *)
+(* Findings and reports                                                *)
+(* ------------------------------------------------------------------ *)
+
+type finding = {
+  fp : string; (* skeleton fingerprint of the shrunk pair *)
+  f_lane : string;
+  f_mode : string;
+  f_program : int; (* index of the generated program *)
+  red_src : Func.t;
+  red_tgt : Func.t;
+  orig_insns : int;
+  final_insns : int;
+  oracle_calls : int;
+  f_verdict : string; (* re-check class of the shrunk pair *)
+}
+
+type report = {
+  r_programs : int; (* requested budget *)
+  r_completed : int; (* programs fully processed *)
+  r_changed : int; (* (program, lane) pairs the pipeline changed *)
+  r_checks : int; (* refinement checks answered with a verdict *)
+  r_unknown : int; (* ... of which inconclusive *)
+  r_findings : int; (* raw counterexamples, before dedup *)
+  r_unique : int; (* distinct fingerprints *)
+  r_dropped : int; (* work lost to crash/timeout/deadline/overload *)
+  r_dropped_detail : (string * int) list; (* reason -> count *)
+  r_cpu_s : float;
+  r_wall_s : float;
+  r_uniques : finding list; (* one representative per fingerprint *)
+}
+
+let dedup_ratio (r : report) : float =
+  if r.r_unique = 0 then 1.0 else float_of_int r.r_findings /. float_of_int r.r_unique
+
+let bugs_per_cpu_hour (r : report) : float =
+  if r.r_cpu_s <= 0.0 then 0.0 else float_of_int r.r_unique *. 3600.0 /. r.r_cpu_s
+
+(* ------------------------------------------------------------------ *)
+(* Per-program work                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type unit_result = {
+  u_changed : int;
+  u_checks : int;
+  u_unknown : int;
+  u_findings : finding list;
+}
+
+let generate (cfg : config) (idx : int) : Func.t =
+  let rng = Prng.create ~seed:(cfg.seed + idx) in
+  Ub_fuzz.Gen.hunt_func rng ~name:(Printf.sprintf "hunt_%06d" idx) cfg.gen
+
+let optimize (lane : lane) (fn : Func.t) : Func.t =
+  Obs.with_span "hunt.optimize" @@ fun () ->
+  Ub_opt.Pass.run_pipeline lane.lane_cfg lane.lane_passes fn
+
+let shrink_finding (cfg : config) (lane : lane) ~(program : int) ~(src : Func.t)
+    ~(tgt : Func.t) : finding =
+  Obs.count "hunt.finding";
+  let red =
+    Obs.with_span "hunt.shrink" @@ fun () ->
+    Ub_refine.Reduce.minimize_cex ~max_steps:cfg.max_shrink_steps lane.lane_mode ~src ~tgt
+  in
+  let red_src, red_tgt, stats, verdict =
+    match red with
+    | Some r ->
+      ( r.Ub_refine.Reduce.red_src,
+        r.Ub_refine.Reduce.red_tgt,
+        Some r.Ub_refine.Reduce.stats,
+        Ub_refine.Checker.verdict_to_string r.Ub_refine.Reduce.verdict )
+    | None ->
+      (* the reducer could not reproduce the failure under its own
+         budget: keep the unshrunk witness rather than lose the bug *)
+      (src, tgt, None, "unreduced")
+  in
+  { fp = Fingerprint.pair ~src:red_src ~tgt:red_tgt;
+    f_lane = lane.lane_name;
+    f_mode = lane.lane_mode.Mode.name;
+    f_program = program;
+    red_src;
+    red_tgt;
+    orig_insns = Func.num_insns src;
+    final_insns = Func.num_insns red_src;
+    oracle_calls =
+      (match stats with Some s -> s.Ub_shrink.Reduce.oracle_calls | None -> 0);
+    f_verdict =
+      (match verdict with
+      | v when String.length v >= 14 && String.sub v 0 14 = "COUNTEREXAMPLE" ->
+        "counterexample"
+      | v -> v);
+  }
+
+let process_program (cfg : config) (idx : int) : unit_result =
+  Obs.count "hunt.program";
+  let fn = Obs.with_span "hunt.generate" (fun () -> generate cfg idx) in
+  List.fold_left
+    (fun acc lane ->
+      let fn' = optimize lane fn in
+      if Func.equal fn' fn then acc
+      else begin
+        Obs.count "hunt.changed";
+        let v =
+          Obs.with_span "hunt.check" @@ fun () ->
+          Ub_refine.Checker.check ~max_universal_bits:cfg.max_universal_bits
+            ~max_conflicts:cfg.max_conflicts lane.lane_mode ~src:fn ~tgt:fn'
+        in
+        Obs.count "hunt.check_done";
+        match v with
+        | Ub_refine.Checker.Counterexample _ ->
+          let f = shrink_finding cfg lane ~program:idx ~src:fn ~tgt:fn' in
+          { acc with
+            u_changed = acc.u_changed + 1;
+            u_checks = acc.u_checks + 1;
+            u_findings = acc.u_findings @ [ f ];
+          }
+        | Ub_refine.Checker.Unknown _ ->
+          { acc with
+            u_changed = acc.u_changed + 1;
+            u_checks = acc.u_checks + 1;
+            u_unknown = acc.u_unknown + 1;
+          }
+        | Ub_refine.Checker.Refines ->
+          { acc with u_changed = acc.u_changed + 1; u_checks = acc.u_checks + 1 }
+      end)
+    { u_changed = 0; u_checks = 0; u_unknown = 0; u_findings = [] }
+    cfg.lanes
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver: in-process pool                                    *)
+(* ------------------------------------------------------------------ *)
+
+type accum = {
+  mutable completed : int;
+  mutable changed : int;
+  mutable checks : int;
+  mutable unknown : int;
+  mutable findings : int;
+  mutable dropped : (string * int) list;
+  mutable cpu_s : float;
+  seen : (string, unit) Hashtbl.t;
+  mutable uniques : finding list; (* reverse discovery order *)
+}
+
+let new_accum () =
+  { completed = 0;
+    changed = 0;
+    checks = 0;
+    unknown = 0;
+    findings = 0;
+    dropped = [];
+    cpu_s = 0.0;
+    seen = Hashtbl.create 32;
+    uniques = [];
+  }
+
+let drop (acc : accum) reason =
+  Obs.count "hunt.dropped";
+  acc.dropped <-
+    (match List.assoc_opt reason acc.dropped with
+    | Some n -> (reason, n + 1) :: List.remove_assoc reason acc.dropped
+    | None -> (reason, 1) :: acc.dropped)
+
+let absorb_unit (acc : accum) (u : unit_result) =
+  acc.completed <- acc.completed + 1;
+  acc.changed <- acc.changed + u.u_changed;
+  acc.checks <- acc.checks + u.u_checks;
+  acc.unknown <- acc.unknown + u.u_unknown;
+  acc.findings <- acc.findings + List.length u.u_findings;
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem acc.seen f.fp) then begin
+        Hashtbl.replace acc.seen f.fp ();
+        Obs.count "hunt.unique";
+        acc.uniques <- f :: acc.uniques
+      end)
+    u.u_findings
+
+let finish (cfg : config) (acc : accum) ~wall_s : report =
+  { r_programs = cfg.programs;
+    r_completed = acc.completed;
+    r_changed = acc.changed;
+    r_checks = acc.checks;
+    r_unknown = acc.unknown;
+    r_findings = acc.findings;
+    r_unique = Hashtbl.length acc.seen;
+    r_dropped = List.fold_left (fun n (_, k) -> n + k) 0 acc.dropped;
+    r_dropped_detail = List.sort compare acc.dropped;
+    r_cpu_s = acc.cpu_s;
+    r_wall_s = wall_s;
+    r_uniques = List.rev acc.uniques;
+  }
+
+(* Programs are processed in fixed-size chunks so early stopping
+   ([stop_after]) is deterministic regardless of [jobs]. *)
+let chunk_size = 32
+
+let run_local (cfg : config) : report =
+  Obs.with_span "hunt.campaign" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let acc = new_accum () in
+  let stop () =
+    match cfg.stop_after with Some n -> acc.findings >= n | None -> false
+  in
+  let idx = ref 0 in
+  while !idx < cfg.programs && not (stop ()) do
+    let n = min chunk_size (cfg.programs - !idx) in
+    let tasks = Array.init n (fun i -> !idx + i) in
+    idx := !idx + n;
+    let results, stats =
+      Ub_exec.Pool.map_stats ~jobs:cfg.jobs ?timeout_s:cfg.timeout_s
+        (process_program cfg) tasks
+    in
+    acc.cpu_s <-
+      acc.cpu_s
+      +. List.fold_left
+           (fun a (s : Ub_exec.Pool.shard_stat) -> a +. s.Ub_exec.Pool.busy_s)
+           0.0 stats.Ub_exec.Pool.shards;
+    Array.iter
+      (function
+        | Ub_exec.Pool.Done u -> absorb_unit acc u
+        | Ub_exec.Pool.Crashed _ -> drop acc "pool_crash"
+        | Ub_exec.Pool.Timed_out -> drop acc "pool_timeout")
+      results
+  done;
+  finish cfg acc ~wall_s:(Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver: serve daemon                                       *)
+(* ------------------------------------------------------------------ *)
+
+type remote = {
+  socket : string;
+  deadline_s : float option; (* per-request server-side budget *)
+  batch : int; (* pipelined requests per round trip *)
+}
+
+let default_remote ~socket = { socket; deadline_s = None; batch = 32 }
+
+(* Generation and optimization stay local (they are cheap); refinement
+   checks are pipelined to the daemon, [batch] per lane per chunk, and
+   counterexamples are shrunk locally. *)
+let run_daemon (cfg : config) (r : remote) : report =
+  Obs.with_span "hunt.campaign" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let acc = new_accum () in
+  Ub_serve.Client.with_conn ~client:"ubc-hunt" ~socket_path:r.socket @@ fun conn ->
+  let stop () =
+    match cfg.stop_after with Some n -> acc.findings >= n | None -> false
+  in
+  let idx = ref 0 in
+  while !idx < cfg.programs && not (stop ()) do
+    let n = min r.batch (cfg.programs - !idx) in
+    let programs = List.init n (fun i -> !idx + i) in
+    idx := !idx + n;
+    (* (program, lane, src, tgt) for every lane that changed something *)
+    let work =
+      List.concat_map
+        (fun p ->
+          Obs.count "hunt.program";
+          let fn = Obs.with_span "hunt.generate" (fun () -> generate cfg p) in
+          List.filter_map
+            (fun lane ->
+              let fn' = optimize lane fn in
+              if Func.equal fn' fn then None
+              else begin
+                Obs.count "hunt.changed";
+                acc.changed <- acc.changed + 1;
+                Some (p, lane, fn, fn')
+              end)
+            cfg.lanes)
+        programs
+    in
+    acc.completed <- acc.completed + n;
+    (* one pipelined batch per lane (a batch carries a single mode) *)
+    List.iter
+      (fun lane ->
+        let mine = List.filter (fun (_, l, _, _) -> l == lane) work in
+        if mine <> [] then begin
+          let pairs =
+            Array.of_list
+              (List.map
+                 (fun (_, _, s, t) ->
+                   (Printer.func_to_string s, Printer.func_to_string t))
+                 mine)
+          in
+          let replies =
+            Obs.with_span "hunt.check" @@ fun () ->
+            Ub_serve.Client.check_batch conn ?deadline_s:r.deadline_s
+              ~mode:lane.lane_mode.Mode.name pairs
+          in
+          List.iteri
+            (fun i (p, lane, src, tgt) ->
+              match replies.(i) with
+              | Ub_serve.Wire.Verdict { verdict = "counterexample"; wall_s; _ } ->
+                acc.checks <- acc.checks + 1;
+                acc.cpu_s <- acc.cpu_s +. wall_s;
+                Obs.count "hunt.check_done";
+                let f = shrink_finding cfg lane ~program:p ~src ~tgt in
+                acc.findings <- acc.findings + 1;
+                if not (Hashtbl.mem acc.seen f.fp) then begin
+                  Hashtbl.replace acc.seen f.fp ();
+                  Obs.count "hunt.unique";
+                  acc.uniques <- f :: acc.uniques
+                end
+              | Ub_serve.Wire.Verdict { verdict = "refines"; wall_s; _ } ->
+                acc.checks <- acc.checks + 1;
+                acc.cpu_s <- acc.cpu_s +. wall_s;
+                Obs.count "hunt.check_done"
+              | Ub_serve.Wire.Verdict { verdict = "unknown"; wall_s; _ } ->
+                acc.checks <- acc.checks + 1;
+                acc.unknown <- acc.unknown + 1;
+                acc.cpu_s <- acc.cpu_s +. wall_s;
+                Obs.count "hunt.check_done"
+              | Ub_serve.Wire.Verdict { verdict = "timeout"; _ } ->
+                drop acc "daemon_deadline"
+              | Ub_serve.Wire.Verdict { verdict = "crashed"; _ } ->
+                drop acc "daemon_crash"
+              | Ub_serve.Wire.Verdict _ -> drop acc "daemon_other"
+              | Ub_serve.Wire.Overloaded _ -> drop acc "daemon_overload"
+              | Ub_serve.Wire.Error_r _ -> drop acc "daemon_error"
+              | _ -> drop acc "daemon_protocol")
+            mine
+        end)
+      cfg.lanes
+  done;
+  finish cfg acc ~wall_s:(Unix.gettimeofday () -. t0)
+
+let run ?remote (cfg : config) : report =
+  match remote with None -> run_local cfg | Some r -> run_daemon cfg r
+
+(* ------------------------------------------------------------------ *)
+(* Triaged corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize name =
+  String.map (fun c -> if c = '/' || c = '[' || c = ']' then '-' else c) name
+
+(* One re-parsable .ll per unique fingerprint: metadata header (the
+   lexer skips ';' lines), then the pair renamed @src/@tgt so
+   `ubc check --mode <mode> <file>` replays it. *)
+let write_corpus ~(dir : string) (r : report) : string list =
+  mkdir_p dir;
+  List.map
+    (fun (f : finding) ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%s.ll" (sanitize f.f_lane) (String.sub f.fp 0 12))
+      in
+      let oc = open_out path in
+      Printf.fprintf oc "; hunt witness %s\n" f.fp;
+      Printf.fprintf oc "; lane: %s\n; mode: %s\n; program: %d (seed-relative)\n"
+        f.f_lane f.f_mode f.f_program;
+      Printf.fprintf oc "; shrink: %d -> %d insns, %d oracle call(s)\n" f.orig_insns
+        f.final_insns f.oracle_calls;
+      Printf.fprintf oc "; verdict: %s\n" f.f_verdict;
+      Printf.fprintf oc "; repro: ubc check --mode %s %s\n\n" f.f_mode path;
+      output_string oc (Printer.func_to_string { f.red_src with Func.name = "src" });
+      output_string oc "\n";
+      output_string oc (Printer.func_to_string { f.red_tgt with Func.name = "tgt" });
+      close_out oc;
+      path)
+    r.r_uniques
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let finding_json (f : finding) : Json.t =
+  Json.Obj
+    [ ("fp", Json.Str f.fp);
+      ("lane", Json.Str f.f_lane);
+      ("mode", Json.Str f.f_mode);
+      ("program", Json.Num (float_of_int f.f_program));
+      ("orig_insns", Json.Num (float_of_int f.orig_insns));
+      ("final_insns", Json.Num (float_of_int f.final_insns));
+      ("verdict", Json.Str f.f_verdict);
+    ]
+
+let report_json (r : report) : Json.t =
+  Json.Obj
+    [ ("programs", Json.Num (float_of_int r.r_programs));
+      ("completed", Json.Num (float_of_int r.r_completed));
+      ("changed", Json.Num (float_of_int r.r_changed));
+      ("checks", Json.Num (float_of_int r.r_checks));
+      ("unknown", Json.Num (float_of_int r.r_unknown));
+      ("findings", Json.Num (float_of_int r.r_findings));
+      ("unique", Json.Num (float_of_int r.r_unique));
+      ("dropped", Json.Num (float_of_int r.r_dropped));
+      ( "dropped_detail",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) r.r_dropped_detail)
+      );
+      ("cpu_s", Json.Num r.r_cpu_s);
+      ("wall_s", Json.Num r.r_wall_s);
+      ("dedup_ratio", Json.Num (dedup_ratio r));
+      ("bugs_per_cpu_hour", Json.Num (bugs_per_cpu_hour r));
+      ("uniques", Json.List (List.map finding_json r.r_uniques));
+    ]
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "programs %d/%d, changed %d, checks %d (%d unknown), findings %d, unique %d, dropped \
+     %d%s, cpu %.2fs, wall %.2fs"
+    r.r_completed r.r_programs r.r_changed r.r_checks r.r_unknown r.r_findings r.r_unique
+    r.r_dropped
+    (if r.r_dropped_detail = [] then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) r.r_dropped_detail)))
+    r.r_cpu_s r.r_wall_s

@@ -77,14 +77,6 @@ let rule (cfg : Pass.config) (fn : Func.t) (named : Instr.named) : Pass.rewrite 
     when (match conc two with Some bv -> Bitvec.equal bv (Bitvec.of_int ~width:(Bitvec.width bv) 2) | None -> false)
          && (cfg.Pass.legacy_bugs || cfg.Pass.freeze) ->
     Pass.Replace_ins (Binop (Add, { attrs with exact = false }, ty, x, x))
-  (* INJECTED BUG (inject_bug only, never in a real pipeline): claim
-     shl x,1 cannot overflow and stamp nsw on it.  The stale-flag bug
-     class of Section 10.2 — the flag manufactures poison the source
-     never had.  Exists so the shrink engine and the CI smoke have a
-     known-unsound rewrite to minimize. *)
-  | Binop (Shl, attrs, ty, x, one)
-    when cfg.Pass.inject_bug && is_one one && not attrs.nsw ->
-    Pass.Replace_ins (Binop (Shl, { attrs with nsw = true }, ty, x, one))
   (* mul x, 2^k -> shl x, k *)
   | Binop (Mul, _, ty, x, c)
     when (match conc c with
@@ -125,10 +117,13 @@ let rule (cfg : Pass.config) (fn : Func.t) (named : Instr.named) : Pass.rewrite 
      or c, freeze(x) instead (Section 6 "Limitations"; note the paper
      freezes %c in prose but the non-chosen arm is what must be frozen —
      the checker in test_matrix demonstrates both facts). *)
-  | Select (c, ty, t, x) when is_true t && Types.is_bool ty ->
+  | Select (c, ty, t, x) when is_true t && Types.is_bool ty && named.def <> None ->
     if cfg.Pass.legacy_bugs then Pass.Replace_ins (Binop (Or, no_attrs, ty, c, x))
     else if cfg.Pass.freeze then begin
-      let fx = Func.fresh_var fn "ic.fr" in
+      (* derive the freeze's name from this def (unique in SSA):
+         Func.fresh_var would hand the same name to two expansions
+         landing in one rewrite iteration *)
+      let fx = "ic.fr." ^ Option.get named.def in
       Pass.Expand
         [ { Instr.def = Some fx; ins = Freeze (ty, x) };
           { named with Instr.ins = Binop (Or, no_attrs, ty, c, Var fx) };
@@ -136,10 +131,10 @@ let rule (cfg : Pass.config) (fn : Func.t) (named : Instr.named) : Pass.rewrite 
     end
     else Pass.Keep
   (* select c, x, false -> and c, x : same story *)
-  | Select (c, ty, x, f) when is_false f && Types.is_bool ty ->
+  | Select (c, ty, x, f) when is_false f && Types.is_bool ty && named.def <> None ->
     if cfg.Pass.legacy_bugs then Pass.Replace_ins (Binop (And, no_attrs, ty, c, x))
     else if cfg.Pass.freeze then begin
-      let fx = Func.fresh_var fn "ic.fr" in
+      let fx = "ic.fr." ^ Option.get named.def in
       Pass.Expand
         [ { Instr.def = Some fx; ins = Freeze (ty, x) };
           { named with Instr.ins = Binop (And, no_attrs, ty, c, Var fx) };

@@ -22,9 +22,10 @@ type config = {
   jt_handles_freeze : bool;
   inliner_freeze_free : bool;
   scev_freeze_aware : bool;
-  inject_bug : bool;
-      (* test-only: enable a deliberately unsound InstCombine rewrite so
-         the shrink engine and its CI smoke have a bug to minimize *)
+  inject : string list;
+      (* test-only: names of deliberately unsound rewrites from the
+         Inject catalog to enable, so the shrink engine, the hunting
+         farm and their CI smokes have known bugs to rediscover *)
 }
 
 (* The baseline: LLVM as the paper found it. *)
@@ -35,7 +36,7 @@ let legacy =
     jt_handles_freeze = false;
     inliner_freeze_free = false;
     scev_freeze_aware = false;
-    inject_bug = false;
+    inject = [];
   }
 
 (* The paper's prototype: freeze everywhere a fix needs it, unsound
@@ -49,7 +50,7 @@ let prototype =
     jt_handles_freeze = false;
     inliner_freeze_free = true;
     scev_freeze_aware = false;
-    inject_bug = false;
+    inject = [];
   }
 
 (* A fully freeze-aware future pipeline (Section 10 upside). *)

@@ -28,7 +28,7 @@ let o2_function_passes : Pass.t list =
    validates InstCombine, GVN, Reassociation and SCCP individually plus
    -O2; loop passes never fire on the straight-line fuzz corpus). *)
 let fuzz_passes : Pass.t list =
-  [ Instcombine.pass; Gvn.pass; Reassociate.pass; Sccp.pass ]
+  [ Instcombine.pass; Gvn.pass; Reassociate.pass; Sccp.pass; Inject.pass ]
 
 let run_o2 (cfg : Pass.config) (m : Ub_ir.Func.module_) : Ub_ir.Func.module_ =
   Ub_obs.Obs.with_span "opt.pipeline.o2" @@ fun () ->

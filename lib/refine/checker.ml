@@ -33,29 +33,54 @@ let verdict_to_string = function
       witness
   | Unknown r -> "unknown: " ^ r
 
-(* Choice provider that records widths (first pass) or replays fixed
-   constants (expansion passes). *)
-let counting_choices ctx (widths : int list ref) : Encode.choice_fn =
+(* Choice provider that decides and records which sites materialize
+   (first pass) or replays fixed constants along the recorded decision
+   trace (expansion passes).  The replay must not re-decide from its own
+   circuits: substituted constants can fold a site's [cond] to false
+   that the counting pass could not, and skipping that site would
+   desynchronize the assignment stream (the widths no longer line up). *)
+let counting_choices ctx (trace : int option list ref) : Encode.choice_fn =
   { Encode.choose =
-      (fun ~width ->
-        widths := width :: !widths;
-        Bvterm.fresh ctx ~width)
+      (fun ~width ~cond ->
+        if Circuit.is_false cond then begin
+          trace := None :: !trace;
+          None
+        end
+        else begin
+          trace := Some width :: !trace;
+          Some (Bvterm.fresh ctx ~width)
+        end)
   }
 
-let constant_choices ctx (vals : Bitvec.t list) : Encode.choice_fn =
+let constant_choices ctx (trace : int option list) (vals : Bitvec.t list) : Encode.choice_fn =
+  let tr = ref trace in
   let rest = ref vals in
   { Encode.choose =
-      (fun ~width ->
-        match !rest with
-        | v :: tl ->
-          rest := tl;
-          assert (Bitvec.width v = width);
-          Bvterm.const ctx v
-        | [] -> invalid_arg "Checker: choice list exhausted")
+      (fun ~width ~cond:_ ->
+        match !tr with
+        | [] -> invalid_arg "Checker: choice trace exhausted"
+        | None :: tl ->
+          tr := tl;
+          None
+        | Some w :: tl -> (
+          tr := tl;
+          assert (w = width);
+          match !rest with
+          | v :: vtl ->
+            rest := vtl;
+            assert (Bitvec.width v = width);
+            (* the site's [cond] may have folded to false under earlier
+               constants — then the ite at the site folds the value away,
+               which is exactly the vacuous case of the enumeration *)
+            Some (Bvterm.const ctx v)
+          | [] -> invalid_arg "Checker: choice list exhausted"))
   }
 
 let fresh_choices ctx : Encode.choice_fn =
-  { Encode.choose = (fun ~width -> Bvterm.fresh ctx ~width) }
+  { Encode.choose =
+      (fun ~width ~cond ->
+        if Circuit.is_false cond then None else Some (Bvterm.fresh ctx ~width))
+  }
 
 (* All assignments to a list of widths, as a lazy sequence of bitvec
    lists: the 2^total_bits cross-product is produced one element at a
@@ -105,10 +130,11 @@ let check_sat ?(max_universal_bits = default_max_universal_bits)
       let tgt_args =
         List.map2 (fun (_, _, s) (v, _) -> (v, s)) args_syms tgt.args
       in
-      (* pass 1: count source choices *)
-      let widths = ref [] in
-      let senc0 = Encode.encode ctx mode (counting_choices ctx widths) ~args:src_args src in
-      let widths = List.rev !widths in
+      (* pass 1: count source choices, recording the per-site decisions *)
+      let trace = ref [] in
+      let senc0 = Encode.encode ctx mode (counting_choices ctx trace) ~args:src_args src in
+      let trace = List.rev !trace in
+      let widths = List.filter_map Fun.id trace in
       let total_bits = Util.sum_int widths in
       if total_bits > max_universal_bits then
         Unknown
@@ -140,7 +166,7 @@ let check_sat ?(max_universal_bits = default_max_universal_bits)
           else
             Seq.map
               (fun assign ->
-                Encode.encode ctx mode (constant_choices ctx assign) ~args:src_args src)
+                Encode.encode ctx mode (constant_choices ctx trace assign) ~args:src_args src)
               (assignments widths)
         in
         let cex =

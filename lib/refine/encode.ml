@@ -29,7 +29,17 @@ type sym = {
   u : Circuit.t; (* is undef (old modes only) *)
 }
 
-type choice_fn = { choose : width:int -> Bvterm.t }
+(* A potential choice site: [cond] is the circuit under which the
+   nondeterministic value is actually observable (the undef flag of a
+   use, the poison flag of a branched-on condition, ...).  The provider
+   returns [None] to decline materialization — the site then keeps the
+   plain value.  Putting the decision in the provider (instead of an
+   [is_false cond] test at the site) keeps the counting pass and the
+   constant-replay passes of the checker in lockstep: replayed constants
+   can fold a [cond] to false that the counting pass could not, and a
+   site-local test would then skip a slot and desynchronize the
+   assignment stream. *)
+type choice_fn = { choose : width:int -> cond:Circuit.t -> Bvterm.t option }
 
 type fenc = {
   ub : Circuit.t; (* the execution triggers immediate UB *)
@@ -94,11 +104,9 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
   (* One *use* of a sym in an arithmetic context: materialize undef. *)
   let use (s : sym) : Bvterm.t * Circuit.t =
     let w = Bvterm.width s.v in
-    if Circuit.is_false s.u then (s.v, s.p)
-    else begin
-      let c = choice.choose ~width:w in
-      (Bvterm.ite ctx s.u c s.v, s.p)
-    end
+    match choice.choose ~width:w ~cond:s.u with
+    | None -> (s.v, s.p)
+    | Some c -> (Bvterm.ite ctx s.u c s.v, s.p)
   in
   let bool_of (s : sym) : Circuit.t * Circuit.t =
     (* materialized i1 use: (bit, poison) *)
@@ -245,11 +253,9 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
       { m with p = Circuit.bor ctx cp m.p; u = Circuit.band ctx (Circuit.bnot ctx cp) m.u }
     | Mode.Select_nondet_cond ->
       let nd =
-        if Circuit.is_false cp then cbit
-        else begin
-          let ch = choice.choose ~width:1 in
-          Circuit.bite ctx cp ch.(0) cbit
-        end
+        match choice.choose ~width:1 ~cond:cp with
+        | None -> cbit
+        | Some ch -> Circuit.bite ctx cp ch.(0) cbit
       in
       mux nd
     | Mode.Select_ub_cond ->
@@ -300,12 +306,11 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
           | Freeze (ty, x) ->
             let s = sym_of_operand x in
             let w = int_width ty in
-            if Circuit.is_false s.p && Circuit.is_false s.u then bind s
-            else begin
-              let c = choice.choose ~width:w in
-              let bad = Circuit.bor ctx s.p s.u in
-              bind { v = Bvterm.ite ctx bad c s.v; p = Circuit.bfalse; u = Circuit.bfalse }
-            end
+            let bad = Circuit.bor ctx s.p s.u in
+            (match choice.choose ~width:w ~cond:bad with
+            | None -> bind s
+            | Some c ->
+              bind { v = Bvterm.ite ctx bad c s.v; p = Circuit.bfalse; u = Circuit.bfalse })
           | Phi (ty, incoming) ->
             let w = int_width ty in
             let init =
@@ -314,16 +319,19 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
             let s =
               List.fold_left
                 (fun acc (op, l) ->
-                  let cond =
-                    match Hashtbl.find_opt edges (l, b.label) with
-                    | Some e -> e
-                    | None -> Circuit.bfalse
-                  in
-                  let s = sym_of_operand op in
-                  { v = Bvterm.ite ctx cond s.v acc.v;
-                    p = Circuit.bite ctx cond s.p acc.p;
-                    u = Circuit.bite ctx cond s.u acc.u;
-                  })
+                  (* An incoming with no materialized edge can never be
+                     taken — the predecessor is unreachable (e.g. left
+                     behind by constant-branch folding) or not a real
+                     predecessor.  Skip it *without* touching the
+                     operand: its def may live in an unvisited block. *)
+                  match Hashtbl.find_opt edges (l, b.label) with
+                  | None -> acc
+                  | Some cond ->
+                    let s = sym_of_operand op in
+                    { v = Bvterm.ite ctx cond s.v acc.v;
+                      p = Circuit.bite ctx cond s.p acc.p;
+                      u = Circuit.bite ctx cond s.u acc.u;
+                    })
                 init incoming
             in
             bind s
@@ -354,12 +362,10 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
           | Mode.Branch_ub ->
             add_ub cp reach_b;
             cbit
-          | Mode.Branch_nondet ->
-            if Circuit.is_false cp then cbit
-            else begin
-              let ch = choice.choose ~width:1 in
-              Circuit.bite ctx cp ch.(0) cbit
-            end
+          | Mode.Branch_nondet -> (
+            match choice.choose ~width:1 ~cond:cp with
+            | None -> cbit
+            | Some ch -> Circuit.bite ctx cp ch.(0) cbit)
         in
         add_edge b.label t dir;
         add_edge b.label e (Circuit.bnot ctx dir)

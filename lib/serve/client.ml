@@ -50,6 +50,50 @@ let check_pair (t : t) ?id ?deadline_s ~(mode : string) ~(module_text : string) 
     Wire.reply =
   rpc t (Wire.Check_pair { id; mode; module_text; deadline_s })
 
+(* Pipelined batch: send every Check frame up front, then collect
+   exactly one reply per request.  Replies are matched to requests by
+   the echoed id — the server may answer out of request order when
+   coalesced batches complete together.  A reply without an id (or with
+   one we did not send) fills the first unanswered slot, so a protocol
+   hiccup degrades accounting but never hangs the client. *)
+let check_batch (t : t) ?deadline_s ?(enum_only = false) ~(mode : string)
+    (pairs : (string * string) array) : Wire.reply array =
+  let n = Array.length pairs in
+  Array.iteri
+    (fun i (src, tgt) ->
+      let cr = { Wire.id = Some i; mode; src; tgt; deadline_s; enum_only } in
+      send t (if enum_only then Wire.Enum_check cr else Wire.Check cr))
+    pairs;
+  let replies = Array.make n None in
+  let next_unfilled = ref 0 in
+  for _ = 1 to n do
+    match recv t with
+    | None -> raise (Server_error "server closed the connection mid-batch")
+    | Some r ->
+      let id =
+        match r with
+        | Wire.Verdict { r_id; _ } | Wire.Overloaded { r_id; _ } | Wire.Error_r { r_id; _ }
+          ->
+          r_id
+        | _ -> None
+      in
+      let slot =
+        match id with
+        | Some i when i >= 0 && i < n && replies.(i) = None -> i
+        | _ ->
+          while !next_unfilled < n && replies.(!next_unfilled) <> None do
+            incr next_unfilled
+          done;
+          !next_unfilled
+      in
+      if slot < n then replies.(slot) <- Some r
+  done;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> Wire.Error_r { r_id = None; message = "no reply received" })
+    replies
+
 let stats (t : t) : Wire.stats_reply =
   match rpc t Wire.Stats with
   | Wire.Stats_r s -> s
