@@ -34,6 +34,7 @@ let trace_file = ref (None : string option)
 let solver_out = ref "BENCH_solver.json"
 let solver_baseline = ref "bench/solver_baseline.tsv"
 let solver_save_baseline = ref (None : string option)
+let solver_sessions = ref false
 let solver_budget_failed = ref false
 let serve_out = ref "BENCH_serve.json"
 let serve_failed = ref false
@@ -512,8 +513,8 @@ exit:
 let solver () =
   sep "T-SOLVER | solver-stack benchmark (seeded checker-query corpus)";
   let ok =
-    Solver_bench.run ~jobs:!jobs ?timeout_s:!timeout_s ~out:!solver_out
-      ~baseline:!solver_baseline ?save_baseline_to:!solver_save_baseline ()
+    Solver_bench.run ~jobs:!jobs ?timeout_s:!timeout_s ~sessions:!solver_sessions
+      ~out:!solver_out ~baseline:!solver_baseline ?save_baseline_to:!solver_save_baseline ()
   in
   if not ok then solver_budget_failed := true
 
@@ -613,6 +614,9 @@ let usage () =
      --solver-baseline F     solver: compare against the recorded baseline TSV\n\
     \                         (default bench/solver_baseline.tsv)\n\
      --solver-save-baseline F  solver: also record this run as a baseline TSV\n\
+     --sessions              solver: also run the incremental-session differential\n\
+    \                         mode (streams through one persistent session vs\n\
+    \                         scratch; gates a geomean speedup)\n\
      --serve-out F           serve: write the benchmark JSON to F (default BENCH_serve.json)\n"
     (String.concat " " (List.map fst all));
   exit 2
@@ -675,6 +679,9 @@ let () =
     | "--solver-save-baseline" :: f :: rest ->
       solver_save_baseline := Some f;
       parse rest names
+    | "--sessions" :: rest ->
+      solver_sessions := true;
+      parse rest names
     | "--serve-out" :: f :: rest ->
       serve_out := f;
       parse rest names
@@ -702,7 +709,9 @@ let () =
     exit 1
   end;
   if !solver_budget_failed then begin
-    print_endline "\nFAILURE: solver benchmark quer(ies) exceeded the conflict budget";
+    print_endline
+      "\nFAILURE: solver benchmark quer(ies) exceeded the conflict budget or the \
+       incremental-session gate failed";
     exit 1
   end;
   if !serve_failed then begin

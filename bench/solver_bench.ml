@@ -14,14 +14,15 @@
    solver stack.  Tasks run through [Ub_exec.Pool], so `-j`/`--timeout`
    apply. *)
 
-open Ub_ir
 open Ub_sem
 
-type query = {
+(* The corpus lives in [Ub_corpus] so the session differential tests
+   replay the exact same queries this benchmark times. *)
+type query = Ub_corpus.query = {
   qname : string;
   qmode : string; (* Mode.name *)
-  qsrc : Func.t;
-  qtgt : Func.t;
+  qsrc : Ub_ir.Func.t;
+  qtgt : Ub_ir.Func.t;
 }
 
 type record = {
@@ -42,215 +43,6 @@ type record = {
 (* Per-query conflict ceiling: generous for the corpus, and the number
    the CI smoke asserts no query exceeds. *)
 let conflict_budget = 200_000
-
-(* ------------------------------------------------------------------ *)
-(* Corpus                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let fn = Parser.parse_func_string
-
-let handcrafted : (string * string * string * string) list =
-  (* (name, mode, src, tgt) — identities across widths; the sound ones
-     make the solver produce UNSAT proofs, which is where CDCL earns
-     its keep; a couple are deliberately refuted (SAT). *)
-  [ ( "mul2-to-add-i16", "proposed",
-      {|define i16 @f(i16 %x) {
-e:
-  %y = mul i16 %x, 2
-  ret i16 %y
-}|},
-      {|define i16 @f(i16 %x) {
-e:
-  %y = add i16 %x, %x
-  ret i16 %y
-}|} );
-    ( "mul-comm-i8", "proposed",
-      {|define i8 @f(i8 %a, i8 %b) {
-e:
-  %y = mul i8 %a, %b
-  ret i8 %y
-}|},
-      {|define i8 @f(i8 %a, i8 %b) {
-e:
-  %y = mul i8 %b, %a
-  ret i8 %y
-}|} );
-    ( "mul3-to-addchain-i8", "proposed",
-      {|define i8 @f(i8 %x) {
-e:
-  %y = mul i8 %x, 3
-  ret i8 %y
-}|},
-      {|define i8 @f(i8 %x) {
-e:
-  %t = add i8 %x, %x
-  %y = add i8 %t, %x
-  ret i8 %y
-}|} );
-    ( "reassoc-i16", "proposed",
-      {|define i16 @f(i16 %a, i16 %b, i16 %c) {
-e:
-  %t = add i16 %a, %b
-  %y = add i16 %t, %c
-  ret i16 %y
-}|},
-      {|define i16 @f(i16 %a, i16 %b, i16 %c) {
-e:
-  %t = add i16 %b, %c
-  %y = add i16 %a, %t
-  ret i16 %y
-}|} );
-    ( "shl1-to-mul2-i16", "proposed",
-      {|define i16 @f(i16 %x) {
-e:
-  %y = shl i16 %x, 1
-  ret i16 %y
-}|},
-      {|define i16 @f(i16 %x) {
-e:
-  %y = mul i16 %x, 2
-  ret i16 %y
-}|} );
-    ( "xor-cancel-i32", "proposed",
-      {|define i32 @f(i32 %a, i32 %b) {
-e:
-  %t = xor i32 %a, %b
-  %y = xor i32 %t, %b
-  ret i32 %y
-}|},
-      {|define i32 @f(i32 %a, i32 %b) {
-e:
-  ret i32 %a
-}|} );
-    ( "demorgan-i32", "proposed",
-      {|define i32 @f(i32 %a, i32 %b) {
-e:
-  %na = xor i32 %a, -1
-  %nb = xor i32 %b, -1
-  %y = and i32 %na, %nb
-  ret i32 %y
-}|},
-      {|define i32 @f(i32 %a, i32 %b) {
-e:
-  %o = or i32 %a, %b
-  %y = xor i32 %o, -1
-  ret i32 %y
-}|} );
-    ( "sub-to-neg-add-i16", "proposed",
-      {|define i16 @f(i16 %a, i16 %x) {
-e:
-  %y = sub i16 %a, %x
-  ret i16 %y
-}|},
-      {|define i16 @f(i16 %a, i16 %x) {
-e:
-  %n = sub i16 0, %x
-  %y = add i16 %a, %n
-  ret i16 %y
-}|} );
-    ( "select-min-flip-i16", "proposed",
-      {|define i16 @f(i16 %a, i16 %b) {
-e:
-  %c = icmp slt i16 %a, %b
-  %y = select i1 %c, i16 %a, i16 %b
-  ret i16 %y
-}|},
-      {|define i16 @f(i16 %a, i16 %b) {
-e:
-  %c = icmp sge i16 %a, %b
-  %y = select i1 %c, i16 %b, i16 %a
-  ret i16 %y
-}|} );
-    ( "icmp-add-nsw-i16", "proposed",
-      {|define i1 @f(i16 %x) {
-e:
-  %y = add nsw i16 %x, 1
-  %c = icmp slt i16 %x, %y
-  ret i1 %c
-}|},
-      {|define i1 @f(i16 %x) {
-e:
-  ret i1 1
-}|} );
-    (* refuted identities: the solver must find a model *)
-    ( "icmp-add-wrapping-i16-SAT", "proposed",
-      {|define i1 @f(i16 %x) {
-e:
-  %y = add i16 %x, 1
-  %c = icmp slt i16 %x, %y
-  ret i1 %c
-}|},
-      {|define i1 @f(i16 %x) {
-e:
-  ret i1 1
-}|} );
-    ( "mul2-to-add-undef-i8-SAT", "old-unswitch",
-      {|define i8 @f(i8 %x) {
-e:
-  %y = mul i8 %x, 2
-  ret i8 %y
-}|},
-      {|define i8 @f(i8 %x) {
-e:
-  %y = add i8 %x, %x
-  ret i8 %y
-}|} );
-  ]
-
-(* Enumerated opt-fuzz slice: every changed (fn, optimized fn) pair from
-   the first [limit] 3-instruction i2 functions, like T-OPTFUZZ does,
-   capped to keep the corpus bounded.  Enumeration order is
-   deterministic, so this is a fixed corpus. *)
-let fuzz_pairs () : query list =
-  let params =
-    { Ub_fuzz.Gen.default_params with Ub_fuzz.Gen.n_insns = 3 }
-  in
-  let pairs = ref [] in
-  let n = ref 0 in
-  let _ =
-    Ub_fuzz.Gen.enumerate ~limit:1_500 params (fun f ->
-        if !n < 40 then begin
-          let f' = Ub_opt.Pass.run_pipeline Ub_opt.Pass.prototype Ub_opt.Pipeline.fuzz_passes f in
-          if f' <> f then begin
-            incr n;
-            pairs :=
-              { qname = Printf.sprintf "optfuzz3-%03d" !n;
-                qmode = "proposed";
-                qsrc = f;
-                qtgt = f';
-              }
-              :: !pairs
-          end
-        end)
-  in
-  List.rev !pairs
-
-let corpus () : query list =
-  let matrix =
-    List.concat_map
-      (fun (e : Ub_refine.Matrix.entry) ->
-        (* enum-only entries (explicit inputs) are outside check_sat's
-           fragment; skip them rather than benchmark a constant-time
-           "not encodable" bailout *)
-        if e.Ub_refine.Matrix.inputs <> None then []
-        else
-          List.map
-            (fun mode_name ->
-              { qname = "matrix-" ^ e.Ub_refine.Matrix.id;
-                qmode = mode_name;
-                qsrc = fn e.Ub_refine.Matrix.src;
-                qtgt = fn e.Ub_refine.Matrix.tgt;
-              })
-            [ "proposed"; "old-langref" ])
-      Ub_refine.Matrix.all_entries
-  in
-  let hand =
-    List.map
-      (fun (name, mode, src, tgt) ->
-        { qname = name; qmode = mode; qsrc = fn src; qtgt = fn tgt })
-      handcrafted
-  in
-  matrix @ hand @ fuzz_pairs ()
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -431,12 +223,137 @@ let vs_baseline (current : record list) (baseline : record list) : string option
   end
 
 (* ------------------------------------------------------------------ *)
-(* Entry point; returns false when a query blew the conflict budget.    *)
+(* Incremental-session differential mode                               *)
 (* ------------------------------------------------------------------ *)
 
-let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
+(* Multi-query workloads through one persistent [Checker.session] vs a
+   fresh solver per query.  Each stream is replayed three times
+   back-to-back (re-solving near-identical queries against a warm
+   session is where hash-consed sharing and verdict memoization pay;
+   the serve daemon and the shrinker see exactly this shape), both
+   sides are timed as min-of-reps, and the verdict *classes* must
+   match query by query — counterexample models may legitimately
+   differ between solvers, the verdicts may not.  The geomean of
+   per-stream speedups is gated. *)
+
+let session_gate = 1.5
+let session_reps = 3
+
+(* Sub-50ms streams are noise-dominated at 3 reps: a single scheduler
+   hiccup moves the min by tens of percent.  Give them triple the reps
+   so min-of-reps converges; the heavy streams keep 3. *)
+let session_reps_cheap = 9
+let cheap_stream_s = 0.05
+
+type stream_result = {
+  sr_name : string;
+  sr_queries : int; (* per workload: stream length x 3 replays *)
+  sr_reps : int;
+  sr_wall_scratch : float;
+  sr_wall_session : float;
+  sr_speedup : float;
+  sr_identical : bool;
+}
+
+let verdict_class = function
+  | Ub_refine.Checker.Refines -> "refines"
+  | Ub_refine.Checker.Counterexample _ -> "counterexample"
+  | Ub_refine.Checker.Unknown _ -> "unknown"
+
+let session_streams () : Ub_corpus.stream list =
+  Ub_corpus.streams () @ [ Ub_corpus.hunt_stream ~entry:"mul2-add-dup" () ]
+
+let run_stream (s : Ub_corpus.stream) : stream_result =
+  let qs =
+    Array.of_list (s.Ub_corpus.s_queries @ s.Ub_corpus.s_queries @ s.Ub_corpus.s_queries)
+  in
+  let modes =
+    Array.map
+      (fun (q : Ub_corpus.query) ->
+        match Mode.find q.Ub_corpus.qmode with
+        | Some m -> m
+        | None -> invalid_arg ("solver bench: unknown mode " ^ q.Ub_corpus.qmode))
+      qs
+  in
+  let replay ~session () =
+    let t0 = Ub_obs.Obs.Clock.now_s () in
+    let verdicts =
+      Array.mapi
+        (fun i (q : Ub_corpus.query) ->
+          verdict_class
+            (Ub_refine.Checker.check_sat ~max_conflicts:conflict_budget ?session modes.(i)
+               ~src:q.Ub_corpus.qsrc ~tgt:q.Ub_corpus.qtgt))
+        qs
+    in
+    (Ub_obs.Obs.Clock.elapsed_s ~since:t0, verdicts)
+  in
+  (* warm-up replay: warms allocator and code paths, and its wall
+     estimate picks the rep count; it is not counted in the mins *)
+  let estimate, _ = replay ~session:None () in
+  let reps = if estimate < cheap_stream_s then session_reps_cheap else session_reps in
+  let best_scratch = ref infinity and best_session = ref infinity in
+  let identical = ref true in
+  for _rep = 1 to reps do
+    let ws, vs = replay ~session:None () in
+    (* fresh session per rep: reps measure the same cold-to-warm curve *)
+    let session = Ub_refine.Checker.create_session () in
+    let wn, vn = replay ~session:(Some session) () in
+    if ws < !best_scratch then best_scratch := ws;
+    if wn < !best_session then best_session := wn;
+    if vs <> vn then identical := false
+  done;
+  { sr_name = s.Ub_corpus.s_name;
+    sr_queries = Array.length qs;
+    sr_reps = reps;
+    sr_wall_scratch = !best_scratch;
+    sr_wall_session = !best_session;
+    sr_speedup = !best_scratch /. max !best_session 1e-9;
+    sr_identical = !identical;
+  }
+
+let json_of_stream_result (r : stream_result) : string =
+  Printf.sprintf
+    "{\"stream\":\"%s\",\"queries\":%d,\"reps\":%d,\"wall_s_scratch\":%.6f,\"wall_s_session\":%.6f,\"speedup\":%.3f,\"verdicts_identical\":%b}"
+    r.sr_name r.sr_queries r.sr_reps r.sr_wall_scratch r.sr_wall_session r.sr_speedup
+    r.sr_identical
+
+(* Returns the "sessions" JSON block and whether the gate passed. *)
+let run_sessions () : string * bool =
+  let streams = session_streams () in
+  Printf.printf
+    "\nincremental sessions: %d streams, each replayed x3, min over %d-%d reps (adaptive), gate %.1fx\n%!"
+    (List.length streams) session_reps session_reps_cheap session_gate;
+  let results = List.map run_stream streams in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-20s %4d queries  scratch %8.1fms  session %8.1fms  %5.2fx  %s\n"
+        r.sr_name r.sr_queries (1000.0 *. r.sr_wall_scratch) (1000.0 *. r.sr_wall_session)
+        r.sr_speedup
+        (if r.sr_identical then "verdicts-identical" else "VERDICT-DIVERGENCE"))
+    results;
+  let g = geomean (List.map (fun r -> r.sr_speedup) results) in
+  let identical = List.for_all (fun r -> r.sr_identical) results in
+  let pass = identical && g >= session_gate in
+  Printf.printf "session geomean speedup: %.2fx (gate %.1fx)\n" g session_gate;
+  if pass then Printf.printf "SESSIONS-OK: verdict-identical, geomean %.2fx >= %.1fx\n" g session_gate
+  else if not identical then
+    Printf.printf "SESSIONS-FAIL: verdict divergence between scratch and session solving\n"
+  else Printf.printf "SESSIONS-FAIL: geomean %.2fx below the %.1fx gate\n" g session_gate;
+  let json =
+    Printf.sprintf "{\"reps\":%d,\"gate\":%.2f,\"geomean_speedup\":%.3f,\"verdicts_identical\":%b,\"pass\":%b,\"streams\":[%s]}"
+      session_reps session_gate g identical pass
+      (String.concat "," (List.map json_of_stream_result results))
+  in
+  (json, pass)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point; returns false when a query blew the conflict budget     *)
+(* or (with ~sessions) the incremental-session gate failed.             *)
+(* ------------------------------------------------------------------ *)
+
+let run ~(jobs : int) ?timeout_s ?(sessions = false) ~(out : string) ~(baseline : string)
     ?save_baseline_to () : bool =
-  let queries = Array.of_list (corpus ()) in
+  let queries = Array.of_list (Ub_corpus.corpus ()) in
   Printf.printf "corpus: %d checker queries (matrix x 2 modes, opt-fuzz slice, wide-width identities)\n%!"
     (Array.length queries);
   let results, pool = Ub_exec.Pool.map_stats ~jobs ?timeout_s run_query queries in
@@ -470,6 +387,10 @@ let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
   | None -> ());
   let base = load_baseline baseline in
   let vs = vs_baseline records base in
+  (* sessions run single-threaded in-process: the differential replay
+     compares warm-vs-cold solver state, which forked pool workers
+     would throw away *)
+  let sess = if sessions then Some (run_sessions ()) else None in
   let oc = open_out out in
   output_string oc "{\n  \"schema\": \"ubc-solver-bench-v1\",\n";
   Printf.fprintf oc "  \"conflict_budget\": %d,\n" conflict_budget;
@@ -478,6 +399,9 @@ let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
      absorbed back from the pool workers, cache hit rate, task
      lifecycle.  See DESIGN.md section 10. *)
   Printf.fprintf oc "  \"obs_report\": %s,\n" (Ub_obs.Obs.report_json ());
+  (match sess with
+  | Some (j, _) -> Printf.fprintf oc "  \"sessions\": %s,\n" j
+  | None -> ());
   (match vs with
   | Some j ->
     Printf.fprintf oc "  \"vs_baseline\": %s,\n" j;
@@ -496,12 +420,15 @@ let run ~(jobs : int) ?timeout_s ~(out : string) ~(baseline : string)
   | Some j -> Printf.printf "vs baseline: %s\n" j
   | None -> Printf.printf "(no baseline at %s; speedup not computed)\n" baseline);
   Format.printf "%a@." Ub_exec.Pool.pp_stats pool;
-  if s.over_budget > 0 then begin
-    Printf.printf "BUDGET-EXCEEDED: %d quer(ies) passed the %d-conflict budget\n" s.over_budget
-      conflict_budget;
-    false
-  end
-  else begin
-    Printf.printf "BUDGET-OK: no query exceeded %d conflicts\n" conflict_budget;
-    true
-  end
+  let budget_ok =
+    if s.over_budget > 0 then begin
+      Printf.printf "BUDGET-EXCEEDED: %d quer(ies) passed the %d-conflict budget\n"
+        s.over_budget conflict_budget;
+      false
+    end
+    else begin
+      Printf.printf "BUDGET-OK: no query exceeded %d conflicts\n" conflict_budget;
+      true
+    end
+  in
+  budget_ok && match sess with Some (_, ok) -> ok | None -> true

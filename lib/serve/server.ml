@@ -82,6 +82,13 @@ type conn = {
   outq : string Queue.t; (* encoded reply frames not yet written *)
   mutable out_off : int; (* bytes of the queue head already written *)
   mutable closing : bool; (* close once [outq] drains; no more reads *)
+  mutable session : Ub_refine.Checker.session option;
+      (* persistent checker session, created on first in-process SAT
+         task from this connection.  A client streams related queries
+         (a fuzzer mutating one seed, a pipeline validating pass by
+         pass), so per-connection is the natural sharing scope.  The
+         session's own watermark/root-unsat/dirty policy governs resets;
+         dropping the connection drops the session. *)
 }
 
 type waiter = {
@@ -165,7 +172,7 @@ let close_after_flush st c : unit =
 (* What the pool computes per unique task.  The inner [Pool.run_task]
    envelope maps the request deadline onto ITIMER_REAL; the outer pool
    layer only adds crash isolation when [jobs > 1]. *)
-let run_check (t : task) : Ub_refine.Checker.verdict Ub_exec.Pool.result =
+let run_check ?session (t : task) : Ub_refine.Checker.verdict Ub_exec.Pool.result =
   Ub_exec.Pool.run_task ?timeout_s:t.t_deadline
     (fun () ->
       if t.t_enum then
@@ -174,8 +181,31 @@ let run_check (t : task) : Ub_refine.Checker.verdict Ub_exec.Pool.result =
         | Ub_refine.Enum_check.Counterexample { args; witness } ->
           Ub_refine.Checker.Counterexample { args; witness }
         | Ub_refine.Enum_check.Unknown r -> Ub_refine.Checker.Unknown r
-      else Ub_refine.Checker.check t.t_mode ~src:t.t_src ~tgt:t.t_tgt)
+      else Ub_refine.Checker.check ?session t.t_mode ~src:t.t_src ~tgt:t.t_tgt)
     ()
+
+(* The session for a task, if sessions apply: only with the in-process
+   pool (a forked worker's warmed solver dies with the fork) and only
+   for SAT-path tasks.  The session belongs to the connection that
+   FIRST enqueued the task (waiters are in reverse arrival order);
+   coalesced followers just read the shared verdict.  A deadline that
+   fires mid-solve leaves the session marked dirty, and its next query
+   starts from a clean solver — that recovery path is exercised by the
+   serve deadline tests. *)
+let task_session (st : state) (t : task) : Ub_refine.Checker.session option =
+  if st.cfg.jobs > 1 || t.t_enum then None
+  else
+    match List.rev t.waiters with
+    | [] -> None
+    | w :: _ -> (
+      let c = w.w_conn in
+      match c.session with
+      | Some _ as s -> s
+      | None ->
+        Obs.count "serve.sessions_created";
+        let s = Ub_refine.Checker.create_session () in
+        c.session <- Some s;
+        Some s)
 
 let verdict_fields : Ub_refine.Checker.verdict -> string * string * string list = function
   | Ub_refine.Checker.Refines -> ("refines", "", [])
@@ -259,7 +289,11 @@ let run_batch (st : state) : unit =
   in
   let to_run = Array.of_list to_run in
   if Array.length to_run > 0 then begin
-    let results = Ub_exec.Pool.map ~jobs:st.cfg.jobs run_check to_run in
+    let results =
+      Ub_exec.Pool.map ~jobs:st.cfg.jobs
+        (fun t -> run_check ?session:(task_session st t) t)
+        to_run
+    in
     Array.iteri
       (fun i r ->
         let t = to_run.(i) in
@@ -524,6 +558,7 @@ let run (cfg : config) : unit =
             outq = Queue.create ();
             out_off = 0;
             closing = false;
+            session = None;
           }
           :: st.conns;
         Obs.count "serve.accepts";

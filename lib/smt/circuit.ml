@@ -175,26 +175,66 @@ let big_or ctx = List.fold_left (bor ctx) bfalse
 module Cnf = struct
   open Ub_sat
 
+  (* The builder is shared between the one-shot [solve] below and the
+     persistent [Session] layer: variable allocation is a closure (a
+     bump counter for one-shot solving, [Solver.new_var] for sessions),
+     and input variables go through a memo table of their own instead of
+     a fixed [1 + i] layout, because a session interleaves inputs of
+     many queries with Tseitin variables.  The [vars_new] /
+     [clauses_new] / [hits] counters are per-encoding: a session resets
+     them before each query, so "re-encoding an identical circuit adds
+     zero new clauses and variables" is a checkable property. *)
   type builder = {
     solver : Solver.t;
     node_var : (int, int) Hashtbl.t; (* circuit node id -> SAT var *)
-    n_inputs : int; (* input index i maps to SAT var 1 + i *)
-    mutable next_var : int; (* next unused SAT variable *)
+    input_var : (int, int) Hashtbl.t; (* input index -> SAT var *)
+    alloc : unit -> int; (* fresh-SAT-variable allocator *)
+    mutable vars_new : int; (* variables allocated since the last reset *)
+    mutable clauses_new : int; (* clauses submitted since the last reset *)
+    mutable hits : int; (* node/input memo hits since the last reset *)
     mutable ok : bool; (* false once add_clause reported level-0 unsat *)
   }
 
-  let add b c = if not (Solver.add_clause b.solver c) then b.ok <- false
+  let make_builder ~(solver : Solver.t) ~(alloc : unit -> int) : builder =
+    { solver; node_var = Hashtbl.create 64; input_var = Hashtbl.create 16; alloc;
+      vars_new = 0; clauses_new = 0; hits = 0; ok = true }
+
+  let reset_counters (b : builder) =
+    b.vars_new <- 0;
+    b.clauses_new <- 0;
+    b.hits <- 0
+
+  let add b c =
+    b.clauses_new <- b.clauses_new + 1;
+    if not (Solver.add_clause b.solver c) then b.ok <- false
+
+  let fresh_var b =
+    let v = b.alloc () in
+    b.vars_new <- b.vars_new + 1;
+    v
+
+  let input_lit (b : builder) (i : int) : Solver.lit =
+    match Hashtbl.find_opt b.input_var i with
+    | Some v ->
+      b.hits <- b.hits + 1;
+      Solver.pos v
+    | None ->
+      let v = fresh_var b in
+      Hashtbl.replace b.input_var i v;
+      Solver.pos v
 
   (* Translate a node to a SAT variable, memoized. *)
   let rec lit_of (b : builder) (t : t) : Solver.lit =
     match t.node with
     | True -> Solver.pos 0 (* var 0 is pinned true *)
     | False -> Solver.neg 0
-    | Input i -> Solver.pos (1 + i)
+    | Input i -> input_lit b i
     | Not x -> Solver.lnot (lit_of b x)
     | _ -> (
       match Hashtbl.find_opt b.node_var t.id with
-      | Some v -> Solver.pos v
+      | Some v ->
+        b.hits <- b.hits + 1;
+        Solver.pos v
       | None ->
         let v = fresh_var b in
         Hashtbl.replace b.node_var t.id v;
@@ -225,11 +265,67 @@ module Cnf = struct
         | True | False | Input _ | Not _ -> assert false);
         out)
 
-  and fresh_var b =
-    (* solver vars were preallocated up to an upper bound; hand them out *)
-    let v = b.next_var in
-    b.next_var <- v + 1;
-    v
+  (* Read a model for the circuit inputs out of a full SAT assignment.
+     An input the encoding never referenced is unconstrained; report it
+     false (the zeros-bias default). *)
+  let model_of_assignment (b : builder) (assignment : bool array) =
+    fun i ->
+      match Hashtbl.find_opt b.input_var i with
+      | Some v when v < Array.length assignment -> assignment.(v)
+      | _ -> false
+
+  (* The CNF variables of [root]'s cone under this builder — every gate
+     and input of the subgraph that [lit_of] assigned a variable — plus
+     the circuit input indices of the cone.  A session passes the
+     variables to [Solver.solve ~decision_vars] so a query against a
+     long-lived solver branches only on its own encoding (everything
+     else in the accumulated database is retired guards and
+     always-extendable Tseitin definitions), and uses the input indices
+     to materialize cached models without sweeping the whole input
+     table.  Call after encoding [root] (a node outside the tables
+     contributes nothing). *)
+  let cone_vars (b : builder) (root : t) : int array * int array =
+    let seen = Hashtbl.create 256 in
+    let vars = ref [] in
+    let inputs = ref [] in
+    let rec go (n : t) =
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        (match Hashtbl.find_opt b.node_var n.id with
+        | Some v -> vars := v :: !vars
+        | None -> ());
+        match n.node with
+        | True | False -> ()
+        | Input i -> (
+          match Hashtbl.find_opt b.input_var i with
+          | Some v ->
+            vars := v :: !vars;
+            inputs := i :: !inputs
+          | None -> ())
+        | Not x -> go x
+        | And (x, y) | Or (x, y) | Xor (x, y) ->
+          go x;
+          go y
+        | Ite (c, x, y) ->
+          go c;
+          go x;
+          go y
+      end
+    in
+    go root;
+    (Array.of_list !vars, Array.of_list !inputs)
+
+  (* Forget every node→variable and input→variable memo whose variable
+     [kept] rejects.  Must mirror a [Solver.simplify ~keep] eviction
+     exactly: a memo surviving its definitions would make a later
+     re-encode return a variable with no clauses behind it. *)
+  let evict (b : builder) (kept : int -> bool) =
+    let drop tbl =
+      let dead = Hashtbl.fold (fun k v acc -> if kept v then acc else k :: acc) tbl [] in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    drop b.node_var;
+    drop b.input_var
 
   type model = { bool_of_input : int -> bool }
 
@@ -249,11 +345,15 @@ module Cnf = struct
     propagations : int;
     restarts : int;
     learned_peak : int; (* peak learned-clause DB size *)
+    vars_new : int; (* SAT vars this query allocated (≠ cnf_vars in a session) *)
+    clauses_new : int; (* clauses this query emitted *)
+    shared_hits : int; (* node/input encodings reused from an earlier query *)
   }
 
   let no_stats =
     { circuit_nodes = 0; cnf_vars = 0; cnf_clauses = 0; conflicts = 0; decisions = 0;
-      propagations = 0; restarts = 0; learned_peak = 0 }
+      propagations = 0; restarts = 0; learned_peak = 0; vars_new = 0; clauses_new = 0;
+      shared_hits = 0 }
 
   (* Every query also feeds the process-wide telemetry registry: run
      reports carry aggregate solver counters without any caller having
@@ -267,7 +367,7 @@ module Cnf = struct
     Obs.count ~by:st.Ub_sat.Solver.st_propagations "solver.propagations";
     Obs.count ~by:st.Ub_sat.Solver.st_restarts "solver.restarts";
     Obs.observe "smt.cnf_clauses" (float_of_int st.Ub_sat.Solver.st_clauses);
-    Obs.observe "smt.cnf_vars" (float_of_int b.next_var);
+    Obs.observe "smt.cnf_vars" (float_of_int (1 + b.vars_new));
     Obs.observe "smt.circuit_nodes" (float_of_int ctx.next_id)
 
   let record_stats (stats_out : stats ref option) (ctx : ctx) (b : builder) =
@@ -276,7 +376,8 @@ module Cnf = struct
     | None -> ()
     | Some r ->
       let st = Ub_sat.Solver.statistics b.solver in
-      let used_vars = b.next_var in
+      (* one-shot builder: every used var is new, plus the pinned const *)
+      let used_vars = 1 + b.vars_new in
       r :=
         { circuit_nodes = ctx.next_id;
           cnf_vars = used_vars;
@@ -286,20 +387,27 @@ module Cnf = struct
           propagations = st.Ub_sat.Solver.st_propagations;
           restarts = st.Ub_sat.Solver.st_restarts;
           learned_peak = st.Ub_sat.Solver.st_learned_peak;
+          vars_new = b.vars_new;
+          clauses_new = b.clauses_new;
+          shared_hits = b.hits;
         }
 
   (* Satisfiability of [root = true].  [max_conflicts] bounds solver
      effort; raises [Too_hard] when exceeded. *)
   let solve ?(max_conflicts = 2_000_000) ?stats (ctx : ctx) (root : t) : solve_result =
     Ub_obs.Obs.with_span "smt.solve" @@ fun () ->
-    (* var 0: constant true; then one var per input; then Tseitin vars.
-       Upper bound on vars: 1 + inputs + nodes. *)
+    (* var 0: constant true; inputs and Tseitin vars allocated on demand.
+       Upper bound on vars: 1 + inputs + nodes; preallocating it avoids
+       the growth path entirely on the one-shot hot path. *)
     let nvars = 1 + ctx.next_input + ctx.next_id in
     let solver = Ub_sat.Solver.create nvars in
-    let b =
-      { solver; node_var = Hashtbl.create 16; n_inputs = ctx.next_input;
-        next_var = 1 + ctx.next_input; ok = true }
+    let next = ref 1 in
+    let alloc () =
+      let v = !next in
+      incr next;
+      v
     in
+    let b = make_builder ~solver ~alloc in
     add b [ Ub_sat.Solver.pos 0 ];
     let root_lit = lit_of b root in
     add b [ root_lit ];
@@ -319,10 +427,7 @@ module Cnf = struct
       with
       | Ub_sat.Solver.Unsat -> Unsat_r
       | Ub_sat.Solver.Sat assignment ->
-        Sat_model
-          { bool_of_input =
-              (fun i -> if i >= 0 && i < b.n_inputs then assignment.(1 + i) else false);
-          }
+        Sat_model { bool_of_input = model_of_assignment b assignment }
     end
 end
 

@@ -1,0 +1,359 @@
+(* Persistent solver sessions (DESIGN.md section 13).
+
+   A session keeps one [Ub_sat.Solver.t] alive across refinement
+   queries.  Tseitin definitions are equivalences over fresh variables,
+   so they are satisfiable in any context and can be added permanently;
+   what makes a query a *query* is one fresh activation literal [a] and
+   one guard clause [¬a ∨ root]: solving under the assumption [a] asks
+   for a model of [root] against everything encoded so far, and adding
+   the root unit [¬a] afterwards retracts the query for good (the next
+   inprocessing pass purges every clause the retired literal guarded).
+   Because the circuit context is hash-consed and the builder memoizes
+   node→variable and input→variable translations, a query structurally
+   close to an earlier one re-encodes as pure table hits: zero new
+   clauses, zero new variables, and every learned clause the solver
+   derived about the shared structure still applies.
+
+   Reset policy.  Three events replace the solver (a "soft reset": the
+   circuit context and its node ids survive, so callers' circuits stay
+   valid):
+   - the solver latched [root_unsat] (its database is refuted for good);
+   - a size watermark tripped (variables or live clauses), bounding
+     memory for long-lived serve connections;
+   - the previous query was aborted mid-flight (the [dirty] flag below):
+     a deadline signal can interrupt encoding or search anywhere, and a
+     half-updated trail or memo table must not serve another query.
+   A "hard reset" additionally replaces the circuit context and bumps
+   [generation]; it only happens inside [ctx], which callers invoke at
+   the start of each query, so a context is never swapped out from under
+   circuits built against it.  Callers caching circuits across queries
+   key their caches on [generation]. *)
+
+open Ub_sat
+
+type t = {
+  mutable ctx : Circuit.ctx;
+  mutable solver : Solver.t;
+  mutable builder : Circuit.Cnf.builder;
+  mutable generation : int; (* bumped on hard reset: cached circuits die *)
+  mutable dirty : bool; (* an encode/solve is in flight (or was aborted) *)
+  mutable queries : int;
+  mutable queries_since_simplify : int;
+  mutable simplifies : int; (* inprocessing passes this solver lifetime *)
+  mutable clauses_at_simplify : int; (* [num_added_clauses] at the last pass *)
+  mutable resets : int; (* soft resets, all causes *)
+  mutable hard_resets : int;
+  mutable evictions : int; (* cone-eviction passes this session lifetime *)
+  cone_cache : (int, int array * int array) Hashtbl.t;
+      (* root node id -> (cone CNF vars, cone circuit-input indices) *)
+  result_cache : (int, Circuit.Cnf.solve_result) Hashtbl.t;
+      (* root node id -> settled verdict.  A hash-consed root id names one
+         circuit for the lifetime of the context, and its satisfiability
+         is a property of that circuit alone (the session database never
+         constrains a cone beyond its own semantics), so verdicts survive
+         soft resets and eviction; only a hard reset (new context,
+         recycled ids) clears this.  Sat entries hold materialized
+         models — a lazy model closure would read builder memos that
+         eviction or a soft reset may have dropped. *)
+  mutable recent_cones : int array list; (* LRU, most recently queried first *)
+  mutable live_vars : int; (* estimated un-evicted encoding vars *)
+  max_vars : int; (* solver-variable watermark for soft reset *)
+  max_clauses : int; (* added-problem-clause watermark for soft reset *)
+  max_nodes : int; (* circuit-node watermark for hard reset *)
+  max_live_vars : int; (* cone-eviction threshold, in encoding variables *)
+  simplify_every : int; (* inprocessing cadence, in queries *)
+}
+
+let fresh_solver () =
+  (* variable 0 is pinned true, matching the one-shot encoding *)
+  let solver = Solver.create 1 in
+  ignore (Solver.add_clause solver [ Solver.pos 0 ]);
+  solver
+
+let make_builder (solver : Solver.t) =
+  Circuit.Cnf.make_builder ~solver ~alloc:(fun () -> Solver.new_var solver)
+
+let create ?(max_vars = 200_000) ?(max_clauses = 400_000) ?(max_nodes = 2_000_000)
+    ?(max_live_vars = 32_768) ?(simplify_every = 8) () : t =
+  let solver = fresh_solver () in
+  { ctx = Circuit.create_ctx ();
+    solver;
+    builder = make_builder solver;
+    generation = 0;
+    dirty = false;
+    queries = 0;
+    queries_since_simplify = 0;
+    simplifies = 0;
+    clauses_at_simplify = 0;
+    resets = 0;
+    hard_resets = 0;
+    evictions = 0;
+    cone_cache = Hashtbl.create 64;
+    result_cache = Hashtbl.create 64;
+    recent_cones = [];
+    live_vars = 0;
+    max_vars;
+    max_clauses;
+    max_nodes;
+    max_live_vars;
+    simplify_every;
+  }
+
+let generation (t : t) = t.generation
+let queries (t : t) = t.queries
+let resets (t : t) = t.resets
+let hard_resets (t : t) = t.hard_resets
+let evictions (t : t) = t.evictions
+
+let soft_reset (t : t) =
+  t.resets <- t.resets + 1;
+  Ub_obs.Obs.count "session.resets";
+  t.solver <- fresh_solver ();
+  t.builder <- make_builder t.solver;
+  t.queries_since_simplify <- 0;
+  t.simplifies <- 0;
+  t.clauses_at_simplify <- 0;
+  Hashtbl.reset t.cone_cache; (* cached cones name the old builder's vars *)
+  t.recent_cones <- [];
+  t.live_vars <- 0;
+  t.dirty <- false
+
+(* The circuit context for the next query.  This is the only place a
+   hard reset may happen: the caller is about to build fresh circuits,
+   so no live circuit of theirs can refer to the outgoing context. *)
+let ctx (t : t) : Circuit.ctx =
+  if t.ctx.Circuit.next_id > t.max_nodes then begin
+    t.hard_resets <- t.hard_resets + 1;
+    t.generation <- t.generation + 1;
+    Ub_obs.Obs.count "session.hard_resets";
+    t.ctx <- Circuit.create_ctx ();
+    Hashtbl.reset t.result_cache; (* node ids are about to be recycled *)
+    soft_reset t
+  end;
+  t.ctx
+
+(* Per-query statistics: solver counters are lifetime counters of the
+   shared solver, so the per-query numbers are deltas against a snapshot
+   taken at query entry. *)
+let delta_stats (t : t) (st0 : Solver.statistics) : Circuit.Cnf.stats =
+  let st = Solver.statistics t.solver in
+  let b = t.builder in
+  { Circuit.Cnf.circuit_nodes = t.ctx.Circuit.next_id;
+    cnf_vars = Solver.num_vars t.solver;
+    cnf_clauses = st.Solver.st_clauses;
+    conflicts = st.Solver.st_conflicts - st0.Solver.st_conflicts;
+    decisions = st.Solver.st_decisions - st0.Solver.st_decisions;
+    propagations = st.Solver.st_propagations - st0.Solver.st_propagations;
+    restarts = st.Solver.st_restarts - st0.Solver.st_restarts;
+    learned_peak = st.Solver.st_learned_peak;
+    vars_new = b.Circuit.Cnf.vars_new;
+    clauses_new = b.Circuit.Cnf.clauses_new;
+    shared_hits = b.Circuit.Cnf.hits;
+  }
+
+let observe (t : t) =
+  let module Obs = Ub_obs.Obs in
+  let b = t.builder in
+  Obs.count "session.queries";
+  Obs.count ~by:b.Circuit.Cnf.vars_new "session.vars_new";
+  Obs.count ~by:b.Circuit.Cnf.hits "session.vars_shared";
+  Obs.count ~by:b.Circuit.Cnf.clauses_new "session.clauses_new"
+
+(* Cone eviction: keep the most-recently-queried cones whose union fits
+   the [max_live_vars] budget (the newest always survives, even alone
+   over budget), drop every clause mentioning anything older, and forget
+   the matching builder memos and cached cones.  This is what keeps a
+   long-lived session's per-query cost proportional to the query: the
+   retired cones' Tseitin definitions share input variables with live
+   queries, so until they are dropped every new assignment re-propagates
+   through all of them. *)
+let eviction_keep (t : t) : (int -> bool) option =
+  let nvars = Solver.num_vars t.solver in
+  let keep = Array.make nvars false in
+  keep.(0) <- true (* the pinned-true variable anchors constant literals *);
+  let marked = ref 0 in
+  let budget = ref t.max_live_vars in
+  let mark cone =
+    Array.iter
+      (fun v ->
+        if v < nvars && not keep.(v) then begin
+          keep.(v) <- true;
+          incr marked;
+          decr budget
+        end)
+      cone
+  in
+  let rec go newest = function
+    | [] -> []
+    | cone :: rest ->
+      if (not newest) && !budget <= 0 then []
+      else begin
+        mark cone;
+        cone :: go false rest
+      end
+  in
+  t.recent_cones <- go true t.recent_cones;
+  t.live_vars <- !marked;
+  t.evictions <- t.evictions + 1;
+  Ub_obs.Obs.count "session.evictions";
+  let pred v = v < nvars && keep.(v) in
+  Some pred
+
+(* Retire the query's activation literal and run the between-queries
+   maintenance.  Called on every exit path of [solve] that leaves the
+   solver in a consistent state (the CDCL loop backtracks to level 0
+   both on return and on budget exhaustion). *)
+let retire (t : t) (act : int) =
+  ignore (Solver.add_clause t.solver [ Solver.neg act ]);
+  t.queries_since_simplify <- t.queries_since_simplify + 1;
+  if not (Solver.is_root_unsat t.solver) then begin
+    let evict = t.live_vars > t.max_live_vars in
+    (* inprocessing is linear in the database, so only run it when there
+       is enough garbage to be worth a sweep: an eviction is due, or the
+       cadence came up AND the database actually grew since last time
+       (a pure re-encode stream adds one guard clause per query and
+       would otherwise pay a full sweep to collect eight clauses) *)
+    let garbage = Solver.num_added_clauses t.solver - t.clauses_at_simplify in
+    if evict || (t.queries_since_simplify >= t.simplify_every && garbage >= 256) then begin
+      t.queries_since_simplify <- 0;
+      t.clauses_at_simplify <- Solver.num_added_clauses t.solver;
+      t.simplifies <- t.simplifies + 1;
+      Ub_obs.Obs.count "session.simplifies";
+      let keep = if evict then eviction_keep t else None in
+      (* purge + strengthen every pass; backward subsumption spends its
+         comparison budget even when nothing is subsumable, so only
+         every 8th pass pays for it *)
+      ignore (Solver.simplify ~subsume:(t.simplifies mod 8 = 0) ?keep t.solver);
+      match keep with
+      | Some pred ->
+        (* the builder must forget memos for evicted variables, or a
+           later hash-cons hit would hand out a variable whose defining
+           clauses are gone *)
+        Circuit.Cnf.evict t.builder pred;
+        let dead =
+          Hashtbl.fold
+            (fun root (cone, _) acc -> if Array.for_all pred cone then acc else root :: acc)
+            t.cone_cache []
+        in
+        List.iter (Hashtbl.remove t.cone_cache) dead
+      | None -> ()
+    end
+  end;
+  t.dirty <- false
+
+(* A model snapshot over the query's cone inputs, valid after eviction
+   and soft resets: [model_of_assignment] closures read the builder's
+   memo tables lazily, and those tables shrink over the session's
+   lifetime.  Inputs outside the cone read false, matching the
+   zeros-bias default for inputs the encoding never referenced. *)
+let materialized_model (b : Circuit.Cnf.builder) (inputs : int array)
+    (assignment : bool array) : Circuit.Cnf.model =
+  let tbl = Hashtbl.create (max 16 (Array.length inputs)) in
+  Array.iter
+    (fun i ->
+      match Hashtbl.find_opt b.Circuit.Cnf.input_var i with
+      | Some v when v < Array.length assignment -> Hashtbl.replace tbl i assignment.(v)
+      | _ -> ())
+    inputs;
+  { Circuit.Cnf.bool_of_input =
+      (fun i -> match Hashtbl.find_opt tbl i with Some b -> b | None -> false)
+  }
+
+(* Satisfiability of [root = true] against this session, mirroring the
+   contract of [Circuit.Cnf.solve]: [Unsat_r] / [Sat_model] verdicts,
+   [Too_hard] on budget exhaustion, [?stats] filled either way.  [root]
+   must have been built against [ctx t] in the current generation. *)
+let solve ?(max_conflicts = 2_000_000) ?stats (t : t) (root : Circuit.t) :
+    Circuit.Cnf.solve_result =
+  Ub_obs.Obs.with_span "smt.session.solve" @@ fun () ->
+  if t.dirty then begin
+    Ub_obs.Obs.count "session.resets_dirty";
+    soft_reset t
+  end;
+  if Solver.is_root_unsat t.solver then soft_reset t;
+  if
+    Solver.num_vars t.solver > t.max_vars
+    || Solver.num_added_clauses t.solver > t.max_clauses
+  then begin
+    Ub_obs.Obs.count "session.resets_watermark";
+    soft_reset t
+  end;
+  match Hashtbl.find_opt t.result_cache root.Circuit.id with
+  | Some r ->
+    (* this exact circuit was settled earlier in the session: the verdict
+       is a property of the circuit alone, so replay it without touching
+       the solver *)
+    t.queries <- t.queries + 1;
+    Ub_obs.Obs.count "session.answer_hits";
+    Circuit.Cnf.reset_counters t.builder;
+    let st0 = Solver.statistics t.solver in
+    observe t;
+    (match stats with None -> () | Some s -> s := delta_stats t st0);
+    r
+  | None ->
+  t.dirty <- true;
+  t.queries <- t.queries + 1;
+  Circuit.Cnf.reset_counters t.builder;
+  let st0 = Solver.statistics t.solver in
+  let root_lit = Circuit.Cnf.lit_of t.builder root in
+  let root_lit =
+    if t.builder.Circuit.Cnf.ok then root_lit
+    else begin
+      (* the shared database was refuted while encoding — impossible for
+         pure Tseitin definitions, but recover by starting clean *)
+      soft_reset t;
+      t.dirty <- true;
+      Circuit.Cnf.reset_counters t.builder;
+      Circuit.Cnf.lit_of t.builder root
+    end
+  in
+  (* The activation literal and its guard clause deliberately bypass the
+     builder counters: [vars_new] / [clauses_new] measure encoding
+     sharing, and the per-query guard would otherwise hide a perfect
+     zero-new-clauses re-encode. *)
+  let act = Solver.new_var t.solver in
+  ignore (Solver.add_clause t.solver [ Solver.neg act; root_lit ]);
+  (* Branching is restricted to the query's own cone: everything else in
+     the shared database is retired guards and always-extendable Tseitin
+     definitions, so a model over the cone proves satisfiability and the
+     per-query search cost stays proportional to the query, not to the
+     session.  The cone of a hash-consed root is immutable, so it is
+     computed once per root node and cached for the builder's lifetime. *)
+  let decision_vars, cone_inputs =
+    match Hashtbl.find_opt t.cone_cache root.Circuit.id with
+    | Some c -> c
+    | None ->
+      let c = Circuit.Cnf.cone_vars t.builder root in
+      Hashtbl.replace t.cone_cache root.Circuit.id c;
+      c
+  in
+  t.live_vars <- t.live_vars + t.builder.Circuit.Cnf.vars_new;
+  (* LRU move-to-front (physical equality: cones are shared via the
+     cache), so eviction keeps what the workload actually re-queries *)
+  t.recent_cones <- decision_vars :: List.filter (fun c -> c != decision_vars) t.recent_cones;
+  let record () =
+    observe t;
+    match stats with None -> () | Some r -> r := delta_stats t st0
+  in
+  match
+    try
+      let r =
+        Solver.solve ~max_conflicts ~assumptions:[ Solver.pos act ] ~decision_vars t.solver
+      in
+      retire t act;
+      record ();
+      r
+    with Solver.Budget_exceeded ->
+      (* the solver backtracked to level 0 before re-raising, so the
+         session stays usable: retire this query and report Too_hard *)
+      retire t act;
+      record ();
+      raise Circuit.Cnf.Too_hard
+  with
+  | Solver.Unsat ->
+    Hashtbl.replace t.result_cache root.Circuit.id Circuit.Cnf.Unsat_r;
+    Circuit.Cnf.Unsat_r
+  | Solver.Sat assignment ->
+    let r = Circuit.Cnf.Sat_model (materialized_model t.builder cone_inputs assignment) in
+    Hashtbl.replace t.result_cache root.Circuit.id r;
+    r

@@ -161,6 +161,43 @@ let unit_tests =
           Alcotest.(check bool) "first model valid" true (Solver.model_satisfies m1 clauses);
           Alcotest.(check (array bool)) "saved phases reproduce the model" m1 m2
         | _ -> Alcotest.fail "instance is satisfiable"));
+    Alcotest.test_case "root_unsat: solve with assumptions leaves the trail alone" `Quick
+      (fun () ->
+        let s = Solver.create 3 in
+        ignore (Solver.add_clause s [ Solver.pos 0 ]);
+        ignore (Solver.add_clause s [ Solver.neg 0 ]);
+        (if not (Solver.is_root_unsat s) then
+           match Solver.solve s with
+           | Solver.Unsat -> ()
+           | Solver.Sat _ -> Alcotest.fail "x && !x is unsat");
+        Alcotest.(check bool) "the refutation latched" true (Solver.is_root_unsat s);
+        let tl = Solver.trail_length s in
+        (* a refuted database must answer Unsat without re-establishing
+           the assumptions: enqueueing onto a poisoned trail corrupted
+           sessions that retried after a root refutation *)
+        (match Solver.solve ~assumptions:[ Solver.pos 1; Solver.neg 2 ] s with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "refuted database must stay unsat");
+        Alcotest.(check int) "trail untouched" tl (Solver.trail_length s));
+    Alcotest.test_case "per-call budget raises; the solver survives" `Quick (fun () ->
+        (* pigeonhole needs at least one conflict to refute, so a
+           zero-conflict budget deterministically trips *)
+        let v i j = Solver.pos ((2 * i) + j) in
+        let nv i j = Solver.neg ((2 * i) + j) in
+        let s = Solver.create 6 in
+        List.iter
+          (fun c -> ignore (Solver.add_clause s c))
+          ([ [ v 0 0; v 0 1 ]; [ v 1 0; v 1 1 ]; [ v 2 0; v 2 1 ] ]
+          @ List.concat_map
+              (fun j -> [ [ nv 0 j; nv 1 j ]; [ nv 0 j; nv 2 j ]; [ nv 1 j; nv 2 j ] ])
+              [ 0; 1 ]);
+        (match Solver.solve ~max_conflicts:0 s with
+        | exception Solver.Budget_exceeded -> ()
+        | Solver.Unsat -> Alcotest.fail "cannot refute pigeonhole with zero conflicts"
+        | Solver.Sat _ -> Alcotest.fail "pigeonhole is unsat");
+        match Solver.solve s with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "pigeonhole is unsat after recovery");
     Alcotest.test_case "xor chain sat" `Quick (fun () ->
         (* x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1 => x2 = 1 *)
         let xor1 a b =
@@ -203,6 +240,27 @@ let random_cnf_with_assumptions =
     in
     list_size (int_range 0 4) lit >>= fun assumptions ->
     return (nvars, clauses, assumptions))
+
+(* Activation-literal protocol streams, the shape [Ub_smt.Session] plays
+   against one persistent solver: each query is a clause set added under
+   a fresh guard, solved assuming the guard, then retired with the unit
+   [¬guard].  [permanent] clauses go in unguarded and can refute the
+   shared database mid-stream; [tight] first runs the query under a
+   zero-conflict budget to exercise budget-exhaustion recovery. *)
+let random_protocol =
+  QCheck2.Gen.(
+    int_range 2 8 >>= fun nvars ->
+    let lit =
+      map2 (fun v s -> if s then Solver.pos v else Solver.neg v) (int_bound (nvars - 1)) bool
+    in
+    let clause = list_size (int_range 1 4) lit in
+    let query =
+      quad
+        (list_size (int_range 1 8) clause)
+        (list_size (int_range 0 2) lit)
+        (option clause) bool
+    in
+    pair (return nvars) (list_size (int_range 1 8) query))
 
 let props =
   [ QCheck_alcotest.to_alcotest
@@ -280,6 +338,122 @@ let props =
                match Solver.solve s with
                | Solver.Sat m2 -> m1 = m2 (* phase saving replays the model *)
                | Solver.Unsat -> false)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"simplify preserves the verdict" ~count:200 random_cnf_large
+         (fun (nvars, clauses) ->
+           let sat r = match r with Solver.Sat _ -> true | Solver.Unsat -> false in
+           let reference = sat (Solver.solve_clauses ~nvars clauses) in
+           let s = Solver.create nvars in
+           let ok = List.for_all (fun c -> Solver.add_clause s c) clauses in
+           if not ok then reference = false
+           else begin
+             ignore (Solver.simplify s);
+             let r1 = sat (Solver.solve s) in
+             (* again, now with learned clauses and root units in play *)
+             ignore (Solver.simplify s);
+             let r2 = sat (Solver.solve s) in
+             r1 = reference && r2 = reference
+           end));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"simplify ~keep evicts every clause outside the kept set"
+         ~print:(fun (nvars, clauses) ->
+           Printf.sprintf "nvars=%d clauses=[%s]" nvars
+             (String.concat "; "
+                (List.map
+                   (fun c ->
+                     "["
+                     ^ String.concat ","
+                         (List.map
+                            (fun l ->
+                              (if Solver.is_neg l then "-" else "+")
+                              ^ string_of_int (Solver.var_of l))
+                            c)
+                     ^ "]")
+                   clauses)))
+         ~count:200 random_cnf_large
+         (fun (nvars, clauses) ->
+           let s = Solver.create nvars in
+           let ok = List.for_all (fun c -> Solver.add_clause s c) clauses in
+           if not ok then true
+           else begin
+             let p v = v mod 2 = 0 in
+             let swept = Solver.simplify ~keep:p s in
+             if not swept then
+               (* the database was root-unsat at the propagation fixpoint:
+                  no sweep happens, the only contract is the verdict *)
+               match Solver.solve s with Solver.Unsat -> true | Solver.Sat _ -> false
+             else
+             let live_ok =
+               List.for_all
+                 (fun (c : Solver.clause) ->
+                   c.Solver.deleted
+                   || Array.for_all (fun l -> p (Solver.var_of l)) c.Solver.lits)
+                 s.Solver.clauses
+             in
+             let counted = (Solver.statistics s).Solver.st_evicted >= 0 in
+             (* the evicted database must still solve: no dangling watches *)
+             let solvable =
+               match Solver.solve s with Solver.Sat _ | Solver.Unsat -> true
+             in
+             live_ok && counted && solvable
+           end));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"cone-restricted decisions agree with unrestricted" ~count:300
+         random_cnf_large
+         (fun (nvars, clauses) ->
+           let occurs = Array.make nvars false in
+           List.iter (List.iter (fun l -> occurs.(Solver.var_of l) <- true)) clauses;
+           let cone = ref [] in
+           Array.iteri (fun v b -> if b then cone := v :: !cone) occurs;
+           let cone = Array.of_list !cone in
+           let s1 = Solver.create nvars in
+           let ok1 = List.for_all (fun c -> Solver.add_clause s1 c) clauses in
+           let s2 = Solver.create nvars in
+           let ok2 = List.for_all (fun c -> Solver.add_clause s2 c) clauses in
+           let r1 = if ok1 then Solver.solve s1 else Solver.Unsat in
+           let r2 = if ok2 then Solver.solve ~decision_vars:cone s2 else Solver.Unsat in
+           match (r1, r2) with
+           | Solver.Sat _, Solver.Sat m -> Solver.model_satisfies m clauses
+           | Solver.Unsat, Solver.Unsat -> true
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"activation-literal protocol matches fresh solving" ~count:200
+         random_protocol
+         (fun (nvars, queries) ->
+           let s = Solver.create nvars in
+           let perm = ref [] in
+           List.for_all
+             (fun (clauses, assumptions, permanent, tight) ->
+               (match permanent with
+               | Some c ->
+                 ignore (Solver.add_clause s c);
+                 perm := c :: !perm
+               | None -> ());
+               let a = Solver.new_var s in
+               List.iter (fun c -> ignore (Solver.add_clause s (Solver.neg a :: c))) clauses;
+               let guarded = Solver.pos a :: assumptions in
+               if tight then (
+                 match Solver.solve ~max_conflicts:0 ~assumptions:guarded s with
+                 | exception Solver.Budget_exceeded -> ()
+                 | Solver.Sat _ | Solver.Unsat -> ());
+               let rs = Solver.solve ~assumptions:guarded s in
+               let rf = Solver.solve_clauses ~nvars ~assumptions (!perm @ clauses) in
+               let ok =
+                 match (rs, rf) with
+                 | Solver.Sat m, Solver.Sat _ ->
+                   Solver.model_satisfies m clauses
+                   && List.for_all
+                        (fun l ->
+                          let v = Solver.var_of l in
+                          if Solver.is_neg l then not m.(v) else m.(v))
+                        assumptions
+                 | Solver.Unsat, Solver.Unsat -> true
+                 | _ -> false
+               in
+               (* retire the guard; the next query must be unaffected *)
+               ignore (Solver.add_clause s [ Solver.neg a ]);
+               ok)
+             queries));
   ]
 
 let () = Alcotest.run "sat" [ ("unit", unit_tests); ("properties", props) ]

@@ -1,0 +1,278 @@
+(* Incremental solver sessions: the differential harness.
+
+   A [Session.t] must be *verdict-identical* to scratch solving — every
+   query answered through the persistent solver (activation literals,
+   shared Tseitin encodings, inprocessing, cone eviction, watermark
+   resets) must agree with a fresh [Circuit.Cnf.solve] of the same
+   circuit, and every SAT model must actually satisfy the circuit.
+   The property tests replay randomized multi-query streams through
+   both paths, including deliberately hostile session configurations
+   (watermark resets on every query, eviction on every retire); the
+   regression test replays the full `bench solver` corpus and one
+   `ubc hunt` recall entry through [Checker.check_sat] both ways, and a
+   divergence fails with the offending query dumped as a replayable
+   module. *)
+
+open Ub_sem
+open Ub_smt
+
+(* ---------- helpers ---------- *)
+
+let solve_scratch ?max_conflicts ctx c = Circuit.Cnf.solve ?max_conflicts ctx c
+
+(* One differential step: session verdict = scratch verdict, and both
+   models (when SAT) evaluate the circuit to true. *)
+let check_one ?max_conflicts (s : Session.t) (ctx : Circuit.ctx) (c : Circuit.t) : bool =
+  let rs = Session.solve ?max_conflicts s c in
+  let rc = solve_scratch ?max_conflicts ctx c in
+  match (rs, rc) with
+  | Circuit.Cnf.Unsat_r, Circuit.Cnf.Unsat_r -> true
+  | Circuit.Cnf.Sat_model m, Circuit.Cnf.Sat_model m' ->
+    Circuit.eval m.Circuit.Cnf.bool_of_input c && Circuit.eval m'.Circuit.Cnf.bool_of_input c
+  | _ -> false
+
+(* Pigeonhole (4 pigeons, 3 holes) as a circuit: unsatisfiable, and any
+   refutation needs at least one conflict — so it deterministically
+   exhausts a zero-conflict budget. *)
+let pigeonhole ctx : Circuit.t =
+  let x = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Circuit.fresh ctx)) in
+  let somewhere =
+    Circuit.big_and ctx (Array.to_list x |> List.map (fun row -> Circuit.big_or ctx (Array.to_list row)))
+  in
+  let no_sharing = ref Circuit.btrue in
+  for j = 0 to 2 do
+    for i = 0 to 3 do
+      for i' = i + 1 to 3 do
+        no_sharing :=
+          Circuit.band ctx !no_sharing
+            (Circuit.bnot ctx (Circuit.band ctx x.(i).(j) x.(i').(j)))
+      done
+    done
+  done;
+  Circuit.band ctx somewhere !no_sharing
+
+(* ---------- unit tests: session lifecycle ---------- *)
+
+let unit_tests =
+  [ Alcotest.test_case "constant-false root is unsat; the session survives" `Quick (fun () ->
+        let s = Session.create () in
+        let ctx = Session.ctx s in
+        (match Session.solve s Circuit.bfalse with
+        | Circuit.Cnf.Unsat_r -> ()
+        | Circuit.Cnf.Sat_model _ -> Alcotest.fail "false is not satisfiable");
+        let x = Circuit.fresh ctx in
+        match Session.solve s x with
+        | Circuit.Cnf.Sat_model m ->
+          Alcotest.(check bool) "model sets x" true (Circuit.eval m.Circuit.Cnf.bool_of_input x)
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "a free input is satisfiable");
+    Alcotest.test_case "retraction: an unsat query doesn't poison later ones" `Quick (fun () ->
+        let s = Session.create () in
+        let ctx = Session.ctx s in
+        let x = Circuit.fresh ctx in
+        (match Session.solve s (Circuit.band ctx x (Circuit.bnot ctx x)) with
+        | Circuit.Cnf.Unsat_r -> ()
+        | Circuit.Cnf.Sat_model _ -> Alcotest.fail "x && !x is unsat");
+        Alcotest.(check int) "no reset: activation isolates the refuted root" 0
+          (Session.resets s);
+        (* if the dead query's root constraint leaked, one of these
+           directions would now be unsat *)
+        (match Session.solve s x with
+        | Circuit.Cnf.Sat_model _ -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "x must still be satisfiable");
+        match Session.solve s (Circuit.bnot ctx x) with
+        | Circuit.Cnf.Sat_model _ -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "!x must still be satisfiable");
+    Alcotest.test_case "budget exhaustion reports Too_hard and recovers" `Quick (fun () ->
+        let s = Session.create () in
+        let ctx = Session.ctx s in
+        let hard = pigeonhole ctx in
+        (match Session.solve ~max_conflicts:0 s hard with
+        | exception Circuit.Cnf.Too_hard -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "cannot refute pigeonhole without conflicts"
+        | Circuit.Cnf.Sat_model _ -> Alcotest.fail "pigeonhole is unsat");
+        (* the session is still live: an easy query succeeds, and the
+           hard one finishes under a real budget, matching scratch *)
+        let x = Circuit.fresh ctx in
+        (match Session.solve s x with
+        | Circuit.Cnf.Sat_model _ -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "a free input is satisfiable");
+        Alcotest.(check bool) "differential on the hard query" true
+          (check_one s ctx hard));
+    Alcotest.test_case "repeat query: zero new clauses, zero new vars" `Quick (fun () ->
+        let s = Session.create () in
+        let ctx = Session.ctx s in
+        let a = Circuit.fresh ctx and b = Circuit.fresh ctx in
+        let c = Circuit.bor ctx (Circuit.band ctx a b) (Circuit.bxor ctx a b) in
+        let stats = ref Circuit.Cnf.no_stats in
+        (match Session.solve ~stats s c with
+        | Circuit.Cnf.Sat_model _ -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "satisfiable");
+        let fresh_vars = !stats.Circuit.Cnf.vars_new in
+        Alcotest.(check bool) "first encode allocates" true (fresh_vars > 0);
+        (match Session.solve ~stats s c with
+        | Circuit.Cnf.Sat_model _ -> ()
+        | Circuit.Cnf.Unsat_r -> Alcotest.fail "still satisfiable");
+        Alcotest.(check int) "no new vars on re-query" 0 !stats.Circuit.Cnf.vars_new;
+        Alcotest.(check int) "no new clauses on re-query" 0 !stats.Circuit.Cnf.clauses_new);
+    Alcotest.test_case "distinct circuit shares common subterms" `Quick (fun () ->
+        let s = Session.create () in
+        let ctx = Session.ctx s in
+        let a = Circuit.fresh ctx and b = Circuit.fresh ctx in
+        let shared = Circuit.bxor ctx (Circuit.band ctx a b) (Circuit.bor ctx a b) in
+        let stats = ref Circuit.Cnf.no_stats in
+        ignore (Session.solve ~stats s shared);
+        let first_vars = !stats.Circuit.Cnf.vars_new in
+        (* a structurally different root over the same subterm: only the
+           new top gate (and the fresh input) may allocate *)
+        let c2 = Circuit.band ctx shared (Circuit.fresh ctx) in
+        ignore (Session.solve ~stats s c2);
+        Alcotest.(check bool) "hash-consed hits on the shared cone" true
+          (!stats.Circuit.Cnf.shared_hits >= 1);
+        Alcotest.(check bool) "allocates at most the new gate and input" true
+          (!stats.Circuit.Cnf.vars_new <= 2 && !stats.Circuit.Cnf.vars_new < first_vars));
+    Alcotest.test_case "watermark trips a soft reset; verdicts unaffected" `Quick (fun () ->
+        let s = Session.create ~max_vars:4 () in
+        let ctx = Session.ctx s in
+        let ok = ref true in
+        for _ = 1 to 5 do
+          let a = Circuit.fresh ctx and b = Circuit.fresh ctx in
+          ok := !ok && check_one s ctx (Circuit.bxor ctx a (Circuit.bnot ctx b))
+        done;
+        Alcotest.(check bool) "differential holds across resets" true !ok;
+        Alcotest.(check bool) "the tiny watermark actually reset" true (Session.resets s >= 1));
+    Alcotest.test_case "cone eviction keeps verdicts intact" `Quick (fun () ->
+        let s = Session.create ~max_live_vars:2 ~simplify_every:1 () in
+        let ctx = Session.ctx s in
+        let inputs = Array.init 4 (fun _ -> Circuit.fresh ctx) in
+        let ok = ref true in
+        (* distinct overlapping cones so each retire evicts the previous
+           one, and earlier roots get re-queried after eviction dropped
+           their memos *)
+        let queries =
+          [ Circuit.band ctx inputs.(0) inputs.(1);
+            Circuit.bor ctx inputs.(1) inputs.(2);
+            Circuit.bxor ctx inputs.(2) inputs.(3);
+            Circuit.band ctx inputs.(0) inputs.(1);
+            Circuit.bor ctx inputs.(1) inputs.(2);
+          ]
+        in
+        List.iter (fun c -> ok := !ok && check_one s ctx c) queries;
+        Alcotest.(check bool) "differential holds across evictions" true !ok;
+        Alcotest.(check bool) "eviction actually ran" true (Session.evictions s >= 1));
+  ]
+
+(* ---------- property tests: randomized differential streams ---------- *)
+
+(* Abstract circuit shapes, realized against the session's context so
+   scratch and session solving see the same hash-consed nodes. *)
+type gc =
+  | GIn of int
+  | GNot of gc
+  | GAnd of gc * gc
+  | GOr of gc * gc
+  | GXor of gc * gc
+  | GIte of gc * gc * gc
+
+let gen_gc : gc QCheck2.Gen.t =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map (fun i -> GIn i) (int_bound 7)
+           else
+             let sub = self (n / 2) in
+             frequency
+               [ (1, map (fun i -> GIn i) (int_bound 7));
+                 (2, map (fun g -> GNot g) (self (n - 1)));
+                 (3, map2 (fun a b -> GAnd (a, b)) sub sub);
+                 (3, map2 (fun a b -> GOr (a, b)) sub sub);
+                 (2, map2 (fun a b -> GXor (a, b)) sub sub);
+                 (1, map3 (fun c a b -> GIte (c, a, b)) sub sub sub);
+               ]))
+
+let realize ctx (inputs : Circuit.t array) (g : gc) : Circuit.t =
+  let rec go = function
+    | GIn i -> inputs.(i mod Array.length inputs)
+    | GNot a -> Circuit.bnot ctx (go a)
+    | GAnd (a, b) -> Circuit.band ctx (go a) (go b)
+    | GOr (a, b) -> Circuit.bor ctx (go a) (go b)
+    | GXor (a, b) -> Circuit.bxor ctx (go a) (go b)
+    | GIte (c, a, b) -> Circuit.bite ctx (go c) (go a) (go b)
+  in
+  go g
+
+(* A stream: a session configuration index plus a list of queries; the
+   bool asks for the negated root right after (retraction pressure:
+   both directions must stay satisfiable unless the root is constant). *)
+let gen_stream =
+  QCheck2.Gen.(pair (int_bound 2) (list_size (int_range 1 10) (pair gen_gc bool)))
+
+let session_of_config = function
+  | 0 -> Session.create ()
+  | 1 -> Session.create ~max_vars:16 () (* watermark reset on nearly every query *)
+  | _ -> Session.create ~max_live_vars:2 ~simplify_every:1 () (* evict on every retire *)
+
+let stream_prop (config, queries) =
+  let s = session_of_config config in
+  let ctx = Session.ctx s in
+  let inputs = Array.init 8 (fun _ -> Circuit.fresh ctx) in
+  List.for_all
+    (fun (g, also_neg) ->
+      let c = realize ctx inputs g in
+      check_one s ctx c && (not also_neg || check_one s ctx (Circuit.bnot ctx c)))
+    queries
+
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"session streams are verdict-identical to scratch" ~count:400
+         gen_stream stream_prop);
+  ]
+
+(* ---------- regression: the bench corpus and a hunt recall entry ---------- *)
+
+let verdict_class = function
+  | Ub_refine.Checker.Refines -> "refines"
+  | Ub_refine.Checker.Counterexample _ -> "counterexample"
+  | Ub_refine.Checker.Unknown _ -> "unknown"
+
+(* Dump a diverging query as a replayable module: paste into a .ll file,
+   run both checker paths, debug. *)
+let replayable (q : Ub_corpus.query) : string =
+  Fmt.str "; mode: %s  query: %s@.%a@.%a" q.Ub_corpus.qmode q.Ub_corpus.qname
+    Ub_ir.Printer.pp_func q.Ub_corpus.qsrc Ub_ir.Printer.pp_func q.Ub_corpus.qtgt
+
+let replay_differential (name : string) (queries : Ub_corpus.query list) =
+  let session = Ub_refine.Checker.create_session () in
+  List.iter
+    (fun (q : Ub_corpus.query) ->
+      let mode =
+        match Mode.find q.Ub_corpus.qmode with
+        | Some m -> m
+        | None -> Alcotest.failf "unknown mode %s" q.Ub_corpus.qmode
+      in
+      let scratch =
+        Ub_refine.Checker.check_sat ~max_conflicts:200_000 mode ~src:q.Ub_corpus.qsrc
+          ~tgt:q.Ub_corpus.qtgt
+      in
+      let through_session =
+        Ub_refine.Checker.check_sat ~max_conflicts:200_000 ~session mode ~src:q.Ub_corpus.qsrc
+          ~tgt:q.Ub_corpus.qtgt
+      in
+      if verdict_class scratch <> verdict_class through_session then
+        Alcotest.failf
+          "%s: session diverges from scratch on %s (%s vs %s)\nreplayable module:\n%s" name
+          q.Ub_corpus.qname (verdict_class scratch)
+          (verdict_class through_session)
+          (replayable q))
+    queries
+
+let regression_tests =
+  [ Alcotest.test_case "90-query bench corpus, session vs scratch" `Slow (fun () ->
+        replay_differential "corpus" (Ub_corpus.corpus ()));
+    Alcotest.test_case "hunt recall stream, session vs scratch" `Slow (fun () ->
+        let stream = Ub_corpus.hunt_stream ~entry:"mul2-add-dup" () in
+        replay_differential stream.Ub_corpus.s_name stream.Ub_corpus.s_queries);
+  ]
+
+let () =
+  Alcotest.run "session"
+    [ ("unit", unit_tests); ("properties", props); ("regression", regression_tests) ]
