@@ -18,14 +18,28 @@
 
    Results go to BENCH_serve.json: throughput for both runs, the
    speedup, exact p50/p95/p99 latency percentiles (computed from the
-   200 samples, not histogram buckets), coalesce/reject counts and the
-   daemon's closing stats report. *)
+   200 samples, not histogram buckets), per-reply serving-class counts
+   (coalesced / journal hit / cold -- stamped from the reply flags, so
+   the overload burst cannot pollute them), a warm re-pass over the
+   unique pairs, and the daemon's closing stats report.
+
+   With [fleet] set, a second experiment runs the same measurement
+   shape against `ubc fleet`: a fresh 10k-query corpus (renamed
+   variants of the unique pairs, so every variant is distinct cache
+   work) driven through the consistent-hash fleet client, once against
+   a 1-shard fleet and once against [fleet_shards].  Verdicts from both
+   runs must match the in-process ground truth.  The >=[required]x
+   scaling gate is core-aware: shards are processes, so on a machine
+   with fewer cores than shards the aggregate QPS cannot scale and the
+   gate is recorded but not enforced (gate_enforced=false in the JSON);
+   CI runs the enforced variant on a multi-core runner. *)
 
 open Ub_ir
 open Ub_sem
 module Json = Ub_serve.Json
 module Wire = Ub_serve.Wire
 module Client = Ub_serve.Client
+module Fleet = Ub_serve.Fleet
 
 let n_queries = 200
 let n_conns = 4
@@ -205,11 +219,16 @@ let start_daemon ~(jobs : int) ~(dir : string) : string * int =
     wait_sock 0;
     (socket_path, pid)
 
+(* How each reply was served, stamped from the reply's own flags --
+   counting at the reply (not from the daemon's cumulative counters)
+   keeps the burst and probe traffic below out of these numbers. *)
+type reply_classes = { mutable rc_coalesced : int; mutable rc_journal : int; mutable rc_cold : int }
+
 (* Pipeline the corpus over [n_conns] connections and stamp per-request
    latency as replies arrive (select across the connections, so a slow
    connection cannot skew the others' timestamps). *)
 let run_daemon_load (socket_path : string) (unique : pair array) (picks : int array) :
-    float * float array * string array =
+    float * float array * string array * reply_classes =
   let conns = Array.init n_conns (fun _ -> Client.connect ~socket_path ()) in
   let send_t = Array.make (Array.length picks) 0.0 in
   let recv_t = Array.make (Array.length picks) 0.0 in
@@ -231,6 +250,7 @@ let run_daemon_load (socket_path : string) (unique : pair array) (picks : int ar
            }))
     picks;
   let outstanding = ref (Array.length picks) in
+  let classes = { rc_coalesced = 0; rc_journal = 0; rc_cold = 0 } in
   let fd_of i = (conns.(i) : Client.t).Client.fd in
   while !outstanding > 0 do
     let fds = List.init n_conns fd_of in
@@ -246,6 +266,9 @@ let run_daemon_load (socket_path : string) (unique : pair array) (picks : int ar
             | Some qi when qi >= 0 && qi < Array.length picks ->
               recv_t.(qi) <- Ub_obs.Obs.Clock.now_s ();
               verdicts.(qi) <- v.Wire.verdict;
+              if v.Wire.coalesced then classes.rc_coalesced <- classes.rc_coalesced + 1
+              else if v.Wire.cached then classes.rc_journal <- classes.rc_journal + 1
+              else classes.rc_cold <- classes.rc_cold + 1;
               decr outstanding
             | _ -> failwith "serve bench: reply without a usable id")
           | Some (Wire.Overloaded _) -> failwith "serve bench: rejected during timed run"
@@ -256,7 +279,24 @@ let run_daemon_load (socket_path : string) (unique : pair array) (picks : int ar
   let wall = Ub_obs.Obs.Clock.elapsed_s ~since:t0 in
   Array.iter Client.close conns;
   let lat = Array.init (Array.length picks) (fun i -> recv_t.(i) -. send_t.(i)) in
-  (wall, lat, verdicts)
+  (wall, lat, verdicts, classes)
+
+(* Re-send every unique pair once after the timed run: every pair with
+   a *cacheable* verdict was journaled above, so those must all hit
+   (Unknown verdicts are never cached -- they depend on the budget --
+   and legitimately re-run).  Returns (journal_hits, total). *)
+let run_warm_pass (socket_path : string) (unique : pair array) : int * int =
+  Client.with_conn ~socket_path (fun cl ->
+      let hits = ref 0 in
+      Array.iter
+        (fun p ->
+          match
+            Client.check cl ~mode:"proposed" ~src:p.p_src_text ~tgt:p.p_tgt_text ()
+          with
+          | Wire.Verdict v when v.Wire.cached || v.Wire.coalesced -> incr hits
+          | _ -> ())
+        unique;
+      (!hits, Array.length unique))
 
 (* A deliberate overload: pipeline more requests than the queue admits
    on one connection and count the rejections.  Every request is a
@@ -290,6 +330,164 @@ let run_overload_burst (socket_path : string) (unique : pair array) : int * int 
   (!rejected, !answered)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scaling experiment                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Shards are processes: the scaling gate only means something when the
+   machine can actually run them in parallel.  Counted from
+   /proc/cpuinfo (portable enough for the linux runners this targets);
+   1 on any failure, which keeps the gate honest -- it can only
+   under-claim parallelism, never invent it. *)
+let ncores () : int =
+  match In_channel.with_open_text "/proc/cpuinfo" In_channel.input_all with
+  | exception Sys_error _ -> 1
+  | text ->
+    let n =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.length l >= 9 && String.sub l 0 9 = "processor")
+      |> List.length
+    in
+    max 1 n
+
+(* A fresh corpus for the fleet runs: [queries] renamed copies of the
+   unique pairs.  Renaming changes the verdict-cache key but not the
+   verdict, so the base pair's ground truth carries over.  Every query
+   is DISTINCT on purpose: repeated queries are answered by coalescing
+   and the journal -- single-process client work that cannot scale with
+   shards and is already measured by the daemon experiment above.  The
+   fleet experiment measures checking scale-out, so every query must be
+   real checker work. *)
+let build_fleet_corpus (unique : pair array) (truth : Ub_refine.Checker.verdict array)
+    ~(queries : int) : (string * string) array * int array * string array =
+  let n = Array.length unique in
+  let texts =
+    Array.init queries (fun i ->
+        let p = unique.(i mod n) in
+        let name = Printf.sprintf "v%05d" i in
+        ( Printer.func_to_string { p.p_src with Func.name },
+          Printer.func_to_string { p.p_tgt with Func.name } ))
+  in
+  let truth_v = Array.init queries (fun i -> verdict_name truth.(i mod n)) in
+  let picks = Array.init queries Fun.id in
+  (texts, picks, truth_v)
+
+(* Drive the whole pick stream through the consistent-hash fleet client
+   in one batch call; the client pipelines per shard up to the window
+   the hello handshake negotiated. *)
+let run_fleet_load (sockets : string list) (texts : (string * string) array)
+    (picks : int array) : float * string array =
+  let fl = Client.Fleet.make ~client:"ubc-bench" sockets in
+  Fun.protect ~finally:(fun () -> Client.Fleet.close fl) @@ fun () ->
+  let pairs = Array.map (fun qi -> texts.(qi)) picks in
+  let t0 = Ub_obs.Obs.Clock.now_s () in
+  let replies = Client.Fleet.check_batch_tagged fl ~mode:"proposed" pairs in
+  let wall = Ub_obs.Obs.Clock.elapsed_s ~since:t0 in
+  let verdicts =
+    Array.map
+      (fun (reply, _) ->
+        match reply with
+        | Wire.Verdict v -> v.Wire.verdict
+        | Wire.Overloaded _ -> "overloaded"
+        | Wire.Error_r { message; _ } -> "error: " ^ message
+        | _ -> "error: unexpected reply")
+      replies
+  in
+  (wall, verdicts)
+
+(* One fleet run at [nshards]: spawn, drive, collect merged stats, tear
+   down.  Each run gets a fresh subdirectory (cold journals) so the
+   1-shard and N-shard runs pay the same cache costs. *)
+let run_fleet_once ~(nshards : int) ~(dir : string) (texts : (string * string) array)
+    (picks : int array) : float * string array * Json.t =
+  let cfg = { (Fleet.default_config ~dir) with Fleet.shards = nshards } in
+  let h = Fleet.spawn_local cfg in
+  Fun.protect ~finally:(fun () -> Fleet.stop_local h) @@ fun () ->
+  let sockets = Fleet.handle_sockets h in
+  let wall, verdicts = run_fleet_load sockets texts picks in
+  let stats =
+    let fl = Client.Fleet.make ~client:"ubc-bench-stats" sockets in
+    Fun.protect
+      ~finally:(fun () -> Client.Fleet.close fl)
+      (fun () -> Fleet.merge_stats (Client.Fleet.stats fl))
+  in
+  (wall, verdicts, stats)
+
+(* The fleet experiment: same corpus against 1 shard and [shards]
+   shards; verdict agreement with ground truth is always enforced, the
+   >=[required]x QPS gate only when the machine has the cores to scale
+   (recorded either way).  Returns the JSON block and pass/fail. *)
+let run_fleet ~(shards : int) ~(queries : int) ~(required : float) ~(dir : string)
+    (unique : pair array) (truth : Ub_refine.Checker.verdict array) : Json.t * bool =
+  let texts, picks, truth_v = build_fleet_corpus unique truth ~queries in
+  let cores = ncores () in
+  Printf.printf "fleet corpus: %d distinct queries; machine: %d core(s)\n%!" queries cores;
+  let mismatches verdicts =
+    let bad = ref 0 in
+    Array.iteri (fun qi v -> if truth_v.(picks.(qi)) <> v then incr bad) verdicts;
+    !bad
+  in
+  Printf.printf "fleet: 1-shard run...\n%!";
+  let wall_1, verdicts_1, _ =
+    run_fleet_once ~nshards:1 ~dir:(Filename.concat dir "fleet1") texts picks
+  in
+  let qps_1 = float_of_int queries /. wall_1 in
+  Printf.printf "fleet: 1 shard: %.2fs wall, %.1f queries/s\n%!" wall_1 qps_1;
+  Printf.printf "fleet: %d-shard run...\n%!" shards;
+  let wall_n, verdicts_n, stats_n =
+    run_fleet_once ~nshards:shards ~dir:(Filename.concat dir "fleetN") texts picks
+  in
+  let qps_n = float_of_int queries /. wall_n in
+  let speedup = qps_n /. qps_1 in
+  let bad_1 = mismatches verdicts_1 and bad_n = mismatches verdicts_n in
+  let verdicts_match = bad_1 = 0 && bad_n = 0 in
+  let gate_enforced = cores >= shards in
+  Printf.printf "fleet: %d shards: %.2fs wall, %.1f queries/s (%.2fx the 1-shard run)\n%!"
+    shards wall_n qps_n speedup;
+  if not gate_enforced then
+    Printf.printf
+      "fleet: gate informational only: %d core(s) < %d shards, processes cannot scale here\n%!"
+      cores shards;
+  let num f = Json.Num f in
+  let int n = Json.Num (float_of_int n) in
+  let j =
+    Json.Obj
+      [ ("shards", int shards);
+        ("queries", int queries);
+        ("distinct_queries", Json.Bool true);
+        ("cores", int cores);
+        ("wall_1shard_s", num wall_1);
+        ("qps_1shard", num qps_1);
+        ("wall_nshard_s", num wall_n);
+        ("qps_nshard", num qps_n);
+        ("speedup", num speedup);
+        ("required_speedup", num required);
+        ("gate_enforced", Json.Bool gate_enforced);
+        ("verdicts_match", Json.Bool verdicts_match);
+        ("mismatches_1shard", int bad_1);
+        ("mismatches_nshard", int bad_n);
+        ("stats", stats_n);
+      ]
+  in
+  let ok =
+    if not verdicts_match then begin
+      Printf.printf "FLEET-MISMATCH: %d + %d verdict disagreement(s) vs ground truth\n" bad_1
+        bad_n;
+      false
+    end
+    else if gate_enforced && speedup < required then begin
+      Printf.printf "FLEET-TOO-SLOW: %.2fx < required %.1fx at %d shards on %d cores\n"
+        speedup required shards cores;
+      false
+    end
+    else begin
+      Printf.printf "FLEET-OK: identical verdicts, %.2fx at %d shards%s\n" speedup shards
+        (if gate_enforced then "" else " (gate not enforced: too few cores)");
+      true
+    end
+  in
+  (j, ok)
+
+(* ------------------------------------------------------------------ *)
 (* Percentiles (exact, from the recorded samples)                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -312,7 +510,8 @@ let rec rm_rf path =
   end
   else Sys.remove path
 
-let run ~(jobs : int) ~(out : string) () : bool =
+let run ~(jobs : int) ~(out : string) ?(fleet = false) ?(fleet_shards = 4)
+    ?(fleet_required = 3.0) ?(fleet_queries = 10_000) () : bool =
   let dir = Filename.temp_file "ub_serve_bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
@@ -337,8 +536,27 @@ let run ~(jobs : int) ~(out : string) () : bool =
     spawn_qps;
   (* --- daemon --- *)
   let socket_path, daemon_pid = start_daemon ~jobs ~dir in
-  let serve_wall, latencies, serve_verdicts = run_daemon_load socket_path unique picks in
+  let serve_wall, latencies, serve_verdicts, classes = run_daemon_load socket_path unique picks in
   let serve_qps = float_of_int n_queries /. serve_wall in
+  (* snapshot the journal-cache counters *before* the warm pass and the
+     burst: the burst's 800 deliberately-distinct pairs are all misses
+     and used to crater the reported hit rate to a meaningless ~0.5% *)
+  let stats_load = Client.with_conn ~socket_path (fun cl -> Client.stats cl) in
+  let warm_hits, warm_total = run_warm_pass socket_path unique in
+  let warm_expected =
+    (* a pair only reaches the journal if the timed run actually picked
+       it AND its verdict is cacheable (Unknowns never cache) *)
+    let picked = Array.make (Array.length unique) false in
+    Array.iter (fun u -> picked.(u) <- true) picks;
+    let n = ref 0 in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Ub_refine.Checker.Unknown _ -> ()
+        | _ -> if picked.(i) then incr n)
+      truth;
+    !n
+  in
   let rejected, burst_answered = run_overload_burst socket_path unique in
   (* one deliberately deadline-exceeded query so the timeout path shows
      up in the stats report -- a fresh (uncached) wide-multiply pair the
@@ -363,6 +581,18 @@ let run ~(jobs : int) ~(out : string) () : bool =
     with Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
   in
   reap ();
+  (* --- fleet scaling (after the single daemon is down: the shards
+     should not compete with it for cores) --- *)
+  let fleet_block =
+    if not fleet then None
+    else begin
+      Printf.printf "\nfleet: %d-shard scaling run (gate: >=%.1fx)\n%!" fleet_shards
+        fleet_required;
+      Some
+        (run_fleet ~shards:fleet_shards ~queries:fleet_queries ~required:fleet_required
+           ~dir:(Filename.concat dir "fleet") unique truth)
+    end
+  in
   (* --- verdict agreement --- *)
   let mismatches = ref 0 in
   Array.iteri
@@ -379,50 +609,83 @@ let run ~(jobs : int) ~(out : string) () : bool =
   and p95 = percentile sorted 0.95
   and p99 = percentile sorted 0.99 in
   let speedup = serve_qps /. spawn_qps in
+  let load_hit_rate =
+    let h = stats_load.Wire.cache_hits and m = stats_load.Wire.cache_misses in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
   Printf.printf
     "daemon: %.2fs wall, %.1f queries/s (%.1fx baseline)\n\
      latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n\
-     coalesced: %d  rejected in burst: %d/%d  deadline timeout observed: %b\n%!"
+     replies: %d coalesced, %d journal hit(s), %d cold (of %d)\n\
+     journal during load: %d hit(s) / %d miss(es) (%.0f%% hit rate)\n\
+     warm pass: %d/%d hits (%d of %d pairs are cacheable; unknowns never cache)\n\
+     rejected in burst: %d/%d  deadline timeout observed: %b\n%!"
     serve_wall serve_qps speedup (1000.0 *. p50) (1000.0 *. p95) (1000.0 *. p99)
-    stats.Wire.coalesced_total rejected (rejected + burst_answered) timed_out;
+    classes.rc_coalesced classes.rc_journal classes.rc_cold n_queries
+    stats_load.Wire.cache_hits stats_load.Wire.cache_misses (100.0 *. load_hit_rate)
+    warm_hits warm_total warm_expected warm_total rejected (rejected + burst_answered)
+    timed_out;
   (* --- the JSON record --- *)
   let num f = Json.Num f in
   let int n = Json.Num (float_of_int n) in
   let j =
     Json.Obj
-      [ ("schema", Json.Str "ubc-serve-bench-v1");
-        ("queries", int n_queries);
-        ("unique_pairs", int (Array.length unique));
-        ("jobs", int jobs);
-        ( "baseline",
-          Json.Obj
-            [ ("kind", Json.Str baseline_kind); ("wall_s", num spawn_wall);
-              ("qps", num spawn_qps) ] );
-        ( "serve",
-          Json.Obj
-            [ ("wall_s", num serve_wall); ("qps", num serve_qps);
-              ("p50_ms", num (1000.0 *. p50)); ("p95_ms", num (1000.0 *. p95));
-              ("p99_ms", num (1000.0 *. p99));
-              ("coalesced", int stats.Wire.coalesced_total);
-              ("rejected", int stats.Wire.rejected);
-              ("timeouts", int stats.Wire.timeouts);
-              ("cache_hit_rate", num stats.Wire.cache_hit_rate);
-              ("burst_rejected", int rejected);
-              ("deadline_timeout_observed", Json.Bool timed_out) ] );
-        ("speedup", num speedup);
-        ("required_speedup", num required_speedup);
-        ("verdicts_match", Json.Bool verdicts_match);
-        ("server_report", stats.Wire.report);
-      ]
+      ([ ("schema", Json.Str "ubc-serve-bench-v2");
+         ("queries", int n_queries);
+         ("unique_pairs", int (Array.length unique));
+         ("jobs", int jobs);
+         ( "baseline",
+           Json.Obj
+             [ ("kind", Json.Str baseline_kind); ("wall_s", num spawn_wall);
+               ("qps", num spawn_qps) ] );
+         ( "serve",
+           Json.Obj
+             [ ("wall_s", num serve_wall); ("qps", num serve_qps);
+               ("p50_ms", num (1000.0 *. p50)); ("p95_ms", num (1000.0 *. p95));
+               ("p99_ms", num (1000.0 *. p99));
+               ("coalesced", int stats.Wire.coalesced_total);
+               ("rejected", int stats.Wire.rejected);
+               ("timeouts", int stats.Wire.timeouts);
+               (* per-reply serving classes for the timed run only --
+                  the reply flags, not the daemon's cumulative counters,
+                  so burst/probe traffic cannot skew them *)
+               ( "replies",
+                 Json.Obj
+                   [ ("coalesced", int classes.rc_coalesced);
+                     ("journal_hits", int classes.rc_journal);
+                     ("cold", int classes.rc_cold) ] );
+               ("cache_hits", int stats_load.Wire.cache_hits);
+               ("cache_misses", int stats_load.Wire.cache_misses);
+               ("cache_hit_rate", num load_hit_rate);
+               ( "warm_pass",
+                 Json.Obj
+                   [ ("queries", int warm_total); ("journal_hits", int warm_hits);
+                     ("cacheable", int warm_expected) ] );
+               ("burst_rejected", int rejected);
+               ("deadline_timeout_observed", Json.Bool timed_out) ] );
+         ("speedup", num speedup);
+         ("required_speedup", num required_speedup);
+         ("verdicts_match", Json.Bool verdicts_match);
+         ("server_report", stats.Wire.report);
+       ]
+      @ match fleet_block with None -> [] | Some (fj, _) -> [ ("fleet", fj) ])
   in
   let oc = open_out out in
   output_string oc (Json.to_string j);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" out;
+  let warm_ok = warm_hits = warm_expected in
+  let fleet_ok = match fleet_block with None -> true | Some (_, ok) -> ok in
   if not verdicts_match then begin
     Printf.printf "SERVE-MISMATCH: %d verdict disagreement(s) between daemon/baseline/direct\n"
       !mismatches;
+    false
+  end
+  else if not warm_ok then begin
+    Printf.printf
+      "SERVE-COLD-CACHE: warm pass hit the journal on %d unique pairs, expected %d\n"
+      warm_hits warm_expected;
     false
   end
   else if speedup < required_speedup then begin
@@ -432,5 +695,5 @@ let run ~(jobs : int) ~(out : string) () : bool =
   end
   else begin
     Printf.printf "SERVE-OK: identical verdicts, %.1fx the spawn baseline\n" speedup;
-    true
+    fleet_ok
   end

@@ -282,6 +282,66 @@ let journal_store (j : journal) k v : unit =
      locks do not nest (an inner unlock would drop the outer lock) *)
   maybe_compact j
 
+(* Read every intact record of a foreign journal file without opening a
+   handle on its directory (no lock file creation, no O_APPEND writer).
+   Tolerates a torn tail exactly like [replay_into]: scanning stops at
+   the first record that does not fit in the file. *)
+let scan_journal_file (jpath : string) (f : string -> string -> unit) : unit =
+  match Unix.openfile jpath [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    let size = (Unix.fstat fd).Unix.st_size in
+    if size > 0 then begin
+      let buf = Bytes.create size in
+      let rec read_all off =
+        if off >= size then size
+        else
+          match Unix.read fd buf off (size - off) with
+          | 0 -> off
+          | n -> read_all (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all off
+      in
+      let got = read_all 0 in
+      let pos = ref 0 in
+      let ok = ref true in
+      while !ok && !pos + 8 <= got do
+        let kl = get_u32 buf !pos and vl = get_u32 buf (!pos + 4) in
+        if kl < 0 || vl < 0 || !pos + 8 + kl + vl > got then ok := false
+        else begin
+          f (Bytes.sub_string buf (!pos + 8) kl) (Bytes.sub_string buf (!pos + 8 + kl) vl);
+          pos := !pos + 8 + kl + vl
+        end
+      done
+    end
+
+(* Replicate another shard's journal into this one: copy every record
+   whose key this journal does not have.  Existing keys are left alone
+   -- verdicts are deterministic functions of their cache key, so a
+   present key already holds the same value and re-appending it would
+   only create dead weight (and ping-pong bytes between journals on
+   every merge round).  One lock covers the whole merge so a record is
+   never half-visible; the appends land through the same O_APPEND
+   writer as [journal_store], so concurrent shard writers interleave at
+   record granularity only. *)
+let journal_merge_from (j : journal) (src_dir : string) : int =
+  let src_path = Filename.concat src_dir "journal.bin" in
+  let copied = ref 0 in
+  with_lock j (fun () ->
+      refresh j;
+      scan_journal_file src_path (fun k v ->
+          if not (Hashtbl.mem j.index k) then begin
+            let b = encode_record k v in
+            write_all j.wfd b 0 (Bytes.length b);
+            Hashtbl.replace j.index k v;
+            j.live <- j.live + record_bytes k v;
+            j.replayed <- j.replayed + Bytes.length b;
+            incr copied
+          end));
+  (* outside the lock, same reason as [journal_store] *)
+  maybe_compact j;
+  !copied
+
 (* ------------------------------------------------------------------ *)
 (* The common face                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -298,6 +358,11 @@ let store t k (v : string) : unit =
   t.stores <- t.stores + 1
 
 let compact t = match t.backend with Entries -> () | Journal j -> journal_compact j
+
+(* Copy missing records from [src_dir]'s journal into [t]; returns how
+   many were copied.  No-op for the per-entry backend. *)
+let merge_from t (src_dir : string) : int =
+  match t.backend with Entries -> 0 | Journal j -> journal_merge_from j src_dir
 
 let close t =
   match t.backend with

@@ -1,0 +1,80 @@
+(* A consistent-hash ring for routing verdict-cache keys to shards.
+
+   Each shard contributes [vnodes] points on a 2^62 ring, placed by
+   hashing "name#i"; a key routes to the owner of the first point at or
+   after the key's own hash (wrapping).  Virtual nodes smooth the load:
+   with 64 vnodes per shard the heaviest shard stays within a few
+   percent of fair share on uniform keys.  The payoff over modular
+   hashing is minimal disruption -- adding or removing one shard only
+   remaps the keys that landed on its points, so the other shards'
+   in-flight coalescing and journal working sets stay hot.
+
+   [successors] yields every distinct shard in ring order starting at
+   the key's owner; the fleet client walks that list on failover so a
+   key has a deterministic second (third, ...) home. *)
+
+type t = {
+  names : string array; (* shard index -> display name *)
+  points : (int * int) array; (* (ring position, shard index), sorted *)
+}
+
+(* First 8 hash bytes as a non-negative int.  MD5 is plenty: this is
+   placement, not security, and Digest is already a dependency. *)
+let hash_point (s : string) : int =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  let v =
+    (b 0 lsl 56) lor (b 1 lsl 48) lor (b 2 lsl 40) lor (b 3 lsl 32)
+    lor (b 4 lsl 24) lor (b 5 lsl 16) lor (b 6 lsl 8) lor b 7
+  in
+  v land max_int
+
+let make ?(vnodes = 64) (names : string list) : t =
+  if names = [] then invalid_arg "Ring.make: no shards";
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes < 1";
+  let names = Array.of_list names in
+  let points =
+    Array.init (Array.length names * vnodes) (fun i ->
+        let shard = i / vnodes and vn = i mod vnodes in
+        (hash_point (Printf.sprintf "%s#%d" names.(shard) vn), shard))
+  in
+  Array.sort compare points;
+  { names; points }
+
+let size t = Array.length t.names
+let name t i = t.names.(i)
+
+(* Index into [points] of the first point at or after [h], wrapping. *)
+let owner_point t (h : int) : int =
+  let n = Array.length t.points in
+  (* binary search for the leftmost point with position >= h *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t (key : string) : int =
+  snd t.points.(owner_point t (hash_point key))
+
+(* Every distinct shard in ring order from the key's owner.  The head
+   of the list is [route t key]. *)
+let successors t (key : string) : int list =
+  let n = Array.length t.points in
+  let want = Array.length t.names in
+  let seen = Array.make want false in
+  let start = owner_point t (hash_point key) in
+  let acc = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < want && !i < n do
+    let shard = snd t.points.((start + !i) mod n) in
+    if not seen.(shard) then begin
+      seen.(shard) <- true;
+      acc := shard :: !acc;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !acc

@@ -384,6 +384,9 @@ let stats_reply (st : state) : Wire.reply =
       timeouts = Obs.counter_value "serve.timeouts";
       cache_hit_rate =
         (match st.cfg.cache with Some c -> Ub_exec.Cache.hit_rate c | None -> 0.0);
+      cache_hits = (match st.cfg.cache with Some c -> Ub_exec.Cache.hits c | None -> 0);
+      cache_misses = (match st.cfg.cache with Some c -> Ub_exec.Cache.misses c | None -> 0);
+      server = st.cfg.server_name;
       verdicts;
       report;
     }
@@ -407,7 +410,13 @@ let handle_request (st : state) (c : conn) (req : Wire.request) : unit =
     end
     else begin
       c.greeted <- true;
-      send st c (Wire.Hello_ok { v = Wire.version; server = st.cfg.server_name })
+      send st c
+        (Wire.Hello_ok
+           { v = Wire.version;
+             server = st.cfg.server_name;
+             jobs = st.cfg.jobs;
+             queue_limit = st.cfg.queue_limit;
+           })
     end
   | _ when not c.greeted ->
     send st c (Wire.Error_r { r_id = None; message = "hello handshake required" })

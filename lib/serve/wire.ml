@@ -71,12 +71,17 @@ type stats_reply = {
   rejected : int;
   timeouts : int;
   cache_hit_rate : float;
+  cache_hits : int; (* verdict-cache lookups answered from the journal *)
+  cache_misses : int; (* lookups that fell through to a real check *)
+  server : string; (* server/shard name, for fleet stat aggregation *)
   verdicts : (string * int) list; (* verdict kind -> count *)
   report : Json.t; (* the full ubc-obs-report-v1 object *)
 }
 
 type reply =
-  | Hello_ok of { v : int; server : string }
+  | Hello_ok of { v : int; server : string; jobs : int; queue_limit : int }
+    (* jobs/queue_limit echo the server's tuning; 0 from pre-fleet
+       servers that do not send them *)
   | Verdict of verdict_reply
   | Overloaded of { r_id : int option; queue_depth : int; queue_limit : int }
   | Stats_r of stats_reply
@@ -115,10 +120,11 @@ let request_to_json : request -> Json.t = function
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
 
 let reply_to_json : reply -> Json.t = function
-  | Hello_ok { v; server } ->
+  | Hello_ok { v; server; jobs; queue_limit } ->
     Json.Obj
       [ ("op", Json.Str "hello_ok"); ("v", Json.Num (float_of_int v));
-        ("server", Json.Str server) ]
+        ("server", Json.Str server); ("jobs", Json.Num (float_of_int jobs));
+        ("queue_limit", Json.Num (float_of_int queue_limit)) ]
   | Verdict r ->
     Json.Obj
       (("op", Json.Str "verdict")
@@ -144,6 +150,9 @@ let reply_to_json : reply -> Json.t = function
         ("rejected", Json.Num (float_of_int s.rejected));
         ("timeouts", Json.Num (float_of_int s.timeouts));
         ("cache_hit_rate", Json.Num s.cache_hit_rate);
+        ("cache_hits", Json.Num (float_of_int s.cache_hits));
+        ("cache_misses", Json.Num (float_of_int s.cache_misses));
+        ("server", Json.Str s.server);
         ("verdicts", Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) s.verdicts));
         ("report", s.report);
       ]
@@ -204,7 +213,13 @@ let reply_of_json (j : Json.t) : (reply, string) result =
   | Some "hello_ok" ->
     let* v = required "v" (Json.int_field j "v") in
     let* server = required "server" (Json.str_field j "server") in
-    Ok (Hello_ok { v; server })
+    Ok
+      (Hello_ok
+         { v;
+           server;
+           jobs = Option.value ~default:0 (Json.int_field j "jobs");
+           queue_limit = Option.value ~default:0 (Json.int_field j "queue_limit");
+         })
   | Some "verdict" ->
     let* verdict = required "verdict" (Json.str_field j "verdict") in
     let args =
@@ -245,6 +260,9 @@ let reply_of_json (j : Json.t) : (reply, string) result =
            rejected = Option.value ~default:0 (Json.int_field j "rejected");
            timeouts = Option.value ~default:0 (Json.int_field j "timeouts");
            cache_hit_rate = Option.value ~default:0.0 (Json.num_field j "cache_hit_rate");
+           cache_hits = Option.value ~default:0 (Json.int_field j "cache_hits");
+           cache_misses = Option.value ~default:0 (Json.int_field j "cache_misses");
+           server = Option.value ~default:"" (Json.str_field j "server");
            verdicts;
            report = Option.value ~default:(Json.Obj []) (Json.member "report" j);
          })

@@ -90,7 +90,7 @@ let wire_tests =
         req_roundtrip Wire.Stats;
         req_roundtrip Wire.Shutdown);
     Alcotest.test_case "every reply variant roundtrips" `Quick (fun () ->
-        reply_roundtrip (Wire.Hello_ok { v = 1; server = "s/1" });
+        reply_roundtrip (Wire.Hello_ok { v = 1; server = "s/1"; jobs = 2; queue_limit = 64 });
         reply_roundtrip
           (Wire.Verdict
              { r_id = Some 3;
@@ -116,6 +116,9 @@ let wire_tests =
                rejected = 1;
                timeouts = 2;
                cache_hit_rate = 0.5;
+               cache_hits = 5;
+               cache_misses = 5;
+               server = "s/1";
                verdicts = [ ("refines", 8); ("timeout", 2) ];
                report = Json.Obj [ ("schema", Json.Str "x") ];
              });
