@@ -207,7 +207,13 @@ let lower_func (fn : Func.t) : Mir.func =
                   match op with
                   | Sext -> emit (Mir.Movsx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
                   | Zext -> emit (Mir.Movzx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
-                  | Trunc -> emit (Mir.Copy (tw, d, rx.(l))))
+                  | Trunc -> emit (Mir.Copy (tw, d, rx.(l)))
+                  | Ptrtoint | Inttoptr ->
+                    (* address bits move unchanged: zero-extend when
+                       widening, plain copy otherwise *)
+                    if tw > fw then
+                      emit (Mir.Movzx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
+                    else emit (Mir.Copy (tw, d, rx.(l))))
                 (lookup env (Option.get def))
             | Bitcast (_, x, to_) ->
               (* same-width reinterpretation: lane-wise copies when the

@@ -260,9 +260,11 @@ type hunt_params = {
   h_insns : int; (* straight-line instruction budget *)
   h_undef : bool; (* emit undef operands (old modes only) *)
   h_cfg : bool; (* emit a branch/phi diamond *)
+  h_mem : bool; (* emit allocations, loads/stores, int/ptr casts *)
 }
 
-let default_hunt = { h_width = 2; h_insns = 5; h_undef = false; h_cfg = false }
+let default_hunt =
+  { h_width = 2; h_insns = 5; h_undef = false; h_cfg = false; h_mem = false }
 
 let hunt_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
   let w = p.h_width in
@@ -337,6 +339,42 @@ let hunt_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
   for _ = 1 to 1 + Prng.int rng p.h_insns do
     emit_one ()
   done;
+  if p.h_mem then begin
+    (* a small heap region with the idioms the memory entries rewrite:
+       a 1/2/4-byte buffer, stores through it and through a
+       ptrtoint/inttoptr alias (store-forward-alias), loads that flow to
+       the return (load-widen-oob), a pointer-to-pointer cell
+       (store-ptr-int), buffers whose result is never dereferenced
+       (malloc-to-alloca under the finite phase), and the occasional
+       free *)
+    let i8 = Types.Int 8 in
+    let pi8 = Types.Ptr i8 in
+    let i32 = Types.Int 32 in
+    let byte () =
+      if Prng.bool rng then Builder.const_i ~width:8 (Prng.int rng 256)
+      else Builder.zext b ~from:ity ~to_:i8 (Prng.choose_list rng !pool)
+    in
+    let size = [| 1; 2; 4 |].(Prng.int rng 3) in
+    let p0 = Builder.call b (Some pi8) "malloc" [ (i32, Builder.const_i ~width:32 size) ] in
+    if Prng.chance rng ~num:2 ~den:3 then Builder.store b i8 (byte ()) p0;
+    if Prng.bool rng then begin
+      let ia = Builder.ptrtoint b ~from:pi8 ~to_:i32 p0 in
+      let q = Builder.inttoptr b ~from:i32 ~to_:pi8 ia in
+      if Prng.chance rng ~num:2 ~den:3 then Builder.store b i8 (byte ()) q
+      else push (Builder.trunc b ~from:i32 ~to_:ity ia)
+    end;
+    if Prng.chance rng ~num:1 ~den:3 then begin
+      let pp =
+        Builder.call b (Some (Types.Ptr pi8)) "malloc" [ (i32, Builder.const_i ~width:32 4) ]
+      in
+      Builder.store b pi8 p0 pp
+    end;
+    if Prng.chance rng ~num:2 ~den:3 then begin
+      let x = Builder.load b i8 p0 in
+      push (Builder.trunc b ~from:i8 ~to_:ity x)
+    end;
+    if Prng.chance rng ~num:1 ~den:6 then Builder.call_void b "free" [ (pi8, p0) ]
+  end;
   (* lift a boolean into the pool so i1 work can reach the return *)
   (match !bools with
   | [] -> ()

@@ -76,16 +76,32 @@ let ins_skeleton (r : renamer) (ins : Instr.t) : string =
     Printf.sprintf "select %s %s %s,%s" (op c) (Types.to_string ty) (op x) (op y)
   | Freeze (ty, x) -> Printf.sprintf "freeze %s %s" (Types.to_string ty) (op x)
   | Conv (k, from, x, to_) ->
-    Printf.sprintf "%s %s %s to %s"
-      (match k with Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc")
-      (Types.to_string from) (op x) (Types.to_string to_)
+    Printf.sprintf "%s %s %s to %s" (Instr.conv_name k) (Types.to_string from) (op x)
+      (Types.to_string to_)
+  | Bitcast (from, x, to_) ->
+    Printf.sprintf "bitcast %s %s to %s" (Types.to_string from) (op x) (Types.to_string to_)
+  | Gep { inbounds; pointee; base; indices } ->
+    Printf.sprintf "gep%s %s %s%s"
+      (if inbounds then " inbounds" else "")
+      (Types.to_string pointee) (op base)
+      (String.concat ""
+         (List.map (fun (t, i) -> Printf.sprintf ",%s %s" (Types.to_string t) (op i)) indices))
+  | Load (ty, p) -> Printf.sprintf "load %s %s" (Types.to_string ty) (op p)
+  | Store (ty, v, p) -> Printf.sprintf "store %s %s,%s" (Types.to_string ty) (op v) (op p)
+  | Call (ret, callee, args) ->
+    (* callee names are semantic (malloc/alloca/free), so they stay *)
+    Printf.sprintf "call %s @%s(%s)"
+      (match ret with Some ty -> Types.to_string ty | None -> "void")
+      callee
+      (String.concat ","
+         (List.map (fun (t, a) -> Printf.sprintf "%s %s" (Types.to_string t) (op a)) args))
   | Phi (ty, incoming) ->
     Printf.sprintf "phi %s %s" (Types.to_string ty)
       (String.concat ","
          (List.map (fun (o, l) -> Printf.sprintf "[%s,%s]" (op o) (label_kind r l)) incoming))
   | other ->
-    (* memory/vector/call instructions never appear in hunt corpora;
-       fall back to the printer with registers left intact *)
+    (* vector instructions never appear in hunt corpora; fall back to
+       the printer with registers left intact *)
     Format.asprintf "%a" Printer.pp_insn { Instr.def = None; ins = other }
 
 let term_skeleton (r : renamer) : terminator -> string =

@@ -99,6 +99,7 @@ let entry_config ~seed ~programs (e : Ub_opt.Inject.entry) : config =
       { Ub_fuzz.Gen.default_hunt with
         Ub_fuzz.Gen.h_undef = e.Ub_opt.Inject.needs_undef;
         Ub_fuzz.Gen.h_cfg = e.Ub_opt.Inject.needs_cfg;
+        Ub_fuzz.Gen.h_mem = e.Ub_opt.Inject.needs_mem;
       };
   }
 

@@ -84,6 +84,8 @@ let zext b ?name ~from ~to_ x = insert b ?name (Conv (Zext, from, x, to_))
 let sext b ?name ~from ~to_ x = insert b ?name (Conv (Sext, from, x, to_))
 let trunc b ?name ~from ~to_ x = insert b ?name (Conv (Trunc, from, x, to_))
 let bitcast b ?name ~from ~to_ x = insert b ?name (Bitcast (from, x, to_))
+let ptrtoint b ?name ~from ~to_ x = insert b ?name (Conv (Ptrtoint, from, x, to_))
+let inttoptr b ?name ~from ~to_ x = insert b ?name (Conv (Inttoptr, from, x, to_))
 let freeze b ?name ty x = insert b ?name (Freeze (ty, x))
 let phi b ?name ty incoming = insert b ?name (Phi (ty, incoming))
 

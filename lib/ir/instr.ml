@@ -39,7 +39,7 @@ let exact_only = { no_attrs with exact = true }
 
 type icmp_pred = Eq | Ne | Ugt | Uge | Ult | Ule | Sgt | Sge | Slt | Sle
 
-type conv_op = Zext | Sext | Trunc
+type conv_op = Zext | Sext | Trunc | Ptrtoint | Inttoptr
 
 type t =
   | Binop of binop * attrs * Types.t * operand * operand
@@ -257,7 +257,12 @@ let pred_of_name = function
   | "sle" -> Some Sle
   | _ -> None
 
-let conv_name = function Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc"
+let conv_name = function
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Trunc -> "trunc"
+  | Ptrtoint -> "ptrtoint"
+  | Inttoptr -> "inttoptr"
 
 (* Which attributes may legally decorate which binop. *)
 let attrs_ok op { nsw; nuw; exact } =

@@ -298,11 +298,13 @@ let parse_instr_body st (opcode : string) : Instr.t =
     if not (Types.equal ty ty2) then fail "line %d: select arm types differ" (cur_line st);
     let b = parse_operand st ty in
     Instr.Select (c, ty, a, b)
-  | "zext" | "sext" | "trunc" ->
+  | "zext" | "sext" | "trunc" | "ptrtoint" | "inttoptr" ->
     let op =
       match opcode with
       | "zext" -> Instr.Zext
       | "sext" -> Instr.Sext
+      | "ptrtoint" -> Instr.Ptrtoint
+      | "inttoptr" -> Instr.Inttoptr
       | _ -> Instr.Trunc
     in
     let from = parse_type st in

@@ -144,7 +144,17 @@ let check_func (fn : Func.t) : error list =
               (match op with
               | Zext | Sext ->
                 if tw <= fw then err "@%s: %s: %s must widen" fn.name ictx (conv_name op)
-              | Trunc -> if tw >= fw then err "@%s: %s: trunc must narrow" fn.name ictx);
+              | Trunc -> if tw >= fw then err "@%s: %s: trunc must narrow" fn.name ictx
+              | Ptrtoint ->
+                if not (Types.is_pointer (Types.element from)) then
+                  err "@%s: %s: ptrtoint from non-pointer type" fn.name ictx;
+                if not (Types.is_integer (Types.element to_)) then
+                  err "@%s: %s: ptrtoint to non-integer type" fn.name ictx
+              | Inttoptr ->
+                if not (Types.is_integer (Types.element from)) then
+                  err "@%s: %s: inttoptr from non-integer type" fn.name ictx;
+                if not (Types.is_pointer (Types.element to_)) then
+                  err "@%s: %s: inttoptr to non-pointer type" fn.name ictx);
               (match (from, to_) with
               | Types.Vec (n, _), Types.Vec (m, _) when n = m -> ()
               | Types.Vec _, _ | _, Types.Vec _ ->

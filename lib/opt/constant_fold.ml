@@ -122,13 +122,16 @@ let fold_insn (_fn : Func.t) (named : Instr.named) : Pass.rewrite =
     (* Select_conditional and Select_arith: poison condition => poison.
        (Under Select_ub_cond this deletes a UB — a legal refinement.) *)
     Pass.Replace_with (Const (Constant.Poison ty))
-  | Conv (op, _, Const (Constant.Int x), to_) ->
+  | Conv (((Zext | Sext | Trunc) as op), _, Const (Constant.Int x), to_) ->
+    (* ptrtoint/inttoptr are excluded: an integer constant cannot stand
+       in for a pointer-typed result under the validator *)
     let w = Types.bitwidth to_ in
     let v =
       match op with
       | Zext -> Bitvec.zext x ~width:w
       | Sext -> Bitvec.sext x ~width:w
       | Trunc -> Bitvec.trunc x ~width:w
+      | Ptrtoint | Inttoptr -> assert false
     in
     Pass.Replace_with (int_const v)
   | Conv (_, _, Const (Constant.Poison _), to_) ->

@@ -12,8 +12,8 @@
    - [modes]: semantics-mode names under which the rewrite is actually
      refuted by the checker (the hunting lanes to run).  These are
      verified empirically by test_hunt's recall gate;
-   - [needs_undef]/[needs_cfg]: what the generated corpus must contain
-     for the bug to be observable at all. *)
+   - [needs_undef]/[needs_cfg]/[needs_mem]: what the generated corpus
+     must contain for the bug to be observable at all. *)
 
 open Ub_support
 open Ub_ir
@@ -26,6 +26,7 @@ type entry = {
   modes : string list; (* mode names the bug is discoverable under *)
   needs_undef : bool; (* corpus must contain undef operands *)
   needs_cfg : bool; (* corpus must contain branches/phis *)
+  needs_mem : bool; (* corpus must contain allocations and memory ops *)
   apply : Func.t -> Func.t;
 }
 
@@ -302,6 +303,126 @@ let phi_to_select (fn : Func.t) : Func.t =
   | [] -> fn
 
 (* ------------------------------------------------------------------ *)
+(* Memory entries (need allocations and memory ops)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Store-to-load forwarding assuming syntactic noalias: replace a load
+   with the value most recently stored through the *syntactically same*
+   pointer, skipping an intervening store through a different SSA
+   pointer.  Wrong whenever the other pointer aliases — e.g. it was
+   recovered from the same address by a ptrtoint/inttoptr round-trip
+   (the provenance blind spot of Section 4.2 / Beck et al.). *)
+let store_forward_alias (fn : Func.t) : Func.t =
+  let found = ref None in
+  List.iter
+    (fun (b : Func.block) ->
+      if !found = None then
+        List.iteri
+          (fun j (n : Instr.named) ->
+            if !found = None then
+              match (n.Instr.def, n.Instr.ins) with
+              | Some d, Load (ty, p) ->
+                (* walk back to the nearest store through [p]; only fire
+                   if a store through a different pointer intervenes *)
+                let rec back i intervening =
+                  if i >= 0 then
+                    match (List.nth b.Func.insns i).Instr.ins with
+                    | Store (ty2, v2, p2) ->
+                      if p2 = p then begin
+                        if intervening && Types.equal ty2 ty then
+                          found := Some (b.Func.label, j, d, v2)
+                      end
+                      else back (i - 1) true
+                    | _ -> back (i - 1) intervening
+                in
+                back (j - 1) false
+              | _ -> ())
+          b.Func.insns)
+    fn.Func.blocks;
+  match !found with
+  | None -> fn
+  | Some (lbl, j, d, v) ->
+    let subst op = if op = Var d then v else op in
+    { fn with
+      Func.blocks =
+        List.map
+          (fun (b : Func.block) ->
+            let insns =
+              if b.Func.label = lbl then List.filteri (fun i _ -> i <> j) b.Func.insns
+              else b.Func.insns
+            in
+            { b with
+              Func.insns =
+                List.map (fun n -> { n with Instr.ins = Instr.map_operands subst n.Instr.ins }) insns;
+              Func.term = Instr.map_term_operands subst b.Func.term;
+            })
+          fn.Func.blocks;
+    }
+
+(* Load widening without the allocation-size guard: every i8 load
+   becomes a <2 x i8> vector load plus extractelement 0.  Contrast
+   lib/opt/load_widen.ml, which only widens when the underlying malloc
+   is known to have >= 4 bytes left; dropping the guard reads one byte
+   past a 1-byte allocation — out-of-bounds UB the source never had. *)
+let load_widen_oob =
+  peephole (fun fn named ->
+      match named.ins with
+      | Load ((Types.Int 8 as ty), p) -> (
+        match named.def with
+        | Some def when Func.find_def fn ("inj.lw." ^ def) = None ->
+          let vty = Types.Vec (2, ty) in
+          let pv = "inj.lw." ^ def and wide = "inj.lv." ^ def in
+          Pass.Expand
+            [ { Instr.def = Some pv; ins = Bitcast (Types.Ptr ty, p, Types.Ptr vty) };
+              { Instr.def = Some wide; ins = Load (vty, Var pv) };
+              { named with
+                ins = Extractelement (vty, Var wide, Const (Constant.of_int ~width:32 0));
+              };
+            ]
+        | _ -> Pass.Keep)
+      | _ -> Pass.Keep)
+
+(* Heap-to-stack promotion: call @malloc(n) => call @alloca(n).  In the
+   infinite phase the two are indistinguishable, but under a finite
+   memory (Beck et al.) an exhausted malloc returns null — the program
+   can test and survive — while an exhausted alloca is UB.  Refuted by
+   the enumeration checker's finite phases. *)
+let malloc_to_alloca =
+  peephole (fun _fn named ->
+      match named.ins with
+      | Call (Some rty, "malloc", args) -> Pass.Replace_ins (Call (Some rty, "alloca", args))
+      | _ -> Pass.Keep)
+
+(* Demote a pointer-typed store to an integer store of the cast address:
+   store ty* v, pp => store i32 (ptrtoint v) through a bitcast of pp.
+   The address bits are identical, but the stored bytes lose their
+   provenance (Prov_alloc => Prov_none) — exactly the information the
+   byte type of Beck et al. exists to preserve.  Observable through the
+   memory fingerprint. *)
+let store_ptr_int (fn : Func.t) : Func.t =
+  let k = ref 0 in
+  let expand (b : Func.block) =
+    { b with
+      Func.insns =
+        List.concat_map
+          (fun (n : Instr.named) ->
+            match n.Instr.ins with
+            | Store ((Types.Ptr _ as pty), v, pp) ->
+              incr k;
+              let i = Printf.sprintf "inj.spi.i%d" !k
+              and c = Printf.sprintf "inj.spi.c%d" !k in
+              let ity = Types.Int Types.pointer_bits in
+              [ { Instr.def = Some i; ins = Conv (Ptrtoint, pty, v, ity) };
+                { Instr.def = Some c; ins = Bitcast (Types.Ptr pty, pp, Types.Ptr ity) };
+                { Instr.def = None; ins = Store (ity, Var i, Var c) };
+              ]
+            | _ -> [ n ])
+          b.Func.insns;
+    }
+  in
+  { fn with Func.blocks = List.map expand fn.Func.blocks }
+
+(* ------------------------------------------------------------------ *)
 (* The catalog                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +440,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = shl_nsw;
     };
     { name = "udiv-exact";
@@ -327,6 +449,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = udiv_exact;
     };
     { name = "mul2-add-dup";
@@ -335,6 +458,7 @@ let all : entry list =
       modes = old_mode_names;
       needs_undef = true;
       needs_cfg = false;
+      needs_mem = false;
       apply = mul2_add_dup;
     };
     { name = "select-or-true";
@@ -343,6 +467,7 @@ let all : entry list =
       modes = [ "proposed"; "old-unswitch"; "old-gvn"; "old-simplifycfg" ];
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = select_or_true;
     };
     { name = "select-and-false";
@@ -351,6 +476,7 @@ let all : entry list =
       modes = [ "proposed"; "old-unswitch"; "old-gvn"; "old-simplifycfg" ];
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = select_and_false;
     };
     { name = "select-undef-arm";
@@ -359,6 +485,7 @@ let all : entry list =
       modes = old_mode_names;
       needs_undef = true;
       needs_cfg = false;
+      needs_mem = false;
       apply = select_undef_arm;
     };
     { name = "freeze-hoist-nsw";
@@ -367,6 +494,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = freeze_hoist_nsw;
     };
     { name = "gvn-freeze-elim";
@@ -375,6 +503,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = gvn_freeze_elim;
     };
     { name = "reassoc-nsw";
@@ -383,6 +512,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = false;
+      needs_mem = false;
       apply = reassoc_nsw;
     };
     { name = "spec-div-hoist";
@@ -391,6 +521,7 @@ let all : entry list =
       modes = all_mode_names;
       needs_undef = false;
       needs_cfg = true;
+      needs_mem = false;
       apply = spec_div_hoist;
     };
     { name = "gvn-eq-propagate";
@@ -399,6 +530,7 @@ let all : entry list =
       modes = nondet_branch_modes;
       needs_undef = false;
       needs_cfg = true;
+      needs_mem = false;
       apply = gvn_eq_propagate;
     };
     { name = "phi-select";
@@ -407,7 +539,47 @@ let all : entry list =
       modes = [ "old-gvn"; "old-langref" ];
       needs_undef = false;
       needs_cfg = true;
+      needs_mem = false;
       apply = phi_to_select;
+    };
+    (* The memory family below is mode-independent (the bugs live in the
+       memory model, not in poison/undef semantics), so a single
+       proposed-mode lane suffices for the hunt. *)
+    { name = "store-forward-alias";
+      section = "S4.2";
+      doc = "forward a store to a load across a store through an inttoptr alias";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = true;
+      apply = store_forward_alias;
+    };
+    { name = "load-widen-oob";
+      section = "S4.2";
+      doc = "widen load i8 to load <2 x i8> without the allocation-size guard";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = true;
+      apply = load_widen_oob;
+    };
+    { name = "malloc-to-alloca";
+      section = "2404.16143";
+      doc = "promote malloc to alloca (UB on exhaustion in the finite phase)";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = true;
+      apply = malloc_to_alloca;
+    };
+    { name = "store-ptr-int";
+      section = "2404.16143";
+      doc = "store a pointer as its ptrtoint integer (erases byte provenance)";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = true;
+      apply = store_ptr_int;
     };
   ]
 

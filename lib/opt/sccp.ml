@@ -106,6 +106,10 @@ let run (_cfg : Pass.config) (fn : Func.t) : Func.t =
                     set d (lat_of_operand (if Bitvec.is_one cv then a else b'))
                   | Over -> set d (join (lat_of_operand a) (lat_of_operand b'))
                   | Top -> ())
+                | Conv ((Ptrtoint | Inttoptr), _, _, _) ->
+                  (* never propagated: an integer lattice constant
+                     cannot replace a pointer-typed value *)
+                  set d Over
                 | Conv (op, _, x, to_) -> (
                   let w = Types.bitwidth to_ in
                   match lat_of_operand x with
@@ -115,6 +119,7 @@ let run (_cfg : Pass.config) (fn : Func.t) : Func.t =
                       | Zext -> Bitvec.zext xv ~width:w
                       | Sext -> Bitvec.sext xv ~width:w
                       | Trunc -> Bitvec.trunc xv ~width:w
+                      | Ptrtoint | Inttoptr -> assert false
                     in
                     set d (Const_ r)
                   | Over -> set d Over

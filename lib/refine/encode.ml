@@ -286,6 +286,10 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
           | Icmp (pred, _, a, b') ->
             bind (encode_icmp pred (sym_of_operand a) (sym_of_operand b'))
           | Select (c, _, a, b') -> bind (encode_select c a b' reach_b)
+          | Conv ((Ptrtoint | Inttoptr), _, _, _) ->
+            (* pointer/integer casts need the memory model; the
+               enumeration checker handles them *)
+            unsupported "pointer/integer cast"
           | Conv (op, from, x, to_) ->
             let s = sym_of_operand x in
             let vx, px = use s in
@@ -296,6 +300,7 @@ let encode (ctx : Circuit.ctx) (mode : Mode.t) (choice : choice_fn)
               | Zext -> Bvterm.zext ctx vx ~width:tw
               | Sext -> Bvterm.sext ctx vx ~width:tw
               | Trunc -> Bvterm.trunc ctx vx ~width:tw
+              | Ptrtoint | Inttoptr -> assert false
             in
             bind { v; p = px; u = Circuit.bfalse }
           | Bitcast (from, x, to_) ->

@@ -16,23 +16,41 @@ type verdict =
 
 (* Does source behaviour [s] cover target behaviour [t]?  UB covers
    everything; a returned value covers by Value.covers; event traces must
-   match pointwise with argument covering; memories compare bit-wise with
-   poison covering anything and undef covering any defined bit. *)
-let mem_covers (src : string) (tgt : string) =
-  String.length src = String.length tgt
-  && begin
-    let ok = ref true in
-    String.iteri
-      (fun i cs ->
-        let ct = tgt.[i] in
+   match pointwise with argument covering; memories compare byte-wise
+   with poison covering anything and undef covering any defined bit.
+
+   Memory fingerprints are ';'-separated "addr=bits[prov]" entries
+   (Memory.fingerprint): 8 bit-chars, then an optional provenance suffix
+   — nothing for integer bytes, "*" for wildcard pointer bytes,
+   "@<base>" for bytes carrying an allocation's provenance.  A source
+   wildcard byte covers any target provenance (it may hold any pointer);
+   otherwise provenance must match exactly. *)
+let mem_entry_covers (src : string) (tgt : string) =
+  match (String.index_opt src '=', String.index_opt tgt '=') with
+  | Some is_, Some it ->
+    String.sub src 0 is_ = String.sub tgt 0 it
+    && String.length src >= is_ + 9
+    && String.length tgt >= it + 9
+    && begin
+      let bits_ok = ref true in
+      for i = 1 to 8 do
+        let cs = src.[is_ + i] and ct = tgt.[it + i] in
         if cs <> ct then
           match (cs, ct) with
           | 'p', _ -> ()
           | 'u', ('0' | '1' | 'u') -> ()
-          | _ -> ok := false)
-      src;
-    !ok
-  end
+          | _ -> bits_ok := false
+      done;
+      let prov_s = String.sub src (is_ + 9) (String.length src - is_ - 9) in
+      let prov_t = String.sub tgt (it + 9) (String.length tgt - it - 9) in
+      !bits_ok && (prov_s = "*" || prov_s = prov_t)
+    end
+  | _ -> src = tgt
+
+let mem_covers (src : string) (tgt : string) =
+  let split s = if s = "" then [] else String.split_on_char ';' s in
+  let es = split src and et = split tgt in
+  List.length es = List.length et && List.for_all2 mem_entry_covers es et
 
 let event_covers (Interp.Call_event (ns, args_s)) (Interp.Call_event (nt, args_t)) =
   ns = nt
@@ -86,6 +104,36 @@ let input_space ~(mode : Mode.t) ~max_inputs (fn : Func.t) : Value.t list list o
   | Some _ -> None
   | None -> None
 
+(* Does the function allocate?  Only allocating programs are sensitive
+   to the memory phase, so everything else is checked under the
+   (default) infinite phase alone. *)
+let uses_alloc (fn : Func.t) =
+  List.exists
+    (fun (b : Func.block) ->
+      List.exists
+        (fun (n : Instr.named) ->
+          match n.Instr.ins with
+          | Instr.Call (_, callee, _) -> Interp.is_malloc callee
+          | _ -> false)
+        b.Func.insns)
+    fn.Func.blocks
+
+(* The phases a pair is checked under.  Refinement must hold in *every*
+   phase, with source and target run under the same phase (Beck et al.,
+   arXiv 2404.16143): the finite phases refute rewrites that trade heap
+   for stack or otherwise change how allocation failure surfaces.
+   [Finite 0] is the degenerate machine where every allocation fails;
+   [Finite 16] lets small programs allocate a little before running
+   out. *)
+let phases_for ~(src : Func.t) ~(tgt : Func.t) : Memory.phase list =
+  if uses_alloc src || uses_alloc tgt then
+    [ Memory.Infinite; Memory.Finite 0; Memory.Finite 16 ]
+  else [ Memory.Infinite ]
+
+let phase_to_string = function
+  | Memory.Infinite -> "infinite"
+  | Memory.Finite n -> Printf.sprintf "finite(%d)" n
+
 let check ?(mode = Mode.proposed) ?(fuel = 5_000) ?(max_inputs = 5_000) ?(max_runs = 50_000)
     ?module_src ?module_tgt ?inputs ~(src : Func.t) ~(tgt : Func.t) () : verdict =
   Ub_obs.Obs.with_span "refine.enum_check" @@ fun () ->
@@ -99,35 +147,43 @@ let check ?(mode = Mode.proposed) ?(fuel = 5_000) ?(max_inputs = 5_000) ?(max_ru
     match tuples with
     | None -> Unknown "input space too large or not enumerable"
     | Some tuples -> (
+      let phases = phases_for ~src ~tgt in
       try
         let bad =
           List.find_map
             (fun args ->
-              let behs_src =
-                Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_src ~max_runs src args
-              in
-              let behs_tgt =
-                Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_tgt ~max_runs tgt args
-              in
-              match
-                List.find_opt
-                  (fun bt -> not (List.exists (fun bs -> behavior_covers bs bt) behs_src))
-                  behs_tgt
-              with
-              | Some bt ->
-                Some
-                  (Counterexample
-                     { args;
-                       witness =
-                         Printf.sprintf
-                           "target behaviour not covered: %s (source has %d behaviour(s): %s)"
-                           (Interp.Behaviors.to_string bt)
-                           (List.length behs_src)
-                           (String.concat " | "
-                              (List.map Interp.Behaviors.to_string
-                                 (Ub_support.Util.take 4 behs_src)));
-                     })
-              | None -> None)
+              List.find_map
+                (fun phase ->
+                  let behs_src =
+                    Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_src ~max_runs
+                      ~phase src args
+                  in
+                  let behs_tgt =
+                    Interp.Behaviors.enumerate ~mode ~fuel ?module_:module_tgt ~max_runs
+                      ~phase tgt args
+                  in
+                  match
+                    List.find_opt
+                      (fun bt -> not (List.exists (fun bs -> behavior_covers bs bt) behs_src))
+                      behs_tgt
+                  with
+                  | Some bt ->
+                    Some
+                      (Counterexample
+                         { args;
+                           witness =
+                             Printf.sprintf
+                               "target behaviour not covered in %s phase: %s (source has %d \
+                                behaviour(s): %s)"
+                               (phase_to_string phase)
+                               (Interp.Behaviors.to_string bt)
+                               (List.length behs_src)
+                               (String.concat " | "
+                                  (List.map Interp.Behaviors.to_string
+                                     (Ub_support.Util.take 4 behs_src)));
+                         })
+                  | None -> None)
+                phases)
             tuples
         in
         match bad with Some cex -> cex | None -> Refines

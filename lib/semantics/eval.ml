@@ -237,7 +237,15 @@ let eval_conv_scalar (oracle : Oracle.t) op ~from_w ~to_w s : Value.scalar =
     match op with
     | Zext -> Value.Conc (Bitvec.zext bv ~width:to_w)
     | Sext -> Value.Conc (Bitvec.sext bv ~width:to_w)
-    | Trunc -> Value.Conc (Bitvec.trunc bv ~width:to_w))
+    | Trunc -> Value.Conc (Bitvec.trunc bv ~width:to_w)
+    | Ptrtoint | Inttoptr ->
+      (* Integer <-> pointer casts reinterpret the address bits: LLVM
+         zero-extends when the destination is wider, truncates when it
+         is narrower.  Provenance lives at the memory-byte level, not in
+         the scalar, so no further bookkeeping happens here. *)
+      Value.Conc
+        (if to_w >= from_w then Bitvec.zext bv ~width:to_w
+         else Bitvec.trunc bv ~width:to_w))
 
 let eval_conv (_mode : Mode.t) oracle op ~from ~to_ v : Value.t res =
   let from_w = Types.scalar_bitwidth (Types.element from) in

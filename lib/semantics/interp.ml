@@ -73,18 +73,45 @@ let eval_operand (st : state) (fr : frame) (op : operand) : Value.t =
 
 let res_exn = function Ok v -> v | Error m -> raise (Ub_exn m)
 
-(* Allocation builtin: [call ty* @malloc(i32 %n)] allocates n bytes. *)
+(* Allocation builtins: [call ty* @malloc(i32 %n)] / [call ty* @alloca(i32 %n)]
+   allocate n bytes; [call void @free(ty* %p)] releases an allocation.
+   In the finite phase the two allocators diverge on exhaustion: malloc
+   returns null, alloca has nowhere to grow the stack and is UB. *)
 let is_malloc name = name = "malloc" || name = "alloca"
+let is_free name = name = "free"
+
+let null_ptr = Value.Scalar (Value.Conc (Bitvec.zero Types.pointer_bits))
 
 let rec exec_call st fr ret_ty callee args =
   let arg_vals = List.map (fun (_, a) -> eval_operand st fr a) args in
   if is_malloc callee then begin
     match arg_vals with
-    | [ Value.Scalar (Value.Conc n) ] ->
+    | [ Value.Scalar (Value.Conc n) ] -> (
       let size = Bitvec.to_uint_exn n in
       if size = 0 then raise (Ub_exn "malloc of zero bytes")
-      else Some (Value.Scalar (Value.Conc (Memory.alloc st.mem ~size)))
+      else
+        match Memory.alloc st.mem ~size with
+        | Some base -> Some (Value.Scalar (Value.Conc base))
+        | None ->
+          (* finite phase, out of capacity *)
+          if callee = "alloca" then raise (Ub_exn "alloca: out of memory")
+          else Some null_ptr)
     | _ -> raise (Ub_exn "malloc with non-concrete size")
+  end
+  else if is_free callee then begin
+    match arg_vals with
+    | [ p ] -> (
+      match Value.as_scalar p with
+      | Value.Poison -> raise (Ub_exn "free of poison pointer")
+      | Value.Undef -> raise (Ub_exn "free of undef pointer")
+      | Value.Conc addr ->
+        if Int64.equal (Bitvec.to_uint64 addr) 0L then None (* free(null) is a no-op *)
+        else (
+          match Memory.free st.mem addr with
+          | Memory.Freed -> None
+          | Memory.Free_double -> raise (Ub_exn "double free")
+          | Memory.Free_not_base -> raise (Ub_exn "free of non-allocation address")))
+    | _ -> raise (Ub_exn "free with wrong arity")
   end
   else begin
     match st.module_ with
@@ -178,8 +205,19 @@ and run_body (st : state) (fn : Func.t) (arg_vals : Value.t list) : Value.t opti
           | Value.Poison -> raise (Ub_exn "store to poison pointer")
           | Value.Undef -> raise (Ub_exn "store to undef pointer")
           | Value.Conc addr ->
-            let bits = Value.ty_down ty (eval_operand st fr v) in
-            if not (Memory.store_bits st.mem addr bits) then
+            let sv = eval_operand st fr v in
+            let bits = Value.ty_down ty sv in
+            (* pointer-typed stores tag their bytes with the stored
+               pointer's provenance; everything else is provenance-free *)
+            let prov =
+              match ty with
+              | Types.Ptr _ -> (
+                match Value.as_scalar sv with
+                | Value.Conc a -> Memory.prov_of_addr st.mem a
+                | Value.Poison | Value.Undef -> Memory.Prov_none)
+              | _ -> Memory.Prov_none
+            in
+            if not (Memory.store_bits st.mem ~prov addr bits) then
               raise (Ub_exn "store to invalid address"))
         | Call (ret_ty, callee, args) -> (
           match exec_call st fr ret_ty callee args with
@@ -214,8 +252,9 @@ and run_body (st : state) (fn : Func.t) (arg_vals : Value.t list) : Value.t opti
 (* ------------------------------------------------------------------ *)
 
 let run ?(mode = Mode.proposed) ?(oracle = Oracle.zeros) ?(fuel = 200_000) ?module_
-    ?(externals = fun _ _ -> None) ?mem (fn : Func.t) (args : Value.t list) : run_result =
-  let mem = match mem with Some m -> m | None -> Memory.create () in
+    ?(externals = fun _ _ -> None) ?mem ?phase (fn : Func.t) (args : Value.t list) :
+    run_result =
+  let mem = match mem with Some m -> m | None -> Memory.create ?phase () in
   let st =
     { mode; oracle; mem; module_; fuel; events = []; profile = Hashtbl.create 16; externals }
   in
@@ -275,10 +314,10 @@ module Behaviors = struct
      exploration of oracle decisions.  [max_runs] bounds the exploration;
      raises [Oracle.Exhausted] beyond it. *)
   let enumerate ?(mode = Mode.proposed) ?(fuel = 10_000) ?module_ ?(max_runs = 200_000)
-      ?max_width_bits (fn : Func.t) (args : Value.t list) : behavior list =
+      ?max_width_bits ?phase (fn : Func.t) (args : Value.t list) : behavior list =
     let runs =
       Oracle.explore ?max_width_bits ~max_runs (fun oracle ->
-          behavior_of_run (run ~mode ~oracle ~fuel ?module_ fn args))
+          behavior_of_run (run ~mode ~oracle ~fuel ?module_ ?phase fn args))
     in
     List.sort_uniq compare runs
 end

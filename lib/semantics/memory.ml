@@ -2,12 +2,41 @@
    bitwise-defined bytes (<8 x i1> with per-bit poison/undef).  On top of
    the raw map we keep an allocation table so loads and stores can be
    checked for validity — accessing outside any live allocation is
-   immediate UB, as is access through a poison address. *)
+   immediate UB, as is access through a poison address.
+
+   Two extensions beyond the paper, following the two-phase low-level
+   memory model of Beck et al. (arXiv 2404.16143):
+
+   - Bytes carry *provenance*.  A byte written by a pointer-typed store
+     remembers which allocation the stored pointer pointed into
+     ([Prov_alloc base]); a pointer whose address does not fall in any
+     live allocation (e.g. one recovered from an integer by [inttoptr])
+     stores wildcard bytes ([Prov_wild]); integer-typed stores write
+     provenance-free bytes ([Prov_none]).  Provenance does not gate
+     loads — validity stays address-based — but it is part of the
+     observable final memory (see [fingerprint]), so rewrites that erase
+     or forge provenance are distinguishable.
+
+   - Memory runs in one of two *phases*.  The [Infinite] phase (the
+     default, and the paper's semantics) never runs out of space below
+     the 2^32 address-space cap.  A [Finite cap] phase models a machine
+     with [cap] bytes: once the sum of allocation sizes would exceed
+     [cap], [alloc] reports exhaustion ([None]) and the caller decides —
+     [malloc] returns null, [alloca] is UB.  Refinement checking runs
+     both sides under the *same* phase, so optimizations that trade heap
+     for stack (malloc -> alloca) are refuted in the finite phase. *)
 
 open Ub_support
 open Ub_ir
 
-type byte = Value.bit array (* length 8, LSB first *)
+type provenance =
+  | Prov_none (* integer data: no provenance *)
+  | Prov_wild (* pointer data not derived from a live allocation *)
+  | Prov_alloc of int64 (* pointer data carrying its allocation's base *)
+
+type byte = { bits : Value.bit array; (* length 8, LSB first *) prov : provenance }
+
+type phase = Infinite | Finite of int (* capacity in bytes *)
 
 type allocation = { base : int64; size : int; mutable live : bool }
 
@@ -15,54 +44,101 @@ type t = {
   bytes : (int64, byte) Hashtbl.t;
   mutable allocs : allocation list;
   mutable next_base : int64;
+  phase : phase;
+  mutable used : int; (* sum of allocation sizes charged so far *)
 }
 
-let create () = { bytes = Hashtbl.create 64; allocs = []; next_base = 0x1000L }
+let create ?(phase = Infinite) () =
+  { bytes = Hashtbl.create 64; allocs = []; next_base = 0x1000L; phase; used = 0 }
 
 let copy t =
   { bytes = Hashtbl.copy t.bytes;
     allocs = List.map (fun a -> { a with live = a.live }) t.allocs;
     next_base = t.next_base;
+    phase = t.phase;
+    used = t.used;
   }
 
 let addr_space = 0x1_0000_0000L (* 2^32 *)
 
-(* Allocate [size] bytes; returns the base address.  Contents start
-   uninitialized (all Bundef). *)
+(* Allocate [size] bytes; returns the base address, or [None] when the
+   finite phase is out of capacity.  Contents start uninitialized (all
+   Bundef, no provenance). *)
 let alloc t ~size =
   if size <= 0 then invalid_arg "Memory.alloc: non-positive size";
-  let base = t.next_base in
-  let nb = Int64.add base (Int64.of_int size) in
-  if Int64.unsigned_compare nb addr_space >= 0 then failwith "Memory.alloc: address space exhausted";
-  (* round next base up for alignment-friendly addresses *)
-  t.next_base <- Int64.logand (Int64.add nb 15L) (Int64.lognot 15L);
-  t.allocs <- { base; size; live = true } :: t.allocs;
-  for i = 0 to size - 1 do
-    Hashtbl.replace t.bytes (Int64.add base (Int64.of_int i)) (Array.make 8 Value.Bundef)
-  done;
-  Bitvec.of_int64 ~width:Types.pointer_bits base
+  match t.phase with
+  | Finite cap when t.used + size > cap -> None
+  | Finite _ | Infinite ->
+    let base = t.next_base in
+    let nb = Int64.add base (Int64.of_int size) in
+    if Int64.unsigned_compare nb addr_space >= 0 then
+      failwith "Memory.alloc: address space exhausted";
+    (* round next base up for alignment-friendly addresses *)
+    t.next_base <- Int64.logand (Int64.add nb 15L) (Int64.lognot 15L);
+    t.used <- t.used + size;
+    t.allocs <- { base; size; live = true } :: t.allocs;
+    for i = 0 to size - 1 do
+      Hashtbl.replace t.bytes
+        (Int64.add base (Int64.of_int i))
+        { bits = Array.make 8 Value.Bundef; prov = Prov_none }
+    done;
+    Some (Bitvec.of_int64 ~width:Types.pointer_bits base)
 
-let free t addr =
+type free_result =
+  | Freed
+  | Free_double (* the address is the base of an allocation already freed *)
+  | Free_not_base (* the address is not the base of any allocation *)
+
+(* Freeing anything but the base of a live allocation is UB in the
+   paper's semantics; the caller turns these results into UB verdicts
+   rather than interpreter crashes. *)
+let free t addr : free_result =
   let a = Bitvec.to_uint64 addr in
-  match List.find_opt (fun al -> Int64.equal al.base a && al.live) t.allocs with
-  | Some al -> al.live <- false
-  | None -> failwith "Memory.free: not an allocation base"
+  match List.find_opt (fun al -> Int64.equal al.base a) t.allocs with
+  | Some al when al.live ->
+    al.live <- false;
+    Freed
+  | Some _ -> Free_double
+  | None -> Free_not_base
 
-(* Is the byte range [addr, addr+len) inside a single live allocation? *)
+(* The provenance a pointer with concrete address [a] carries when
+   stored to memory: the base of the live allocation containing it, or
+   wildcard if it points nowhere live. *)
+let prov_of_addr t addr : provenance =
+  let a = Bitvec.to_uint64 addr in
+  match
+    List.find_opt
+      (fun al ->
+        al.live
+        && Int64.unsigned_compare a al.base >= 0
+        && Int64.unsigned_compare (Int64.sub a al.base) (Int64.of_int al.size) < 0)
+      t.allocs
+  with
+  | Some al -> Prov_alloc al.base
+  | None -> Prov_wild
+
+(* Is the byte range [addr, addr+len) inside a single live allocation?
+   Computed on offsets so that addresses near 2^64 cannot wrap past the
+   end of an allocation and pass the bounds check spuriously. *)
 let valid_range t addr len =
-  let a = Bitvec.to_uint64 addr in
-  List.exists
-    (fun al ->
-      al.live
-      && Int64.unsigned_compare a al.base >= 0
-      && Int64.unsigned_compare (Int64.add a (Int64.of_int len))
-           (Int64.add al.base (Int64.of_int al.size))
-           <= 0)
-    t.allocs
+  if len < 0 then false
+  else
+    let a = Bitvec.to_uint64 addr in
+    List.exists
+      (fun al ->
+        al.live
+        && Int64.unsigned_compare a al.base >= 0
+        &&
+        let off = Int64.sub a al.base in
+        let size = Int64.of_int al.size in
+        Int64.unsigned_compare off size <= 0
+        && Int64.unsigned_compare (Int64.of_int len) (Int64.sub size off) <= 0)
+      t.allocs
 
 (* Load [nbytes] bytes starting at [addr]; [None] if the access is
    invalid.  Result is a flat bit array, LSB of the first byte first
-   (little-endian). *)
+   (little-endian).  Provenance is not checked on load: validity is
+   address-based. *)
 let load_bits t addr ~nbytes : Value.bit array option =
   if not (valid_range t addr nbytes) then None
   else begin
@@ -70,7 +146,7 @@ let load_bits t addr ~nbytes : Value.bit array option =
     let out = Array.make (nbytes * 8) Value.Bundef in
     for i = 0 to nbytes - 1 do
       match Hashtbl.find_opt t.bytes (Int64.add a (Int64.of_int i)) with
-      | Some byte -> Array.blit byte 0 out (i * 8) 8
+      | Some byte -> Array.blit byte.bits 0 out (i * 8) 8
       | None -> () (* inside an allocation => always present *)
     done;
     Some out
@@ -79,8 +155,10 @@ let load_bits t addr ~nbytes : Value.bit array option =
 (* Store a flat bit array (length divisible by 8 after padding).  Bits
    beyond the value's width within the last byte are left untouched only
    if the value is not byte-aligned — we pad with Bundef to the byte
-   boundary, which models LLVM's "padding is undef". *)
-let store_bits t addr (bits : Value.bit array) : bool =
+   boundary, which models LLVM's "padding is undef".  [prov] is the
+   provenance the written bytes carry (pointer-typed stores tag their
+   bytes; everything else writes [Prov_none]). *)
+let store_bits t ?(prov = Prov_none) addr (bits : Value.bit array) : bool =
   let nbits = Array.length bits in
   let nbytes = (nbits + 7) / 8 in
   if not (valid_range t addr nbytes) then false
@@ -92,26 +170,45 @@ let store_bits t addr (bits : Value.bit array) : bool =
         let k = (i * 8) + j in
         if k < nbits then byte.(j) <- bits.(k)
       done;
-      Hashtbl.replace t.bytes (Int64.add a (Int64.of_int i)) byte
+      Hashtbl.replace t.bytes (Int64.add a (Int64.of_int i)) { bits = byte; prov }
     done;
     true
   end
 
 (* A deterministic fingerprint of the live memory contents, used to
-   compare final memories across executions. *)
+   compare final memories across executions.  Only bytes of *live*
+   allocations are folded in — freed memory is dead and must not make
+   two observably-equivalent executions compare unequal.  Each entry is
+   "<addr>=<8 bit chars>" plus a provenance suffix: nothing for
+   [Prov_none], "*" for [Prov_wild], "@<base>" for [Prov_alloc]. *)
 let fingerprint t : string =
+  let bit_char = function
+    | Value.B0 -> "0"
+    | Value.B1 -> "1"
+    | Value.Bpoison -> "p"
+    | Value.Bundef -> "u"
+  in
   let entries =
-    Hashtbl.fold
-      (fun addr byte acc ->
-        let s =
-          String.concat ""
-            (List.map
-               (fun b ->
-                 match b with Value.B0 -> "0" | Value.B1 -> "1" | Value.Bpoison -> "p" | Value.Bundef -> "u")
-               (Array.to_list byte))
-        in
-        (addr, s) :: acc)
-      t.bytes []
+    List.concat_map
+      (fun al ->
+        if not al.live then []
+        else
+          List.init al.size (fun i ->
+              let addr = Int64.add al.base (Int64.of_int i) in
+              match Hashtbl.find_opt t.bytes addr with
+              | None -> (addr, "uuuuuuuu")
+              | Some byte ->
+                let s =
+                  String.concat "" (List.map bit_char (Array.to_list byte.bits))
+                in
+                let s =
+                  match byte.prov with
+                  | Prov_none -> s
+                  | Prov_wild -> s ^ "*"
+                  | Prov_alloc b -> Printf.sprintf "%s@%Lx" s b
+                in
+                (addr, s)))
+      t.allocs
   in
   let entries = List.sort compare entries in
   String.concat ";" (List.map (fun (a, s) -> Printf.sprintf "%Lx=%s" a s) entries)

@@ -199,7 +199,7 @@ e:
 }|} in
         let fn = parse src in
         let mem = Memory.create () in
-        let base = Memory.alloc mem ~size:4 in
+        let base = Option.get (Memory.alloc mem ~size:4) in
         let r = Interp.run ~mem fn [ Value.Scalar (Value.Conc base) ] in
         check_ret "poison gep" "ret poison" r.Interp.outcome);
   ]
