@@ -1,6 +1,9 @@
 (* ubc: the command-line driver.
 
-     ubc compile [-pipeline legacy|prototype] [-emit ir|asm] FILE.c|FILE.ll
+     ubc compile [-pipeline legacy|prototype] [-emit ir|asm|mir]
+                 [--obj-size] [--cycles] FILE.c|FILE.ll
+     ubc tv      [-mode MODE] [--inject BUG] [--gen N --seed S] [FILE.ll]
+                                                    (IR->MIR translation validation)
      ubc run     [-mode MODE] FILE.c|FILE.ll [-entry main]
      ubc check   [-mode MODE] SRC.ll TGT.ll        (refinement checking)
      ubc reduce  [-mode MODE] [-o OUT] SRC.ll [TGT.ll]
@@ -142,10 +145,24 @@ let pipeline_arg =
 
 let compile_cmd =
   let emit =
-    Arg.(value & opt (enum [ ("ir", `Ir); ("asm", `Asm) ]) `Ir
-           & info [ "emit" ] ~doc:"Output kind: ir or asm.")
+    Arg.(value & opt (enum [ ("ir", `Ir); ("asm", `Asm); ("mir", `Mir) ]) `Ir
+           & info [ "emit" ]
+               ~doc:"Output kind: ir, asm, or mir (pre- and post-regalloc MIR \
+                     plus the emitted asm, per function).")
   in
-  let run trace pipeline emit file =
+  let obj_size =
+    Arg.(value & flag
+           & info [ "obj-size" ]
+               ~doc:"Print the emitted object size of each function, in bytes.")
+  in
+  let cycles =
+    Arg.(value & flag
+           & info [ "cycles" ]
+               ~doc:"Profile one execution of @main under the proposed \
+                     semantics and print simulated cycle totals under both \
+                     machine models.")
+  in
+  let run trace pipeline emit obj_size cycles file =
     guard @@ fun () ->
     with_trace trace @@ fun () ->
     let cfg =
@@ -155,16 +172,123 @@ let compile_cmd =
     in
     let m = load_module ~pipeline file in
     let m = Ub_opt.Pipeline.run_o2 cfg m in
+    let compiled = lazy (Ub_backend.Compile.compile_module m) in
     (match emit with
     | `Ir -> print_string (Printer.module_to_string m)
     | `Asm ->
       List.iter
         (fun (_, c) -> print_string c.Ub_backend.Compile.asm)
-        (Ub_backend.Compile.compile_module m));
+        (Lazy.force compiled)
+    | `Mir ->
+      List.iter
+        (fun (name, (c : Ub_backend.Compile.compiled)) ->
+          Printf.printf "; ==== %s: pre-regalloc MIR ====\n" name;
+          print_string (Ub_backend.Mir_print.func c.Ub_backend.Compile.pre_ra);
+          Printf.printf "; ==== %s: post-regalloc MIR (%s) ====\n" name
+            (Ub_backend.Mir_print.arg_locs c.Ub_backend.Compile.arg_locs);
+          print_string (Ub_backend.Mir_print.func c.Ub_backend.Compile.mir);
+          Printf.printf "; ==== %s: asm ====\n" name;
+          print_string c.Ub_backend.Compile.asm)
+        (Lazy.force compiled));
+    if obj_size then
+      List.iter
+        (fun (name, (c : Ub_backend.Compile.compiled)) ->
+          Printf.printf "%s: %d bytes\n" name c.Ub_backend.Compile.obj_size)
+        (Lazy.force compiled);
+    if cycles then begin
+      let fn =
+        match Func.find_func m "main" with
+        | Some fn -> fn
+        | None -> raise (Usage "--cycles needs a @main function to profile")
+      in
+      let profile, outcome = Ub_sem.Interp.profile ~module_:m fn [] in
+      Printf.printf "main: %s\n" (Ub_sem.Interp.outcome_to_string outcome);
+      List.iter
+        (fun (p : Ub_backend.Target.profile) ->
+          let total =
+            List.fold_left
+              (fun acc (name, c) ->
+                let fprof =
+                  List.filter_map
+                    (fun ((f, l), n) -> if f = name then Some (l, n) else None)
+                    profile
+                in
+                acc +. Ub_backend.Compile.simulate_cycles p c ~profile:fprof)
+              0.0 (Lazy.force compiled)
+          in
+          Printf.printf "cycles[%s]: %.0f\n" p.Ub_backend.Target.prof_name total)
+        Ub_backend.Target.profiles
+    end;
     0
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile Mini-C or IR through the -O2 pipeline.")
-    Term.(const run $ trace_arg $ pipeline_arg $ emit $ file_arg)
+    Term.(const run $ trace_arg $ pipeline_arg $ emit $ obj_size $ cycles $ file_arg)
+
+(* Translation validation: IR functions against their own compilation. *)
+let tv_cmd =
+  let inject =
+    Arg.(value & opt (some string) None
+           & info [ "inject" ] ~docv:"BUG"
+               ~doc:"Compile with an injected backend bug from the catalog in \
+                     lib/backend/mir_inject.ml; the verdict should flip to \
+                     'NOT refined' on a triggering function.")
+  in
+  let gen =
+    Arg.(value & opt (some int) None
+           & info [ "gen" ] ~docv:"N"
+               ~doc:"Instead of reading FILE, generate $(docv) backend-shaped \
+                     functions with the hunt generator and validate each.")
+  in
+  let seed =
+    Arg.(value & opt int 20170601
+           & info [ "seed" ] ~docv:"S" ~doc:"Generator seed for --gen.")
+  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run trace mode inject gen seed file =
+    guard @@ fun () ->
+    with_trace trace @@ fun () ->
+    let bug =
+      Option.map
+        (fun name ->
+          match Ub_backend.Mir_inject.find name with
+          | Some b -> b
+          | None ->
+            raise
+              (Usage
+                 (Printf.sprintf "unknown backend bug %s (try: %s)" name
+                    (String.concat ", "
+                       (List.map
+                          (fun (b : Ub_backend.Mir_inject.bug) ->
+                            b.Ub_backend.Mir_inject.b_name)
+                          Ub_backend.Mir_inject.all)))))
+        inject
+    in
+    let funcs =
+      match (gen, file) with
+      | Some n, None ->
+        let rng = Ub_support.Prng.create ~seed in
+        List.init n (fun i ->
+            Ub_fuzz.Gen.hunt_func rng ~name:(Printf.sprintf "g%d" i)
+              { Ub_fuzz.Gen.default_hunt with Ub_fuzz.Gen.h_backend = true })
+      | None, Some path -> (Parser.parse_module (read_file path)).Func.funcs
+      | Some _, Some _ -> raise (Usage "--gen and FILE are mutually exclusive")
+      | None, None -> raise (Usage "need either FILE or --gen N")
+    in
+    let bad = ref 0 in
+    List.iter
+      (fun (fn : Func.t) ->
+        let v = Ub_backend.Tv.check_func ~mode ?bug fn in
+        (match v with Ub_backend.Tv.Not_refined _ -> incr bad | _ -> ());
+        Printf.printf "%s: %s\n" fn.Func.name (Ub_backend.Tv.verdict_to_string v))
+      funcs;
+    if !bad > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:"Translation-validate IR functions against their compiled MIR: \
+             enumerate the behaviours of both and check that every machine \
+             behaviour is covered by a source behaviour.")
+    Term.(const run $ trace_arg $ mode_arg $ inject $ gen $ seed $ file)
 
 let run_cmd =
   let entry =
@@ -853,9 +977,8 @@ let () =
   let info = Cmd.info "ubc" ~doc:"The taming-undefined-behavior compiler driver." in
   let group =
     Cmd.group info
-      [ compile_cmd; run_cmd; check_cmd; reduce_cmd; serve_cmd; fleet_cmd; submit_cmd;
-        hunt_cmd;
-        modes_cmd ]
+      [ compile_cmd; tv_cmd; run_cmd; check_cmd; reduce_cmd; serve_cmd; fleet_cmd;
+        submit_cmd; hunt_cmd; modes_cmd ]
   in
   (* Uniform exit codes: command bodies return 0/1 (and [guard] maps
      usage -> 2, internal -> 3); cmdliner's own CLI errors are usage. *)

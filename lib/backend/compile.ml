@@ -4,15 +4,41 @@
 open Ub_ir
 
 type compiled = {
-  mir : Mir.func;
+  pre_ra : Mir.func; (* virtual-register MIR, straight out of isel *)
+  mir : Mir.func; (* physical-register MIR, after allocation *)
+  arg_locs : Mir.arg_loc list; (* where each argument vreg landed *)
   asm : string;
   obj_size : int; (* bytes *)
 }
 
-let compile_func (fn : Func.t) : compiled =
-  let mir = Isel.lower_func fn in
-  let mir = Regalloc.run mir ~nargs:(List.length fn.Func.args) in
-  { mir; asm = Emit.func_str mir; obj_size = Emit.func_size mir }
+(* Arguments get the first virtual registers, one per lane. *)
+let arg_vregs (fn : Func.t) =
+  List.fold_left
+    (fun acc (_, ty) -> acc + (match ty with Types.Vec (n, _) -> n | _ -> 1))
+    0 fn.Func.args
+
+(* Compile with an optional injected backend bug ([Mir_inject]), applied
+   either to the virtual-register form (pre-RA) or the allocated form
+   (post-RA) depending on the bug's declared stage. *)
+let compile_func ?bug (fn : Func.t) : compiled =
+  let nargs = arg_vregs fn in
+  let pre_ra = Ub_obs.Obs.with_span "backend.isel" (fun () -> Isel.lower_func fn) in
+  let pre_ra =
+    match bug with
+    | Some (b : Mir_inject.bug) when b.Mir_inject.b_stage = Mir_inject.Pre_ra ->
+      b.Mir_inject.b_apply pre_ra
+    | _ -> pre_ra
+  in
+  let mir, arg_locs =
+    Ub_obs.Obs.with_span "backend.regalloc" (fun () -> Regalloc.run pre_ra ~nargs)
+  in
+  let mir =
+    match bug with
+    | Some (b : Mir_inject.bug) when b.Mir_inject.b_stage = Mir_inject.Post_ra ->
+      b.Mir_inject.b_apply mir
+    | _ -> mir
+  in
+  { pre_ra; mir; arg_locs; asm = Emit.func_str mir; obj_size = Emit.func_size mir }
 
 let compile_module (m : Func.module_) : (string * compiled) list =
   List.map (fun (f : Func.t) -> (f.Func.name, compile_func f)) m.Func.funcs

@@ -32,6 +32,12 @@ let fresh_vreg (f : Mir.func) =
 
 let width_of_ty ty = Mir.width_of_bits (Types.bitwidth (Types.element ty))
 
+let class_bits = function Mir.W8 -> 8 | Mir.W16 -> 16 | Mir.W32 -> 32 | Mir.W64 -> 64
+
+let is_signed_pred = function
+  | Sgt | Sge | Slt | Sle -> true
+  | Eq | Ne | Ugt | Uge | Ult | Ule -> false
+
 let lanes_of_ty = function
   | Types.Vec (n, _) -> n
   | _ -> 1
@@ -98,6 +104,55 @@ let only_use_is_terminator (fn : Func.t) (b : Func.block) (v : Instr.var) =
 let lower_func (fn : Func.t) : Mir.func =
   let mf = { Mir.mname = fn.Func.name; blocks = []; nvregs = 0; nslots = 0 } in
   let env = { vmap = []; func = mf; ir = fn } in
+  (* Narrow-integer legalization.  An iN value whose width N is below its
+     register class keeps garbage bits above bit N-1 — two-address ops
+     only maintain the low N bits.  Consumers whose result depends on the
+     full class-width value (compares, divisions, shift inputs and
+     counts, extensions, addresses, allocation sizes) re-normalize their
+     inputs: [zext_reg] masks the high bits to zero, [sext_reg]
+     replicates bit N-1. *)
+  let zext_reg emit w bits r =
+    if bits >= class_bits w then r
+    else begin
+      let t = fresh_vreg mf in
+      emit (Mir.Mov (w, t, Mir.Reg r));
+      emit (Mir.Bin (Mir.BAnd, w, t, Mir.Imm (Bitvec.mask_of_width bits)));
+      t
+    end
+  in
+  let sext_reg emit w bits r =
+    if bits >= class_bits w then r
+    else begin
+      let t = fresh_vreg mf in
+      let sh = Int64.of_int (class_bits w - bits) in
+      emit (Mir.Mov (w, t, Mir.Reg r));
+      emit (Mir.Bin (Mir.BShl, w, t, Mir.Imm sh));
+      emit (Mir.Bin (Mir.BSar, w, t, Mir.Imm sh));
+      t
+    end
+  in
+  let norm_reg emit ~signed w bits r =
+    if signed then sext_reg emit w bits r else zext_reg emit w bits r
+  in
+  (* An i1 condition register holds exactly 0/1 only when it comes from a
+     Setcc or a constant; truncs, phis, selects and arguments may carry
+     garbage above bit 0 and must be masked before a full-byte Test. *)
+  let cond_reg emit (c : operand) r =
+    let exact =
+      match c with
+      | Const _ -> true
+      | Var v ->
+        List.exists
+          (fun (b : Func.block) ->
+            List.exists
+              (fun n ->
+                n.Instr.def = Some v
+                && (match n.Instr.ins with Icmp _ -> true | _ -> false))
+              b.Func.insns)
+          fn.Func.blocks
+    in
+    if exact then r else zext_reg emit Mir.W8 1 r
+  in
   (* arguments get the first vregs *)
   List.iter
     (fun (a, ty) ->
@@ -139,19 +194,34 @@ let lower_func (fn : Func.t) : Mir.func =
                   | Const (Constant.Int _) when lanes = 1 -> [||]
                   | _ -> operand_regs env emit b'
                 in
+                let bits = Types.bitwidth (Types.element ty) in
                 for l = 0 to lanes - 1 do
                   let d = (lookup env (Option.get def)).(l) in
-                  emit (Mir.Mov (w, d, Mir.Reg ra.(l)));
+                  let lhs =
+                    match k with
+                    | Mir.BShr -> zext_reg emit w bits ra.(l)
+                    | Mir.BSar -> sext_reg emit w bits ra.(l)
+                    | _ -> ra.(l)
+                  in
+                  emit (Mir.Mov (w, d, Mir.Reg lhs));
                   let src =
                     match b' with
                     | Const (Constant.Int bv) -> Mir.Imm (Bitvec.to_uint64 bv)
                     | _ -> Mir.Reg rb.(l)
+                  in
+                  let src =
+                    match (k, src) with
+                    | (Mir.BShl | Mir.BShr | Mir.BSar), Mir.Reg r ->
+                      Mir.Reg (zext_reg emit w bits r)
+                    | _ -> src
                   in
                   emit (Mir.Bin (k, w, d, src))
                 done
               | None ->
                 (* division: quotient in one reg, remainder in another *)
                 let rb = operand_regs env emit b' in
+                let bits = Types.bitwidth (Types.element ty) in
+                let signed = op = SDiv || op = SRem in
                 for l = 0 to lanes - 1 do
                   let d = (lookup env (Option.get def)).(l) in
                   let other = fresh_vreg mf in
@@ -163,26 +233,35 @@ let lower_func (fn : Func.t) : Mir.func =
                   in
                   emit
                     (Mir.Div
-                       { signed = (op = SDiv || op = SRem);
+                       { signed;
                          width = w;
                          dst_quot = quot;
                          dst_rem = rem;
-                         lhs = ra.(l);
-                         rhs = rb.(l);
+                         lhs = norm_reg emit ~signed w bits ra.(l);
+                         rhs = norm_reg emit ~signed w bits rb.(l);
                        })
                 done)
             | Icmp (pred, ty, a, b') ->
               let w = width_of_ty ty in
+              let bits = Types.bitwidth (Types.element ty) in
+              let signed = is_signed_pred pred in
+              let norm_val (op : operand) : Mir.operand =
+                match op with
+                | Const (Constant.Int bv) ->
+                  let bv = if signed then Bitvec.sext bv ~width:(class_bits w) else bv in
+                  Mir.Imm (Bitvec.to_uint64 bv)
+                | _ -> Mir.Reg (norm_reg emit ~signed w bits (operand_regs env emit op).(0))
+              in
               let d = Option.get def in
               if idx = n_insns - 1 && only_use_is_terminator fn b d then begin
                 (* fuse with the terminator: emit nothing now *)
-                let ra = (operand_regs env emit a).(0) in
-                let vb = operand_val env emit b' in
+                let ra = norm_reg emit ~signed w bits (operand_regs env emit a).(0) in
+                let vb = norm_val b' in
                 fused_cmp := Some (d, Mir.cond_of_pred pred, w, ra, vb)
               end
               else begin
-                let ra = (operand_regs env emit a).(0) in
-                let vb = operand_val env emit b' in
+                let ra = norm_reg emit ~signed w bits (operand_regs env emit a).(0) in
+                let vb = norm_val b' in
                 emit (Mir.Cmp (w, ra, vb));
                 emit (Mir.Setcc (Mir.cond_of_pred pred, dst ()))
               end
@@ -195,25 +274,33 @@ let lower_func (fn : Func.t) : Mir.func =
               for l = 0 to lanes - 1 do
                 let d = (lookup env (Option.get def)).(l) in
                 let cl = rc.(if Array.length rc = lanes then l else 0) in
+                let cl = cond_reg emit c cl in
                 emit (Mir.Mov (w, d, Mir.Reg rb.(l)));
                 emit (Mir.Test (Mir.W8, cl, cl));
                 emit (Mir.Cmov (Mir.CNe, w, d, ra.(l)))
               done
             | Conv (op, from, x, to_) ->
               let fw = width_of_ty from and tw = width_of_ty to_ in
+              let fbits = Types.bitwidth (Types.element from) in
               let rx = operand_regs env emit x in
               Array.iteri
                 (fun l d ->
                   match op with
-                  | Sext -> emit (Mir.Movsx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
-                  | Zext -> emit (Mir.Movzx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
+                  | Sext ->
+                    let s = sext_reg emit fw fbits rx.(l) in
+                    if fw = tw then emit (Mir.Copy (tw, d, s))
+                    else emit (Mir.Movsx { dst = d; src = s; from_w = fw; to_w = tw })
+                  | Zext ->
+                    let s = zext_reg emit fw fbits rx.(l) in
+                    if fw = tw then emit (Mir.Copy (tw, d, s))
+                    else emit (Mir.Movzx { dst = d; src = s; from_w = fw; to_w = tw })
                   | Trunc -> emit (Mir.Copy (tw, d, rx.(l)))
                   | Ptrtoint | Inttoptr ->
                     (* address bits move unchanged: zero-extend when
                        widening, plain copy otherwise *)
-                    if tw > fw then
-                      emit (Mir.Movzx { dst = d; src = rx.(l); from_w = fw; to_w = tw })
-                    else emit (Mir.Copy (tw, d, rx.(l))))
+                    let s = zext_reg emit fw fbits rx.(l) in
+                    if tw > fw then emit (Mir.Movzx { dst = d; src = s; from_w = fw; to_w = tw })
+                    else emit (Mir.Copy (tw, d, s)))
                 (lookup env (Option.get def))
             | Bitcast (_, x, to_) ->
               (* same-width reinterpretation: lane-wise copies when the
@@ -246,7 +333,9 @@ let lower_func (fn : Func.t) : Mir.func =
                            };
                        })
                 | _ ->
+                  let ity = fst (List.hd indices) in
                   let ri = (operand_regs env emit idx).(0) in
+                  let ri = zext_reg emit (width_of_ty ity) (Types.bitwidth (Types.element ity)) ri in
                   emit
                     (Mir.Lea
                        { dst = d;
@@ -256,8 +345,9 @@ let lower_func (fn : Func.t) : Mir.func =
                 (* general case: mul + add per index *)
                 emit (Mir.Mov (Mir.W32, d, Mir.Reg rb));
                 List.iter
-                  (fun (_, idx) ->
+                  (fun (ity, idx) ->
                     let ri = (operand_regs env emit idx).(0) in
+                    let ri = zext_reg emit (width_of_ty ity) (Types.bitwidth (Types.element ity)) ri in
                     let tmp = fresh_vreg mf in
                     emit (Mir.Mov (Mir.W32, tmp, Mir.Reg ri));
                     emit (Mir.Bin (Mir.BImul, Mir.W32, tmp, Mir.Imm (Int64.of_int size)));
@@ -288,7 +378,13 @@ let lower_func (fn : Func.t) : Mir.func =
                        Mir.Reg rv.(l) ))
               done
             | Call (_, callee, args) ->
-              let arg_regs = List.map (fun (_, a) -> (operand_regs env emit a).(0)) args in
+              let arg_regs =
+                List.map
+                  (fun (ty, a) ->
+                    let r = (operand_regs env emit a).(0) in
+                    zext_reg emit (width_of_ty ty) (Types.bitwidth (Types.element ty)) r)
+                  args
+              in
               let res = Option.map (fun d -> (lookup env d).(0)) def in
               emit (Mir.Call (callee, arg_regs, res))
             | Extractelement (vty, v, i) -> (
@@ -329,6 +425,7 @@ let lower_func (fn : Func.t) : Mir.func =
             emit (Mir.Jmp e)
           | _ ->
             let rc = (operand_regs env emit c).(0) in
+            let rc = cond_reg emit c rc in
             emit (Mir.Test (Mir.W8, rc, rc));
             emit (Mir.Jcc (Mir.CNe, t));
             emit (Mir.Jmp e))
@@ -338,7 +435,13 @@ let lower_func (fn : Func.t) : Mir.func =
   in
   mf.Mir.blocks <- mblocks;
   (* phi elimination: copies in predecessors, with temporaries to make
-     the parallel-copy semantics safe *)
+     the parallel-copy semantics safe.  Copies must execute only when
+     the edge is actually taken: a predecessor with a single successor
+     takes them inline before its terminator, but a critical edge (the
+     predecessor branches) gets a dedicated edge block — splicing the
+     copies before a conditional branch would run them on the *other*
+     edge too (and clobber any phi destination the fused compare
+     reads). *)
   List.iter
     (fun (b : Func.block) ->
       let phis =
@@ -370,20 +473,35 @@ let lower_func (fn : Func.t) : Mir.func =
                     done
                   | None -> ())
                 phis;
-              (* insert before the terminator group (Jmp/Jcc/Cmp+Jcc) *)
-              let rec split_term acc = function
-                | [] -> (List.rev acc, [])
-                | rest
-                  when (match rest with
-                       | Mir.Cmp _ :: Mir.Jcc _ :: _ -> true
-                       | Mir.Test _ :: Mir.Jcc _ :: _ -> true
-                       | Mir.Jcc _ :: _ | Mir.Jmp _ :: _ | Mir.Ret _ :: _ -> true
-                       | _ -> false) ->
-                  (List.rev acc, rest)
-                | i :: rest -> split_term (i :: acc) rest
-              in
-              let body, term = split_term [] mb.Mir.insts in
-              mb.Mir.insts <- body @ List.rev !copies_in @ List.rev !copies_out @ term
+              let copies = List.rev !copies_in @ List.rev !copies_out in
+              match Instr.successors pred.Func.term with
+              | [] | [ _ ] ->
+                (* single successor: splice before the terminator group *)
+                let rec split_term acc = function
+                  | [] -> (List.rev acc, [])
+                  | rest
+                    when (match rest with
+                         | Mir.Cmp _ :: Mir.Jcc _ :: _ -> true
+                         | Mir.Test _ :: Mir.Jcc _ :: _ -> true
+                         | Mir.Jcc _ :: _ | Mir.Jmp _ :: _ | Mir.Ret _ :: _ -> true
+                         | _ -> false) ->
+                    (List.rev acc, rest)
+                  | i :: rest -> split_term (i :: acc) rest
+                in
+                let body, term = split_term [] mb.Mir.insts in
+                mb.Mir.insts <- body @ copies @ term
+              | _ ->
+                (* critical edge: copies go in their own block *)
+                let elabel = pred.Func.label ^ "$" ^ b.Func.label in
+                let eb = { Mir.mlabel = elabel; insts = copies @ [ Mir.Jmp b.Func.label ] } in
+                mf.Mir.blocks <- mf.Mir.blocks @ [ eb ];
+                mb.Mir.insts <-
+                  List.map
+                    (function
+                      | Mir.Jcc (c, l) when l = b.Func.label -> Mir.Jcc (c, elabel)
+                      | Mir.Jmp l when l = b.Func.label -> Mir.Jmp elabel
+                      | i -> i)
+                    mb.Mir.insts
             end)
           fn.Func.blocks)
     fn.Func.blocks;

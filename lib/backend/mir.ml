@@ -59,6 +59,13 @@ type inst =
 
 type block = { mlabel : string; mutable insts : inst list }
 
+(* Where an incoming argument lives after register allocation: in a
+   physical register or in a spill slot.  Recorded by regalloc so an
+   executor of the physical-register form knows how to seed the state. *)
+type arg_loc =
+  | Loc_reg of int (* physical register index *)
+  | Loc_slot of int (* spill slot index *)
+
 type func = {
   mname : string;
   mutable blocks : block list;

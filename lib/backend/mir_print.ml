@@ -1,0 +1,88 @@
+(* Human-readable MIR, covering both the virtual-register form (which
+   [Emit] cannot print) and the allocated form.  Used by `ubc compile`
+   and by TV counterexample reports. *)
+
+let reg = function
+  | Mir.Vreg v -> Printf.sprintf "v%d" v
+  | Mir.Preg p -> Target.name_of p
+
+let operand = function
+  | Mir.Reg r -> reg r
+  | Mir.Imm v -> Printf.sprintf "$%Ld" v
+
+let width = function Mir.W8 -> "b" | Mir.W16 -> "w" | Mir.W32 -> "l" | Mir.W64 -> "q"
+
+let binkind = function
+  | Mir.BAdd -> "add"
+  | Mir.BSub -> "sub"
+  | Mir.BImul -> "imul"
+  | Mir.BAnd -> "and"
+  | Mir.BOr -> "or"
+  | Mir.BXor -> "xor"
+  | Mir.BShl -> "shl"
+  | Mir.BShr -> "shr"
+  | Mir.BSar -> "sar"
+
+let addr (a : Mir.addr) =
+  let idx =
+    match a.Mir.index with
+    | None -> ""
+    | Some r -> Printf.sprintf "+%s*%d" (reg r) a.Mir.scale
+  in
+  Printf.sprintf "[%s%s%+d]" (reg a.Mir.base) idx a.Mir.disp
+
+let inst (i : Mir.inst) =
+  match i with
+  | Mir.Mov (w, d, s) -> Printf.sprintf "mov%s %s, %s" (width w) (reg d) (operand s)
+  | Mir.Bin (k, w, d, s) -> Printf.sprintf "%s%s %s, %s" (binkind k) (width w) (reg d) (operand s)
+  | Mir.Neg (w, r) -> Printf.sprintf "neg%s %s" (width w) (reg r)
+  | Mir.Not (w, r) -> Printf.sprintf "not%s %s" (width w) (reg r)
+  | Mir.Div { signed; width = w; dst_quot; dst_rem; lhs; rhs } ->
+    Printf.sprintf "%sdiv%s %s, %s -> q:%s r:%s"
+      (if signed then "i" else "u")
+      (width w) (reg lhs) (reg rhs) (reg dst_quot) (reg dst_rem)
+  | Mir.Cmp (w, a, b) -> Printf.sprintf "cmp%s %s, %s" (width w) (reg a) (operand b)
+  | Mir.Test (w, a, b) -> Printf.sprintf "test%s %s, %s" (width w) (reg a) (reg b)
+  | Mir.Setcc (c, d) -> Printf.sprintf "set%s %s" (Mir.cond_name c) (reg d)
+  | Mir.Cmov (c, w, d, s) ->
+    Printf.sprintf "cmov%s%s %s, %s" (Mir.cond_name c) (width w) (reg d) (reg s)
+  | Mir.Movsx { dst; src; from_w; to_w } ->
+    Printf.sprintf "movsx%s%s %s, %s" (width from_w) (width to_w) (reg dst) (reg src)
+  | Mir.Movzx { dst; src; from_w; to_w } ->
+    Printf.sprintf "movzx%s%s %s, %s" (width from_w) (width to_w) (reg dst) (reg src)
+  | Mir.Lea { dst; addr = a } -> Printf.sprintf "lea %s, %s" (reg dst) (addr a)
+  | Mir.Load (w, d, a) -> Printf.sprintf "mov%s %s, %s" (width w) (reg d) (addr a)
+  | Mir.Store (w, a, s) -> Printf.sprintf "mov%s %s, %s" (width w) (addr a) (operand s)
+  | Mir.Copy (w, d, s) -> Printf.sprintf "copy%s %s, %s" (width w) (reg d) (reg s)
+  | Mir.Undef_def r -> Printf.sprintf "undef %s" (reg r)
+  | Mir.Call (callee, args, res) ->
+    Printf.sprintf "call @%s(%s)%s" callee
+      (String.concat ", " (List.map reg args))
+      (match res with Some r -> " -> " ^ reg r | None -> "")
+  | Mir.Push r -> Printf.sprintf "push %s" (reg r)
+  | Mir.Pop r -> Printf.sprintf "pop %s" (reg r)
+  | Mir.Jmp l -> Printf.sprintf "jmp %s" l
+  | Mir.Jcc (c, l) -> Printf.sprintf "j%s %s" (Mir.cond_name c) l
+  | Mir.Ret (Some r) -> Printf.sprintf "ret %s" (reg r)
+  | Mir.Ret None -> "ret"
+  | Mir.Spill_store (s, r) -> Printf.sprintf "movq [slot%d], %s" s (reg r)
+  | Mir.Spill_load (s, r) -> Printf.sprintf "movq %s, [slot%d]" (reg r) s
+
+let func (f : Mir.func) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s:  ; vregs=%d slots=%d\n" f.Mir.mname f.Mir.nvregs f.Mir.nslots);
+  List.iter
+    (fun (b : Mir.block) ->
+      Buffer.add_string buf (Printf.sprintf ".%s:\n" b.Mir.mlabel);
+      List.iter (fun i -> Buffer.add_string buf ("  " ^ inst i ^ "\n")) b.Mir.insts)
+    f.Mir.blocks;
+  Buffer.contents buf
+
+let arg_locs (locs : Mir.arg_loc list) : string =
+  String.concat ", "
+    (List.mapi
+       (fun i -> function
+         | Mir.Loc_reg p -> Printf.sprintf "arg%d:%s" i (Target.name_of p)
+         | Mir.Loc_slot s -> Printf.sprintf "arg%d:slot%d" i s)
+       locs)

@@ -1,0 +1,496 @@
+(* An executable semantics for MIR, in both its virtual-register form
+   (straight out of isel) and its physical-register form (after
+   allocation).  This is the "machine" side of translation validation:
+   [Tv] runs an IR function under [Ub_sem.Interp] and its compiled MIR
+   under this module on the same inputs and checks behaviour inclusion.
+
+   Design notes:
+
+   - The register file holds 64-bit machine words.  A register is either
+     [Concrete] or [Vundef] — machine garbage, which is what an
+     [Undef_def] (the pinned undef register of Section 6) produces, and
+     what every register and spill slot starts as.  *Any* read of a
+     [Vundef] register resolves it through the oracle and pins the
+     result, modelling the fact that a real machine register holds one
+     stable (if unknown) value.  This makes freeze-lowering faithful: a
+     [Copy] out of an undef register reads it, so the copy observes one
+     fixed value ever after.
+
+   - Width semantics follow x86-64: 32-bit writes zero the upper half,
+     8/16-bit writes merge into the low bits, shift counts are masked to
+     the operand size, and division by zero (or quotient overflow) is a
+     machine trap, reported as [Ub].  Partial writes into a [Vundef]
+     register take the undisturbed high bits to be zero rather than
+     consuming an oracle choice — one fixed garbage value is a subset of
+     machine behaviour, and keeping the choice out of the oracle keeps
+     behaviour enumeration small.  Under-enumeration of target behaviour
+     is sound for refinement checking (it can only miss violations,
+     never invent them).
+
+   - Flags are a four-bit record or [Fundef].  Add/sub/cmp compute the
+     full ZF/SF/CF/OF set; logic ops and [Test] clear CF/OF; multiply,
+     shifts and division leave the flags undefined, which a conditional
+     read resolves through the oracle — so code that consumes stale
+     flags (an injected backend bug) exhibits genuinely nondeterministic
+     branching.
+
+   - Memory is the provenance-carrying two-phase memory of the IR
+     semantics, shared bit-level representation and all.  Effective
+     addresses are computed at 64 bits and wrap to the 32-bit address
+     space, matching the IR's 32-bit pointers.  Loads that observe
+     undef/poison bits resolve them through the oracle and pin the
+     resolved bytes back (a machine byte holds one value), losing any
+     provenance those bytes carried.
+
+   - Calls are modelled through the same intrinsic table as the IR
+     interpreter — malloc/alloca/free with identical UB and exhaustion
+     rules.  Any other callee raises [Unsupported]: translation
+     validation *never* silently treats an unmodelled construct as
+     refined; [Tv] counts these as drops. *)
+
+open Ub_support
+open Ub_sem
+
+exception Unsupported of string
+exception Ub_exn of string
+exception Out_of_fuel
+
+type value = Concrete of int64 | Vundef
+
+type flagset = { zf : bool; sf : bool; cf : bool; of_ : bool }
+type flags = Flags of flagset | Fundef
+
+(* How to address the register file and where the arguments live. *)
+type form =
+  | Virtual (* vreg-indexed; argument i is vreg i (lane-expanded) *)
+  | Physical of Mir.arg_loc list (* Target.num_regs registers; args per regalloc *)
+
+type outcome =
+  | Returned of Bitvec.t option (* the returned register, as a 64-bit word *)
+  | Ub of string
+  | Timeout
+
+let outcome_to_string = function
+  | Returned None -> "ret void"
+  | Returned (Some bv) -> Printf.sprintf "ret 0x%Lx" (Bitvec.to_uint64 bv)
+  | Ub m -> "UB: " ^ m
+  | Timeout -> "timeout"
+
+type run_result = { outcome : outcome; mem_fp : string; steps : int }
+
+type state = {
+  regs : value array;
+  slots : value array;
+  mutable flags : flags;
+  mem : Memory.t;
+  oracle : Oracle.t;
+  mutable fuel : int;
+  reg_index : Mir.reg -> int;
+  blocks : (string, Mir.inst list) Hashtbl.t;
+}
+
+let wbits = function Mir.W8 -> 8 | Mir.W16 -> 16 | Mir.W32 -> 32 | Mir.W64 -> 64
+let wmask w = Bitvec.mask_of_width (wbits w)
+
+(* Resolve a register to one stable concrete 64-bit value. *)
+let resolve st i =
+  match st.regs.(i) with
+  | Concrete v -> v
+  | Vundef ->
+    let v = Bitvec.to_uint64 (st.oracle.Oracle.choose ~width:64) in
+    st.regs.(i) <- Concrete v;
+    v
+
+let resolve_slot st s =
+  match st.slots.(s) with
+  | Concrete v -> v
+  | Vundef ->
+    let v = Bitvec.to_uint64 (st.oracle.Oracle.choose ~width:64) in
+    st.slots.(s) <- Concrete v;
+    v
+
+let read_reg st r w = Int64.logand (resolve st (st.reg_index r)) (wmask w)
+let read_reg64 st r = resolve st (st.reg_index r)
+
+let write_reg st r w v =
+  let i = st.reg_index r in
+  let v = Int64.logand v (wmask w) in
+  match w with
+  | Mir.W64 | Mir.W32 -> st.regs.(i) <- Concrete v (* 32-bit writes zero the upper half *)
+  | Mir.W8 | Mir.W16 ->
+    (* partial write: merge into the low bits; an undisturbed-garbage
+       high part is canonically zero (see module comment) *)
+    let old = match st.regs.(i) with Concrete o -> o | Vundef -> 0L in
+    st.regs.(i) <- Concrete (Int64.logor (Int64.logand old (Int64.lognot (wmask w))) v)
+
+let operand st w = function
+  | Mir.Imm v -> Int64.logand v (wmask w)
+  | Mir.Reg r -> read_reg st r w
+
+(* Sign-extend the low [wbits w] bits of [v] to 64 bits. *)
+let sext64 w v =
+  let sh = 64 - wbits w in
+  Int64.shift_right (Int64.shift_left v sh) sh
+
+let sign_bit w = Int64.shift_left 1L (wbits w - 1)
+let is_neg w v = not (Int64.equal (Int64.logand v (sign_bit w)) 0L)
+
+let flags_addsub w ~a ~b ~res ~is_sub =
+  let res = Int64.logand res (wmask w) in
+  let zf = Int64.equal res 0L in
+  let sf = is_neg w res in
+  let cf =
+    if is_sub then Int64.unsigned_compare a b < 0 (* borrow *)
+    else Int64.unsigned_compare res a < 0 (* carry *)
+  in
+  let of_ =
+    let x = if is_sub then Int64.logand (Int64.logxor a b) (Int64.logxor a res)
+            else Int64.logand (Int64.lognot (Int64.logxor a b)) (Int64.logxor a res)
+    in
+    not (Int64.equal (Int64.logand x (sign_bit w)) 0L)
+  in
+  Flags { zf; sf; cf; of_ }
+
+let flags_logic w res =
+  let res = Int64.logand res (wmask w) in
+  Flags { zf = Int64.equal res 0L; sf = is_neg w res; cf = false; of_ = false }
+
+(* Read the flags, resolving undefined flags to one stable set. *)
+let read_flags st =
+  match st.flags with
+  | Flags f -> f
+  | Fundef ->
+    let bv = st.oracle.Oracle.choose ~width:4 in
+    let bit i = Bitvec.get_bit bv i in
+    let f = { zf = bit 0; sf = bit 1; cf = bit 2; of_ = bit 3 } in
+    st.flags <- Flags f;
+    f
+
+let cond_holds st (c : Mir.cond) =
+  let f = read_flags st in
+  match c with
+  | Mir.CEq -> f.zf
+  | Mir.CNe -> not f.zf
+  | Mir.CUgt -> (not f.cf) && not f.zf
+  | Mir.CUge -> not f.cf
+  | Mir.CUlt -> f.cf
+  | Mir.CUle -> f.cf || f.zf
+  | Mir.CSgt -> (not f.zf) && f.sf = f.of_
+  | Mir.CSge -> f.sf = f.of_
+  | Mir.CSlt -> f.sf <> f.of_
+  | Mir.CSle -> f.zf || f.sf <> f.of_
+
+(* Effective address: full 64-bit computation, wrapped to the 32-bit
+   address space (the IR's pointers are 32-bit and wrap the same way). *)
+let eff_addr st (a : Mir.addr) =
+  let base = read_reg64 st a.Mir.base in
+  let idx =
+    match a.Mir.index with
+    | None -> 0L
+    | Some r -> Int64.mul (read_reg64 st r) (Int64.of_int a.Mir.scale)
+  in
+  Int64.logand (Int64.add (Int64.add base idx) (Int64.of_int a.Mir.disp)) 0xFFFF_FFFFL
+
+let addr_bv ea = Bitvec.of_int64 ~width:Ub_ir.Types.pointer_bits ea
+
+(* Load [nbytes] from memory, resolving any undef/poison bits through
+   the oracle and pinning the resolved bytes back (a machine byte holds
+   one stable value; resolved bytes lose their provenance). *)
+let load_concrete st ea ~nbytes : int64 =
+  match Memory.load_bits st.mem (addr_bv ea) ~nbytes with
+  | None -> raise (Ub_exn "invalid load address")
+  | Some bits ->
+    let unknown = ref [] in
+    Array.iteri
+      (fun i b -> match b with Value.B0 | Value.B1 -> () | _ -> unknown := i :: !unknown)
+      bits;
+    let unknown = List.rev !unknown in
+    (match unknown with
+    | [] -> ()
+    | ps ->
+      let k = List.length ps in
+      let bv = st.oracle.Oracle.choose ~width:k in
+      List.iteri
+        (fun j p -> bits.(p) <- (if Bitvec.get_bit bv j then Value.B1 else Value.B0))
+        ps;
+      (* pin the resolved bytes back, byte by byte *)
+      let dirty = Array.make nbytes false in
+      List.iter (fun p -> dirty.(p / 8) <- true) ps;
+      Array.iteri
+        (fun byte d ->
+          if d then
+            ignore
+              (Memory.store_bits st.mem
+                 (addr_bv (Int64.add ea (Int64.of_int byte)))
+                 (Array.sub bits (byte * 8) 8)))
+        dirty);
+    let v = ref 0L in
+    Array.iteri
+      (fun i b -> if b = Value.B1 then v := Int64.logor !v (Int64.shift_left 1L i))
+      bits;
+    !v
+
+let store_concrete st ea v ~nbits =
+  let bits =
+    Array.init nbits (fun i ->
+        if Int64.equal (Int64.logand (Int64.shift_right_logical v i) 1L) 1L then Value.B1
+        else Value.B0)
+  in
+  if not (Memory.store_bits st.mem (addr_bv ea) bits) then
+    raise (Ub_exn "invalid store address")
+
+(* The same allocation intrinsics as [Interp.exec_call], with identical
+   UB and exhaustion behaviour.  Any other callee is unsupported. *)
+let exec_call st callee (args : Mir.reg list) (res : Mir.reg option) =
+  if Interp.is_malloc callee then begin
+    match args with
+    | [ sz ] -> (
+      let size = Int64.to_int (Int64.logand (read_reg64 st sz) 0xFFFF_FFFFL) in
+      if size = 0 then raise (Ub_exn "malloc of zero bytes")
+      else
+        match Memory.alloc st.mem ~size with
+        | Some base ->
+          Option.iter (fun d -> write_reg st d Mir.W64 (Bitvec.to_uint64 base)) res
+        | None ->
+          if callee = "alloca" then raise (Ub_exn "alloca: out of memory")
+          else Option.iter (fun d -> write_reg st d Mir.W64 0L) res)
+    | _ -> raise (Ub_exn "malloc with wrong arity")
+  end
+  else if Interp.is_free callee then begin
+    match args with
+    | [ p ] ->
+      let a = Int64.logand (read_reg64 st p) 0xFFFF_FFFFL in
+      if Int64.equal a 0L then () (* free(null) is a no-op *)
+      else (
+        match Memory.free st.mem (addr_bv a) with
+        | Memory.Freed -> ()
+        | Memory.Free_double -> raise (Ub_exn "double free")
+        | Memory.Free_not_base -> raise (Ub_exn "free of non-allocation address"))
+    | _ -> raise (Ub_exn "free with wrong arity")
+  end
+  else raise (Unsupported (Printf.sprintf "call to @%s" callee))
+
+let jump st l =
+  match Hashtbl.find_opt st.blocks l with
+  | Some insts -> insts
+  | None -> raise (Unsupported (Printf.sprintf "jump to unknown label %s" l))
+
+let rec step st (insts : Mir.inst list) : Bitvec.t option =
+  match insts with
+  | [] -> raise (Unsupported "fell off the end of a block")
+  | i :: rest ->
+    st.fuel <- st.fuel - 1;
+    if st.fuel < 0 then raise Out_of_fuel;
+    (match i with
+    | Mir.Mov (w, d, src) ->
+      write_reg st d w (operand st w src);
+      step st rest
+    | Mir.Bin (k, w, d, src) -> (
+      let a = read_reg st d w in
+      let b = operand st w src in
+      match k with
+      | Mir.BAdd ->
+        let res = Int64.add a b in
+        st.flags <- flags_addsub w ~a ~b ~res ~is_sub:false;
+        write_reg st d w res;
+        step st rest
+      | Mir.BSub ->
+        let res = Int64.sub a b in
+        st.flags <- flags_addsub w ~a ~b ~res ~is_sub:true;
+        write_reg st d w res;
+        step st rest
+      | Mir.BImul ->
+        st.flags <- Fundef;
+        write_reg st d w (Int64.mul a b);
+        step st rest
+      | Mir.BAnd | Mir.BOr | Mir.BXor ->
+        let res =
+          match k with
+          | Mir.BAnd -> Int64.logand a b
+          | Mir.BOr -> Int64.logor a b
+          | _ -> Int64.logxor a b
+        in
+        st.flags <- flags_logic w res;
+        write_reg st d w res;
+        step st rest
+      | Mir.BShl | Mir.BShr | Mir.BSar ->
+        (* x86 masks the count to the operand size *)
+        let count = Int64.to_int (Int64.logand b (if w = Mir.W64 then 63L else 31L)) in
+        if count = 0 then step st rest (* count 0: no flag update, value unchanged *)
+        else begin
+          let res =
+            match k with
+            | Mir.BShl -> Int64.shift_left a count
+            | Mir.BShr -> Int64.shift_right_logical a count
+            | _ -> Int64.shift_right (sext64 w a) count
+          in
+          st.flags <- Fundef;
+          write_reg st d w res;
+          step st rest
+        end)
+    | Mir.Neg (w, r) ->
+      let a = read_reg st r w in
+      let res = Int64.neg a in
+      st.flags <- flags_addsub w ~a:0L ~b:a ~res ~is_sub:true;
+      write_reg st r w res;
+      step st rest
+    | Mir.Not (w, r) ->
+      (* NOT does not affect flags *)
+      write_reg st r w (Int64.lognot (read_reg st r w));
+      step st rest
+    | Mir.Div { signed; width = w; dst_quot; dst_rem; lhs; rhs } ->
+      let a = read_reg st lhs w in
+      let b = read_reg st rhs w in
+      if Int64.equal b 0L then raise (Ub_exn "division by zero trap");
+      let q, r =
+        if signed then begin
+          let sa = sext64 w a and sb = sext64 w b in
+          if Int64.equal sa (sext64 w (sign_bit w)) && Int64.equal sb (-1L) then
+            raise (Ub_exn "division overflow trap");
+          (Int64.div sa sb, Int64.rem sa sb)
+        end
+        else (Int64.unsigned_div a b, Int64.unsigned_rem a b)
+      in
+      st.flags <- Fundef;
+      write_reg st dst_quot w q;
+      write_reg st dst_rem w r;
+      step st rest
+    | Mir.Cmp (w, a, b) ->
+      let va = read_reg st a w in
+      let vb = operand st w b in
+      st.flags <- flags_addsub w ~a:va ~b:vb ~res:(Int64.sub va vb) ~is_sub:true;
+      step st rest
+    | Mir.Test (w, a, b) ->
+      st.flags <- flags_logic w (Int64.logand (read_reg st a w) (read_reg st b w));
+      step st rest
+    | Mir.Setcc (c, d) ->
+      write_reg st d Mir.W8 (if cond_holds st c then 1L else 0L);
+      step st rest
+    | Mir.Cmov (c, w, d, s) ->
+      if cond_holds st c then write_reg st d w (read_reg st s w)
+      else if w = Mir.W32 then
+        (* a 32-bit cmov zero-extends even when the move is suppressed *)
+        write_reg st d w (read_reg st d w);
+      step st rest
+    | Mir.Movsx { dst; src; from_w; to_w } ->
+      write_reg st dst to_w (sext64 from_w (read_reg st src from_w));
+      step st rest
+    | Mir.Movzx { dst; src; from_w; to_w } ->
+      write_reg st dst to_w (read_reg st src from_w);
+      step st rest
+    | Mir.Lea { dst; addr } ->
+      (* LEA computes the full 64-bit address expression, no flags *)
+      let base = read_reg64 st addr.Mir.base in
+      let idx =
+        match addr.Mir.index with
+        | None -> 0L
+        | Some r -> Int64.mul (read_reg64 st r) (Int64.of_int addr.Mir.scale)
+      in
+      write_reg st dst Mir.W64 (Int64.add (Int64.add base idx) (Int64.of_int addr.Mir.disp));
+      step st rest
+    | Mir.Load (w, d, addr) ->
+      let nbytes = wbits w / 8 in
+      write_reg st d w (load_concrete st (eff_addr st addr) ~nbytes);
+      step st rest
+    | Mir.Store (w, addr, src) ->
+      store_concrete st (eff_addr st addr) (operand st w src) ~nbits:(wbits w);
+      step st rest
+    | Mir.Copy (w, d, s) ->
+      (* a copy out of an undef register freezes it: reading resolves *)
+      write_reg st d w (read_reg st s w);
+      step st rest
+    | Mir.Undef_def r ->
+      st.regs.(st.reg_index r) <- Vundef;
+      step st rest
+    | Mir.Call (callee, args, res) ->
+      exec_call st callee args res;
+      st.flags <- Fundef;
+      step st rest
+    | Mir.Push _ | Mir.Pop _ -> raise (Unsupported "push/pop")
+    | Mir.Jmp l -> step st (jump st l)
+    | Mir.Jcc (c, l) -> if cond_holds st c then step st (jump st l) else step st rest
+    | Mir.Ret None -> None
+    | Mir.Ret (Some r) -> Some (Bitvec.of_int64 ~width:64 (read_reg64 st r))
+    | Mir.Spill_store (s, r) ->
+      st.slots.(s) <- Concrete (read_reg64 st r);
+      step st rest
+    | Mir.Spill_load (s, r) ->
+      st.regs.(st.reg_index r) <- Concrete (resolve_slot st s);
+      step st rest)
+
+(* Seed an argument register/slot from an IR value: concretes are
+   zero-extended to the machine word, poison/undef become machine
+   garbage (which any read pins). *)
+let value_of_ir (v : Value.t) : value =
+  match v with
+  | Value.Scalar (Value.Conc bv) -> Concrete (Bitvec.to_uint64 bv)
+  | Value.Scalar (Value.Poison | Value.Undef) -> Vundef
+  | Value.Vector _ -> raise (Unsupported "vector argument")
+
+let run ?(fuel = 50_000) ?(oracle = Oracle.zeros) ?mem ?phase ~(form : form) (f : Mir.func)
+    (args : Value.t list) : run_result =
+  let mem = match mem with Some m -> m | None -> Memory.create ?phase () in
+  let nregs, reg_index =
+    match form with
+    | Virtual ->
+      ( max f.Mir.nvregs (List.length args),
+        function
+        | Mir.Vreg v -> v
+        | Mir.Preg _ -> raise (Unsupported "physical register in virtual form") )
+    | Physical _ ->
+      ( Target.num_regs,
+        function
+        | Mir.Preg p -> p
+        | Mir.Vreg _ -> raise (Unsupported "virtual register in physical form") )
+  in
+  let st =
+    { regs = Array.make (max nregs 1) Vundef;
+      slots = Array.make (max f.Mir.nslots 1) Vundef;
+      flags = Fundef;
+      mem;
+      oracle;
+      fuel;
+      reg_index;
+      blocks = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (b : Mir.block) -> Hashtbl.replace st.blocks b.Mir.mlabel b.Mir.insts) f.Mir.blocks;
+  (match form with
+  | Virtual -> List.iteri (fun i v -> st.regs.(i) <- value_of_ir v) args
+  | Physical locs ->
+    if List.length locs <> List.length args then
+      raise (Unsupported "argument count does not match recorded locations");
+    List.iter2
+      (fun loc v ->
+        match loc with
+        | Mir.Loc_reg p -> st.regs.(p) <- value_of_ir v
+        | Mir.Loc_slot s ->
+          if s >= Array.length st.slots then raise (Unsupported "argument slot out of range")
+          else st.slots.(s) <- value_of_ir v)
+      locs args);
+  let entry =
+    match f.Mir.blocks with
+    | b :: _ -> b.Mir.insts
+    | [] -> raise (Unsupported "function with no blocks")
+  in
+  let outcome =
+    try Returned (step st entry) with
+    | Ub_exn m -> Ub m
+    | Out_of_fuel -> Timeout
+  in
+  { outcome; mem_fp = Memory.fingerprint mem; steps = fuel - st.fuel }
+
+(* All behaviours of [f] on [args] by exhaustive oracle exploration,
+   mirroring [Interp.Behaviors.enumerate].  Outcome plus final-memory
+   fingerprint; MIR has no observable events (external calls are
+   unsupported, intrinsics are silent on both sides). *)
+type behavior = { b_outcome : outcome; b_mem : string }
+
+let enumerate ?(fuel = 50_000) ?(max_runs = 200_000) ?max_width_bits ?phase ~form f args :
+    behavior list =
+  let runs =
+    Oracle.explore ?max_width_bits ~max_runs (fun oracle ->
+        let r = run ~fuel ~oracle ?phase ~form f args in
+        { b_outcome = r.outcome; b_mem = r.mem_fp })
+  in
+  List.sort_uniq compare runs

@@ -96,18 +96,18 @@ let intervals (f : Mir.func) (args : int list) : interval list =
   Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl []
   |> List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg))
 
-let allocate (f : Mir.func) ~(nargs : int) : Mir.func =
+let allocate (f : Mir.func) ~(nargs : int) ~(num_alloc : int) : Mir.func * Mir.arg_loc list =
   let args = List.init nargs (fun i -> i) in
   let ivs = intervals f args in
-  (* linear scan *)
+  (* linear scan over the first [num_alloc] physical registers *)
   let active : interval list ref = ref [] in
-  let free : bool array = Array.make Target.num_regs true in
+  let free : bool array = Array.make num_alloc true in
   let assign iv =
     (* expire old intervals and recompute the free set *)
     active := List.filter (fun a -> a.stop >= iv.start) !active;
-    Array.fill free 0 Target.num_regs true;
+    Array.fill free 0 num_alloc true;
     List.iter (fun a -> match a.preg with Some p -> free.(p) <- false | None -> ()) !active;
-    let rec first_free i = if i >= Target.num_regs then None else if free.(i) then Some i else first_free (i + 1) in
+    let rec first_free i = if i >= num_alloc then None else if free.(i) then Some i else first_free (i + 1) in
     match first_free 0 with
     | Some p ->
       iv.preg <- Some p;
@@ -126,7 +126,12 @@ let allocate (f : Mir.func) ~(nargs : int) : Mir.func =
         victim.preg <- None;
         victim.slot <- Some f.Mir.nslots;
         f.Mir.nslots <- f.Mir.nslots + 1;
-        active := iv :: !active
+        (* drop the victim from the active list: leaving it there lets a
+           later interval pick it as victim again and inherit its (now
+           cleared) register, ending up neither allocated nor spilled —
+           a silent clobber the TV sweep over spill-pressure shapes
+           caught *)
+        active := iv :: List.filter (fun a -> a != victim) !active
       end
   in
   List.iter assign ivs;
@@ -197,6 +202,33 @@ let allocate (f : Mir.func) ~(nargs : int) : Mir.func =
         { b with Mir.insts })
       f.Mir.blocks
   in
-  { f with Mir.blocks }
+  (* Argument vregs are 0..nargs-1 by isel's numbering; record where each
+     one ended up so the physical form can be executed. *)
+  let arg_locs =
+    List.map
+      (fun v ->
+        match Hashtbl.find_opt slot_of v with
+        | Some s -> Mir.Loc_slot s
+        | None ->
+          Mir.Loc_reg (match Hashtbl.find_opt preg_of v with Some p -> p | None -> scratch0))
+      args
+  in
+  ({ f with Mir.blocks }, arg_locs)
 
-let run (f : Mir.func) ~nargs = allocate f ~nargs
+(* The spill rewrite claims the last two physical registers as scratch,
+   so they must not hold live values across a spilled use/def.  Rather
+   than always reserving them (which would perturb the allocation — and
+   the Queens anomaly — for the common no-spill case), allocate
+   optimistically over the full register file and redo the scan with the
+   scratch pair reserved only when the first pass actually spilled.
+   The first translation-validation sweep over spill-pressure shapes
+   caught exactly this clobber: a 15-deep sum chain allocated a live
+   interval to r15 and then reloaded a spilled value through it. *)
+let run (f : Mir.func) ~nargs =
+  let nslots0 = f.Mir.nslots in
+  let mf, locs = allocate f ~nargs ~num_alloc:Target.num_regs in
+  if f.Mir.nslots = nslots0 then (mf, locs)
+  else begin
+    f.Mir.nslots <- nslots0;
+    allocate f ~nargs ~num_alloc:(Target.num_regs - 2)
+  end

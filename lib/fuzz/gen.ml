@@ -261,12 +261,155 @@ type hunt_params = {
   h_undef : bool; (* emit undef operands (old modes only) *)
   h_cfg : bool; (* emit a branch/phi diamond *)
   h_mem : bool; (* emit allocations, loads/stores, int/ptr casts *)
+  h_backend : bool; (* emit backend-hunting shapes (see [backend_func]) *)
 }
 
 let default_hunt =
-  { h_width = 2; h_insns = 5; h_undef = false; h_cfg = false; h_mem = false }
+  { h_width = 2;
+    h_insns = 5;
+    h_undef = false;
+    h_cfg = false;
+    h_mem = false;
+    h_backend = false;
+  }
 
-let hunt_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
+(* ------------------------------------------------------------------ *)
+(* Backend corpus (IRFuzzer-style lowering stressors)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Programs shaped to exercise the IR->MIR lowering rather than the IR
+   optimizer: phi-heavy loop skeletons with swap cycles (parallel-move
+   elimination), icmp->select chains (Test/Cmov pairs), equality
+   diamonds over a widened value (protected-branch constant contexts),
+   and a register-pressure region sized to force exactly the spills the
+   allocator supports.  Widths are mixed through zext/sext/trunc so
+   sub-register-class values with garbage high bits flow into compares,
+   shifts and divisions.
+
+   Two shape constraints matter for recall:
+   - the swap loop's trip count is odd — an even number of swaps returns
+     the registers to their initial assignment, and a sequentialized
+     (buggy) parallel move then coincides with the correct one;
+   - the pressure region keeps the verified 14-value shape: the linear
+     scan allocator asserts at most two spilled intervals, so a larger
+     region would crash it rather than stress it. *)
+let backend_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
+  let w = p.h_width in
+  let ity = Types.Int w in
+  let i8 = Types.Int 8 in
+  let b = Builder.create ~name ~args:[ ("a0", ity); ("a1", ity) ] ~ret_ty:ity () in
+  Builder.start_block b "entry";
+  let pool = ref [ Var "a0"; Var "a1" ] in
+  let push v = pool := v :: !pool in
+  let operand () =
+    if Prng.chance rng ~num:1 ~den:6 then
+      Const (Constant.of_int ~width:w (Prng.int rng (1 lsl min w 4)))
+    else Prng.choose_list rng !pool
+  in
+  let select_chain () =
+    let c =
+      Builder.icmp b (if Prng.bool rng then Instr.Slt else Instr.Ult) ity (operand ())
+        (operand ())
+    in
+    push (Builder.select b c ity (operand ()) (operand ()));
+    if Prng.bool rng then begin
+      let c2 = Builder.icmp b Instr.Eq ity (operand ()) (operand ()) in
+      push (Builder.select b c2 ity (operand ()) (operand ()))
+    end
+  in
+  let swap_loop () =
+    (* a counted loop with a swapped phi pair: x/y trade places each
+       iteration, an odd number of times *)
+    let i4 = Types.Int 4 in
+    let x0 = operand () and y0 = operand () in
+    (* the loop takes its back edge (trip - 1) times, and the swap must
+       execute an odd number of times — see the shape note above *)
+    let trip = if Prng.bool rng then 4 else 6 in
+    Builder.br b "loop";
+    Builder.start_block b "loop";
+    let x = Builder.phi b ity [ (x0, "entry") ] in
+    let y = Builder.phi b ity [ (y0, "entry") ] in
+    let i = Builder.phi b i4 [ (Builder.const_i ~width:4 0, "entry") ] in
+    let i1 = Builder.add b i4 i (Builder.const_i ~width:4 1) in
+    let c = Builder.icmp b Instr.Ult i4 i1 (Builder.const_i ~width:4 trip) in
+    Builder.cond_br b c "loop" "after";
+    (match (x, y, i) with
+    | Instr.Var xv, Instr.Var yv, Instr.Var iv ->
+      Builder.patch_phi b "loop" xv (y, "loop");
+      Builder.patch_phi b "loop" yv (x, "loop");
+      Builder.patch_phi b "loop" iv (i1, "loop")
+    | _ -> assert false);
+    Builder.start_block b "after";
+    (* observe both halves of the swap: x alone, and x - y *)
+    push (Builder.sub b ity x y);
+    push x
+  in
+  let diamond () =
+    (* an equality-protected diamond over a widened value: both arms
+       reuse the compared register, the else arm is exactly where a
+       constant-propagation bug would substitute the compared constant *)
+    let z = Builder.zext b ~from:ity ~to_:i8 (Prng.choose_list rng !pool) in
+    let k = 1 + Prng.int rng 3 in
+    let c = Builder.icmp b Instr.Eq i8 z (Builder.const_i ~width:8 k) in
+    Builder.cond_br b c "t" "e";
+    Builder.start_block b "t";
+    let tv = Builder.add b i8 z (Builder.const_i ~width:8 (Prng.int rng 8)) in
+    Builder.br b "m";
+    Builder.start_block b "e";
+    let ev = Builder.add b i8 z (Builder.const_i ~width:8 (1 + Prng.int rng 8)) in
+    Builder.br b "m";
+    Builder.start_block b "m";
+    let m = Builder.phi b i8 [ (tv, "t"); (ev, "e") ] in
+    push (Builder.trunc b ~from:i8 ~to_:ity m)
+  in
+  let pressure () =
+    (* 14 simultaneously-live i8 values plus the two widened arguments:
+       the verified shape that spills exactly two intervals *)
+    let xa = Builder.zext b ~from:ity ~to_:i8 (Var "a0") in
+    let xb = Builder.zext b ~from:ity ~to_:i8 (Var "a1") in
+    let vs =
+      List.init 14 (fun i ->
+          Builder.add b i8
+            (if i mod 2 = 0 then xa else xb)
+            (Builder.const_i ~width:8 (Prng.int rng 16)))
+    in
+    let sum = List.fold_left (fun acc v -> Builder.add b i8 acc v) (List.hd vs) (List.tl vs) in
+    push (Builder.trunc b ~from:i8 ~to_:ity sum)
+  in
+  let width_mix () =
+    match Prng.int rng 3 with
+    | 0 ->
+      let s = Builder.sext b ~from:ity ~to_:i8 (Prng.choose_list rng !pool) in
+      let t = Builder.add b i8 s (Builder.const_i ~width:8 (Prng.int rng 16)) in
+      push (Builder.trunc b ~from:i8 ~to_:ity t)
+    | 1 -> push (Builder.xor b ity (operand ()) (operand ()))
+    | _ -> push (Builder.sub b ity (operand ()) (operand ()))
+  in
+  (match Prng.int rng 3 with
+  | 0 ->
+    swap_loop ();
+    select_chain ();
+    if Prng.bool rng then width_mix ()
+  | 1 ->
+    if Prng.bool rng then select_chain ();
+    swap_loop ();
+    diamond ()
+  | _ ->
+    pressure ();
+    if Prng.bool rng then select_chain ());
+  width_mix ();
+  let r =
+    let n = List.length !pool in
+    List.nth !pool (Prng.int rng (min 3 n))
+  in
+  Builder.ret b ity r;
+  Builder.finish b
+
+let rec hunt_func (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
+  if p.h_backend then backend_func rng ~name p
+  else hunt_func_ir rng ~name p
+
+and hunt_func_ir (rng : Prng.t) ~(name : string) (p : hunt_params) : Func.t =
   let w = p.h_width in
   let ity = Types.Int w in
   let b = Builder.create ~name ~args:[ ("a0", ity); ("a1", ity) ] ~ret_ty:ity () in

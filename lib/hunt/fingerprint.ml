@@ -132,3 +132,9 @@ let skeleton (fn : Func.t) : string =
 
 let pair ~(src : Func.t) ~(tgt : Func.t) : string =
   Digest.to_hex (Digest.string (skeleton src ^ "\n=>\n" ^ skeleton tgt))
+
+(* Backend findings have no IR target — the "rewrite" is the lowering
+   bug itself, so the fingerprint pairs the source skeleton with the
+   bug's name. *)
+let backend ~(src : Func.t) ~(bug : string) : string =
+  Digest.to_hex (Digest.string (skeleton src ^ "\n=>backend:" ^ bug))

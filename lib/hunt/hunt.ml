@@ -26,12 +26,16 @@ module Json = Ub_serve.Json
 (* ------------------------------------------------------------------ *)
 
 (* A lane is one (pipeline configuration, semantics mode) pair every
-   generated program is pushed through. *)
+   generated program is pushed through.  A *backend* lane instead names
+   a lib/backend/mir_inject bug: the program is compiled twice (clean
+   and buggy) and the lowering TV decides whether the buggy compile
+   still refines — no IR passes run. *)
 type lane = {
   lane_name : string;
   lane_cfg : Ub_opt.Pass.config;
   lane_passes : Ub_opt.Pass.t list;
   lane_mode : Mode.t;
+  lane_backend : string option; (* mir_inject bug name *)
 }
 
 let fuzz_lane (cfg : Ub_opt.Pass.config) (mode : Mode.t) : lane =
@@ -39,6 +43,7 @@ let fuzz_lane (cfg : Ub_opt.Pass.config) (mode : Mode.t) : lane =
     lane_cfg = cfg;
     lane_passes = Ub_opt.Pipeline.fuzz_passes;
     lane_mode = mode;
+    lane_backend = None;
   }
 
 (* An injection lane runs *only* the catalog entry, so every finding is
@@ -49,6 +54,17 @@ let inject_lane ~(entry : string) (mode : Mode.t) : lane =
     lane_cfg = { Ub_opt.Pass.prototype with Ub_opt.Pass.inject = [ entry ] };
     lane_passes = [ Ub_opt.Inject.pass ];
     lane_mode = mode;
+    lane_backend = None;
+  }
+
+(* A backend lane: the injected bug lives in the lowering.  TV always
+   interprets the source under the proposed semantics. *)
+let backend_lane ~(bug : string) : lane =
+  { lane_name = Printf.sprintf "backend[%s]/%s" bug Mode.proposed.Mode.name;
+    lane_cfg = Ub_opt.Pass.prototype;
+    lane_passes = [];
+    lane_mode = Mode.proposed;
+    lane_backend = Some bug;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -89,9 +105,12 @@ let default_config ~seed ~programs ~lanes =
    corpus containing whatever the entry needs to be observable. *)
 let entry_config ~seed ~programs (e : Ub_opt.Inject.entry) : config =
   let lanes =
-    List.filter_map
-      (fun m -> Option.map (inject_lane ~entry:e.Ub_opt.Inject.name) (Mode.find m))
-      e.Ub_opt.Inject.modes
+    match e.Ub_opt.Inject.backend with
+    | Some bug -> [ backend_lane ~bug ]
+    | None ->
+      List.filter_map
+        (fun m -> Option.map (inject_lane ~entry:e.Ub_opt.Inject.name) (Mode.find m))
+        e.Ub_opt.Inject.modes
   in
   let cfg = default_config ~seed ~programs ~lanes in
   { cfg with
@@ -100,6 +119,7 @@ let entry_config ~seed ~programs (e : Ub_opt.Inject.entry) : config =
         Ub_fuzz.Gen.h_undef = e.Ub_opt.Inject.needs_undef;
         Ub_fuzz.Gen.h_cfg = e.Ub_opt.Inject.needs_cfg;
         Ub_fuzz.Gen.h_mem = e.Ub_opt.Inject.needs_mem;
+        Ub_fuzz.Gen.h_backend = e.Ub_opt.Inject.backend <> None;
       };
   }
 
@@ -119,6 +139,7 @@ type finding = {
   fp : string; (* skeleton fingerprint of the shrunk pair *)
   f_lane : string;
   f_mode : string;
+  f_backend : string option; (* backend lanes: the mir_inject bug name *)
   f_program : int; (* index of the generated program *)
   red_src : Func.t;
   red_tgt : Func.t;
@@ -190,6 +211,7 @@ let shrink_finding (cfg : config) (lane : lane) ~(program : int) ~(src : Func.t)
   { fp = Fingerprint.pair ~src:red_src ~tgt:red_tgt;
     f_lane = lane.lane_name;
     f_mode = lane.lane_mode.Mode.name;
+    f_backend = None;
     f_program = program;
     red_src;
     red_tgt;
@@ -204,11 +226,93 @@ let shrink_finding (cfg : config) (lane : lane) ~(program : int) ~(src : Func.t)
       | v -> v);
   }
 
+(* Backend lanes: compile the program clean and with the lane's bug;
+   if the bug perturbed the MIR, ask the lowering TV whether the buggy
+   compile still refines.  A program isel cannot lower at all is
+   skipped (the backend generator does not produce such programs). *)
+type backend_outcome =
+  | B_skip (* bug was a no-op on this MIR, or isel refused the program *)
+  | B_refined
+  | B_unknown (* TV classified the function unsupported *)
+  | B_finding of finding
+
+let shrink_backend_finding (cfg : config) (lane : lane)
+    ~(bug : Ub_backend.Mir_inject.bug) ~(program : int) (fn : Func.t) : finding =
+  Obs.count "hunt.finding";
+  let red, stats =
+    Obs.with_span "hunt.shrink" @@ fun () ->
+    Ub_backend.Tv.shrink ~max_steps:cfg.max_shrink_steps ~bug fn
+  in
+  let verdict =
+    match Ub_backend.Tv.check_func ~bug red with
+    | Ub_backend.Tv.Not_refined _ -> "counterexample"
+    | Ub_backend.Tv.Refined | Ub_backend.Tv.Unsupported _ -> "unreduced"
+  in
+  { fp = Fingerprint.backend ~src:red ~bug:bug.Ub_backend.Mir_inject.b_name;
+    f_lane = lane.lane_name;
+    f_mode = lane.lane_mode.Mode.name;
+    f_backend = Some bug.Ub_backend.Mir_inject.b_name;
+    f_program = program;
+    red_src = red;
+    red_tgt = red;
+    orig_insns = Func.num_insns fn;
+    final_insns = Func.num_insns red;
+    oracle_calls = stats.Ub_shrink.Reduce.oracle_calls;
+    f_verdict = verdict;
+  }
+
+let check_backend_lane (cfg : config) (lane : lane) ~(bname : string) ~(program : int)
+    (fn : Func.t) : backend_outcome =
+  let bug = Ub_backend.Mir_inject.find_exn bname in
+  let compiled =
+    try
+      let clean = Ub_backend.Compile.compile_func fn in
+      let buggy = Ub_backend.Compile.compile_func ~bug fn in
+      Some
+        (Ub_backend.Mir_inject.changed clean.Ub_backend.Compile.mir
+           buggy.Ub_backend.Compile.mir)
+    with Ub_backend.Isel.Unsupported _ -> None
+  in
+  match compiled with
+  | None | Some false -> B_skip
+  | Some true -> (
+    Obs.count "hunt.changed";
+    (* tighter budgets than the CLI's: an injected bug can make the
+       machine loop diverge, and the pre-drop cost of a diverging tuple
+       is max_runs * 20 * fuel MIR steps *)
+    let v =
+      Obs.with_span "hunt.check" (fun () ->
+          Ub_backend.Tv.check_func ~fuel:1_000 ~max_runs:500 ~bug fn)
+    in
+    Obs.count "hunt.check_done";
+    match v with
+    | Ub_backend.Tv.Refined -> B_refined
+    | Ub_backend.Tv.Unsupported _ -> B_unknown
+    | Ub_backend.Tv.Not_refined _ -> B_finding (shrink_backend_finding cfg lane ~bug ~program fn))
+
 let process_program (cfg : config) (idx : int) : unit_result =
   Obs.count "hunt.program";
   let fn = Obs.with_span "hunt.generate" (fun () -> generate cfg idx) in
   List.fold_left
     (fun acc lane ->
+      match lane.lane_backend with
+      | Some bname -> (
+        match check_backend_lane cfg lane ~bname ~program:idx fn with
+        | B_skip -> acc
+        | B_refined -> { acc with u_changed = acc.u_changed + 1; u_checks = acc.u_checks + 1 }
+        | B_unknown ->
+          { acc with
+            u_changed = acc.u_changed + 1;
+            u_checks = acc.u_checks + 1;
+            u_unknown = acc.u_unknown + 1;
+          }
+        | B_finding f ->
+          { acc with
+            u_changed = acc.u_changed + 1;
+            u_checks = acc.u_checks + 1;
+            u_findings = acc.u_findings @ [ f ];
+          })
+      | None ->
       let fn' = optimize lane fn in
       if Func.equal fn' fn then acc
       else begin
@@ -401,13 +505,37 @@ let run_daemon (cfg : config) (r : remote) : report =
           let fn = Obs.with_span "hunt.generate" (fun () -> generate cfg p) in
           List.filter_map
             (fun lane ->
-              let fn' = optimize lane fn in
-              if Func.equal fn' fn then None
-              else begin
-                Obs.count "hunt.changed";
-                acc.changed <- acc.changed + 1;
-                Some (p, lane, fn, fn')
-              end)
+              match lane.lane_backend with
+              | Some bname ->
+                (* backend checks cannot be shipped to the daemon (it
+                   checks IR pairs); they stay local *)
+                (match check_backend_lane cfg lane ~bname ~program:p fn with
+                | B_skip -> ()
+                | B_refined ->
+                  acc.changed <- acc.changed + 1;
+                  acc.checks <- acc.checks + 1
+                | B_unknown ->
+                  acc.changed <- acc.changed + 1;
+                  acc.checks <- acc.checks + 1;
+                  acc.unknown <- acc.unknown + 1
+                | B_finding f ->
+                  acc.changed <- acc.changed + 1;
+                  acc.checks <- acc.checks + 1;
+                  acc.findings <- acc.findings + 1;
+                  if not (Hashtbl.mem acc.seen f.fp) then begin
+                    Hashtbl.replace acc.seen f.fp ();
+                    Obs.count "hunt.unique";
+                    acc.uniques <- f :: acc.uniques
+                  end);
+                None
+              | None ->
+                let fn' = optimize lane fn in
+                if Func.equal fn' fn then None
+                else begin
+                  Obs.count "hunt.changed";
+                  acc.changed <- acc.changed + 1;
+                  Some (p, lane, fn, fn')
+                end)
             cfg.lanes)
         programs
     in
@@ -503,10 +631,17 @@ let write_corpus ~(dir : string) (r : report) : string list =
       Printf.fprintf oc "; shrink: %d -> %d insns, %d oracle call(s)\n" f.orig_insns
         f.final_insns f.oracle_calls;
       Printf.fprintf oc "; verdict: %s\n" f.f_verdict;
-      Printf.fprintf oc "; repro: ubc check --mode %s %s\n\n" f.f_mode path;
-      output_string oc (Printer.func_to_string { f.red_src with Func.name = "src" });
-      output_string oc "\n";
-      output_string oc (Printer.func_to_string { f.red_tgt with Func.name = "tgt" });
+      (match f.f_backend with
+      | Some bug ->
+        (* the witness is the single source function: the "target" is
+           always its own (buggy) compilation *)
+        Printf.fprintf oc "; repro: ubc tv --inject %s %s\n\n" bug path;
+        output_string oc (Printer.func_to_string { f.red_src with Func.name = "src" })
+      | None ->
+        Printf.fprintf oc "; repro: ubc check --mode %s %s\n\n" f.f_mode path;
+        output_string oc (Printer.func_to_string { f.red_src with Func.name = "src" });
+        output_string oc "\n";
+        output_string oc (Printer.func_to_string { f.red_tgt with Func.name = "tgt" }));
       close_out oc;
       path)
     r.r_uniques
@@ -520,6 +655,7 @@ let finding_json (f : finding) : Json.t =
     [ ("fp", Json.Str f.fp);
       ("lane", Json.Str f.f_lane);
       ("mode", Json.Str f.f_mode);
+      ("backend", (match f.f_backend with Some b -> Json.Str b | None -> Json.Null));
       ("program", Json.Num (float_of_int f.f_program));
       ("orig_insns", Json.Num (float_of_int f.orig_insns));
       ("final_insns", Json.Num (float_of_int f.final_insns));

@@ -27,6 +27,10 @@ type entry = {
   needs_undef : bool; (* corpus must contain undef operands *)
   needs_cfg : bool; (* corpus must contain branches/phis *)
   needs_mem : bool; (* corpus must contain allocations and memory ops *)
+  backend : string option; (* a lib/backend/mir_inject bug name: the bug
+                              lives in the lowering, not in an IR rewrite;
+                              [apply] is the identity and the hunt compiles
+                              each program twice instead *)
   apply : Func.t -> Func.t;
 }
 
@@ -441,6 +445,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = shl_nsw;
     };
     { name = "udiv-exact";
@@ -450,6 +455,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = udiv_exact;
     };
     { name = "mul2-add-dup";
@@ -459,6 +465,7 @@ let all : entry list =
       needs_undef = true;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = mul2_add_dup;
     };
     { name = "select-or-true";
@@ -468,6 +475,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = select_or_true;
     };
     { name = "select-and-false";
@@ -477,6 +485,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = select_and_false;
     };
     { name = "select-undef-arm";
@@ -486,6 +495,7 @@ let all : entry list =
       needs_undef = true;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = select_undef_arm;
     };
     { name = "freeze-hoist-nsw";
@@ -495,6 +505,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = freeze_hoist_nsw;
     };
     { name = "gvn-freeze-elim";
@@ -504,6 +515,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = gvn_freeze_elim;
     };
     { name = "reassoc-nsw";
@@ -513,6 +525,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = false;
+      backend = None;
       apply = reassoc_nsw;
     };
     { name = "spec-div-hoist";
@@ -522,6 +535,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = true;
       needs_mem = false;
+      backend = None;
       apply = spec_div_hoist;
     };
     { name = "gvn-eq-propagate";
@@ -531,6 +545,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = true;
       needs_mem = false;
+      backend = None;
       apply = gvn_eq_propagate;
     };
     { name = "phi-select";
@@ -540,6 +555,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = true;
       needs_mem = false;
+      backend = None;
       apply = phi_to_select;
     };
     (* The memory family below is mode-independent (the bugs live in the
@@ -552,6 +568,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = true;
+      backend = None;
       apply = store_forward_alias;
     };
     { name = "load-widen-oob";
@@ -561,6 +578,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = true;
+      backend = None;
       apply = load_widen_oob;
     };
     { name = "malloc-to-alloca";
@@ -570,6 +588,7 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = true;
+      backend = None;
       apply = malloc_to_alloca;
     };
     { name = "store-ptr-int";
@@ -579,7 +598,63 @@ let all : entry list =
       needs_undef = false;
       needs_cfg = false;
       needs_mem = true;
+      backend = None;
       apply = store_ptr_int;
+    };
+    (* The backend family: miscompilations injected into the MIR rather
+       than the IR (lib/backend/mir_inject), hunted by compiling each
+       generated program twice and asking the lowering TV (lib/backend/tv)
+       whether the buggy compile still refines.  Mode-independent — TV
+       always interprets the source under the proposed semantics. *)
+    { name = "drop-parallel-move-copy";
+      section = "2402.05256";
+      doc = "phi elimination loses one copy of a parallel move";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = false;
+      backend = Some "drop-parallel-move-copy";
+      apply = Fun.id;
+    };
+    { name = "swap-without-temp";
+      section = "2402.05256";
+      doc = "parallel-move temps forward-substituted away; swap cycles break";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = false;
+      backend = Some "swap-without-temp";
+      apply = Fun.id;
+    };
+    { name = "cmov-stale-flags";
+      section = "S10.2";
+      doc = "select's Test deleted; Cmov reads stale or undefined flags";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = false;
+      backend = Some "cmov-stale-flags";
+      apply = Fun.id;
+    };
+    { name = "spill-slot-alias";
+      section = "2402.05256";
+      doc = "all spill slots collapse onto slot 0";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = false;
+      backend = Some "spill-slot-alias";
+      apply = Fun.id;
+    };
+    { name = "const-prop-bad-arm";
+      section = "S3.3";
+      doc = "compared constant propagated into the not-equal arm of a protected branch";
+      modes = [ "proposed" ];
+      needs_undef = false;
+      needs_cfg = false;
+      needs_mem = false;
+      backend = Some "const-prop-bad-arm";
+      apply = Fun.id;
     };
   ]
 
